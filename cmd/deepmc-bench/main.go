@@ -1,0 +1,88 @@
+// Command deepmc-bench regenerates the paper's tables and figures from
+// this repository's implementations.
+//
+// Usage:
+//
+//	deepmc-bench -all
+//	deepmc-bench -table 1            # Tables: 1 2 3 6 7 8 9
+//	deepmc-bench -figure 12          # Figure 12 (runs the app workloads)
+//	deepmc-bench -perffix            # §5.1 fix-improvement experiment
+//	deepmc-bench -fp                 # §5.4 false-positive analysis
+//	deepmc-bench -completeness       # §5.3 studied-bug re-detection
+//	deepmc-bench -figure 12 -ops 20000 -clients 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"deepmc/internal/tables"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (1,2,3,6,7,8,9)")
+	figure := flag.Int("figure", 0, "regenerate one figure (12)")
+	perffix := flag.Bool("perffix", false, "run the §5.1 perf-bug fix experiment")
+	fp := flag.Bool("fp", false, "run the §5.4 false-positive analysis")
+	completeness := flag.Bool("completeness", false, "run the §5.3 completeness check")
+	ablations := flag.Bool("ablations", false, "run the DESIGN.md §6 ablations")
+	all := flag.Bool("all", false, "regenerate everything")
+	ops := flag.Int("ops", 8000, "Figure 12: operations per client")
+	clients := flag.Int("clients", 4, "Figure 12: concurrent clients")
+	flag.Parse()
+
+	ran := false
+	emit := func(s string) {
+		fmt.Println(s)
+		ran = true
+	}
+	if *all || *table == 1 {
+		emit(tables.Table1())
+	}
+	if *all || *table == 2 {
+		emit(tables.Table2())
+	}
+	if *all || *table == 3 {
+		emit(tables.Table3())
+	}
+	if *all || *table == 6 {
+		emit(tables.Table6())
+	}
+	if *all || *table == 7 {
+		emit(tables.Table7())
+	}
+	if *all || *table == 8 {
+		emit(tables.Table8())
+	}
+	if *all || *table == 9 {
+		emit(tables.Table9())
+	}
+	if *all || *completeness {
+		emit(tables.Completeness())
+	}
+	if *all || *fp {
+		emit(tables.FalsePositives())
+	}
+	if *all || *perffix {
+		emit(tables.PerfFix())
+	}
+	if *all || *ablations {
+		emit(tables.Ablations())
+	}
+	if *all || *figure == 12 {
+		cfg := tables.DefaultFig12Config()
+		cfg.OpsPerClient = *ops
+		cfg.Clients = *clients
+		s, err := tables.Figure12(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepmc-bench: figure 12: %v\n", err)
+			os.Exit(1)
+		}
+		emit(s)
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

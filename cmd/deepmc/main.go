@@ -1,0 +1,248 @@
+// Command deepmc is the DeepMC checker CLI.
+//
+// Usage:
+//
+//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] prog.pir...
+//	deepmc run    [-entry main] [-arg N]... prog.pir
+//	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne]
+//	deepmc traces [-model ...] -fn NAME prog.pir
+//	deepmc fix    [-model strict] [-o fixed.pir] prog.pir
+//	deepmc fmt    prog.pir
+//
+// As in the paper (§4.5), the only required configuration is the
+// persistency model the program intends to implement; everything else is
+// derived from the program itself.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"deepmc/internal/core"
+	"deepmc/internal/corpus"
+	"deepmc/internal/fixer"
+	"deepmc/internal/ir"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
+	case "traces":
+		err = cmdTraces(os.Args[2:])
+	case "fix":
+		err = cmdFix(os.Args[2:])
+	case "fmt":
+		err = cmdFmt(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "deepmc: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deepmc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `deepmc - persistency-model aware bug checking for NVM programs
+
+commands:
+  check   [-model strict|epoch|strand] [-all] [-field=false] prog.pir...
+          run the static checker (Tables 4 and 5 rules)
+  run     [-entry main] [-arg N]... prog.pir
+          execute under the instrumented runtime (dynamic analysis)
+  corpus  [-name NAME]
+          check the built-in buggy-framework corpus against ground truth
+  traces  [-model ...] -fn NAME prog.pir
+          dump the collected traces of one function
+  fix     [-model ...] [-o out.pir] prog.pir
+          check, auto-repair the mechanical bug classes, write the result
+  fmt     prog.pir
+          parse and pretty-print a PIR module
+`)
+}
+
+func loadModule(path string) (*ir.Module, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ir.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	model := fs.String("model", "strict", "persistency model the program implements")
+	all := fs.Bool("all", false, "check every function standalone, not just roots")
+	field := fs.Bool("field", true, "field-sensitive points-to analysis")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("check: no input files")
+	}
+	exit := 0
+	for _, path := range fs.Args() {
+		m, err := loadModule(path)
+		if err != nil {
+			return err
+		}
+		rep, err := core.Analyze(m, core.Config{
+			Model: *model, AllFunctions: *all, FieldInsensitive: !*field,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s (model: %s)\n%s", path, *model, rep)
+		if len(rep.Warnings) > 0 {
+			exit = 1
+		}
+	}
+	if exit != 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	entry := fs.String("entry", "main", "entry function")
+	var runArgs intList
+	fs.Var(&runArgs, "arg", "integer argument (repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: need exactly one input file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := core.RunDynamic(m, *entry, runArgs...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep)
+	if len(rep.Warnings) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	name := fs.String("name", "", "restrict to one framework")
+	fs.Parse(args)
+	for _, p := range corpus.All() {
+		if *name != "" && p.Name != *name {
+			continue
+		}
+		ev := corpus.Evaluate(p)
+		fmt.Printf("== %s (model: %s): %d warnings, %d expected\n",
+			p.Name, p.Model, len(ev.Report.Warnings), len(p.Truth))
+		fmt.Print(ev.Report)
+		if miss := ev.Missing(); len(miss) > 0 {
+			fmt.Printf("MISSING %d expected warnings\n", len(miss))
+		}
+		if len(ev.Unexpected) > 0 {
+			fmt.Printf("UNEXPECTED %d warnings\n", len(ev.Unexpected))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdTraces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ExitOnError)
+	model := fs.String("model", "strict", "persistency model")
+	fn := fs.String("fn", "", "function to dump")
+	fs.Parse(args)
+	if fs.NArg() != 1 || *fn == "" {
+		return fmt.Errorf("traces: need -fn NAME and one input file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ts, err := core.Traces(m, core.Config{Model: *model}, *fn)
+	if err != nil {
+		return err
+	}
+	for i, t := range ts {
+		fmt.Printf("-- trace %d\n%s", i, t)
+	}
+	return nil
+}
+
+func cmdFix(args []string) error {
+	fs := flag.NewFlagSet("fix", flag.ExitOnError)
+	model := fs.String("model", "strict", "persistency model")
+	out := fs.String("o", "", "output file (default: stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fix: need exactly one input file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep, err := core.Analyze(m, core.Config{Model: *model})
+	if err != nil {
+		return err
+	}
+	fixed, res := fixer.Fix(m, rep.Warnings)
+	fmt.Fprint(os.Stderr, res)
+	text := ir.Print(fixed)
+	if *out == "" {
+		fmt.Print(text)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(text), 0o644)
+}
+
+func cmdFmt(args []string) error {
+	fs := flag.NewFlagSet("fmt", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fmt: need exactly one input file")
+	}
+	m, err := loadModule(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(ir.Print(m))
+	return nil
+}
+
+// intList is a repeatable -arg flag.
+type intList []int64
+
+func (l *intList) String() string { return fmt.Sprint([]int64(*l)) }
+
+func (l *intList) Set(s string) error {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return err
+	}
+	*l = append(*l, v)
+	return nil
+}

@@ -1,0 +1,3 @@
+module deepmc
+
+go 1.22

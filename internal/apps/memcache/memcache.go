@@ -1,0 +1,181 @@
+// Package memcache is the persistent Memcached port of Table 6: a
+// chained hash table living entirely in NVM, with every mutation wrapped
+// in a Mnemosyne durable transaction (the paper's Memcached runs on
+// Mnemosyne).  The memslap driver in the Figure 12 bench exercises it
+// with multiple client threads.
+package memcache
+
+import (
+	"fmt"
+	"sync"
+
+	"deepmc/internal/pmem/mnemosyne"
+)
+
+const (
+	// ValueWords is the fixed value size in 8-byte words.
+	ValueWords = 8
+	// entry layout (words): 0 key, 1 inUse, 2 next, 3.. value
+	entryWords = 3 + ValueWords
+	entryBytes = entryWords * 8
+)
+
+// Config sizes the store.
+type Config struct {
+	Buckets int // hash buckets (default 1<<14)
+	Region  mnemosyne.Config
+}
+
+// Store is a persistent hash table.
+type Store struct {
+	r          *mnemosyne.Region
+	buckets    int
+	bucketBase int // array of head pointers (0 = empty)
+
+	mu sync.RWMutex // volatile structural lock (memcached's per-table lock)
+}
+
+// Open builds the store.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 1 << 14
+	}
+	r, err := mnemosyne.OpenRegion(cfg.Region)
+	if err != nil {
+		return nil, err
+	}
+	base, err := r.Alloc(cfg.Buckets * 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{r: r, buckets: cfg.Buckets, bucketBase: base}, nil
+}
+
+// Region exposes the underlying Mnemosyne region.
+func (s *Store) Region() *mnemosyne.Region { return s.r }
+
+func (s *Store) bucketAddr(key uint64) int {
+	h := key * 0x9e3779b97f4a7c15
+	return s.bucketBase + int(h%uint64(s.buckets))*8
+}
+
+// findEntry walks the chain for key; returns entry addr or 0.  Caller
+// holds at least a read lock.
+func (s *Store) findEntry(thread int64, key uint64) (int, error) {
+	ba := s.bucketAddr(key)
+	cur, err := s.r.Load64(thread, ba)
+	if err != nil {
+		return 0, err
+	}
+	for cur != 0 {
+		k, err := s.r.Load64(thread, int(cur))
+		if err != nil {
+			return 0, err
+		}
+		if k == key {
+			used, err := s.r.Load64(thread, int(cur)+8)
+			if err != nil {
+				return 0, err
+			}
+			if used != 0 {
+				return int(cur), nil
+			}
+		}
+		cur, err = s.r.Load64(thread, int(cur)+16)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+// Get returns the value words for key.
+func (s *Store) Get(thread int64, key uint64) ([]uint64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ea, err := s.findEntry(thread, key)
+	if err != nil || ea == 0 {
+		return nil, false, err
+	}
+	out := make([]uint64, ValueWords)
+	for i := range out {
+		v, err := s.r.Load64(thread, ea+24+i*8)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Set inserts or updates key with the value words, durably.
+func (s *Store) Set(thread int64, key uint64, val []uint64) error {
+	if len(val) != ValueWords {
+		return fmt.Errorf("memcache: value must be %d words", ValueWords)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ea, err := s.findEntry(thread, key)
+	if err != nil {
+		return err
+	}
+	tx := s.r.Begin(thread)
+	if ea == 0 {
+		// Allocate and link a fresh entry at the chain head.
+		ea, err = s.r.Alloc(entryBytes)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		ba := s.bucketAddr(key)
+		head, err := s.r.Load64(thread, ba)
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		tx.Store64(ea, key)
+		tx.Store64(ea+8, 1)
+		tx.Store64(ea+16, head)
+		tx.Store64(ba, uint64(ea))
+	}
+	for i, w := range val {
+		tx.Store64(ea+24+i*8, w)
+	}
+	return tx.Commit()
+}
+
+// Delete removes key durably (tombstoning the entry).
+func (s *Store) Delete(thread int64, key uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ea, err := s.findEntry(thread, key)
+	if err != nil || ea == 0 {
+		return false, err
+	}
+	tx := s.r.Begin(thread)
+	tx.Store64(ea+8, 0)
+	return true, tx.Commit()
+}
+
+// Incr atomically increments the first value word (read-modify-write).
+func (s *Store) Incr(thread int64, key uint64, delta uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ea, err := s.findEntry(thread, key)
+	if err != nil {
+		return 0, err
+	}
+	if ea == 0 {
+		return 0, fmt.Errorf("memcache: key %d not found", key)
+	}
+	v, err := s.r.Load64(thread, ea+24)
+	if err != nil {
+		return 0, err
+	}
+	tx := s.r.Begin(thread)
+	tx.Store64(ea+24, v+delta)
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return v + delta, nil
+}

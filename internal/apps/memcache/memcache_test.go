@@ -1,0 +1,133 @@
+package memcache
+
+import (
+	"testing"
+
+	"deepmc/internal/nvm"
+	"deepmc/internal/pmem/mnemosyne"
+)
+
+func testStore(t *testing.T, buckets int) *Store {
+	t.Helper()
+	s, err := Open(Config{
+		Buckets: buckets,
+		Region:  mnemosyne.Config{NVM: nvm.Config{Size: 32 << 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func val(seed uint64) []uint64 {
+	out := make([]uint64, ValueWords)
+	for i := range out {
+		out[i] = seed*100 + uint64(i)
+	}
+	return out
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	s := testStore(t, 1<<8)
+	if err := s.Set(1, 42, val(42)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(1, 42)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	for i, w := range got {
+		if w != 4200+uint64(i) {
+			t.Fatalf("value[%d] = %d", i, w)
+		}
+	}
+	if _, ok, _ := s.Get(1, 43); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestUpdateOverwrites(t *testing.T) {
+	s := testStore(t, 1<<8)
+	s.Set(1, 7, val(1))
+	s.Set(1, 7, val(2))
+	got, ok, _ := s.Get(1, 7)
+	if !ok || got[0] != 200 {
+		t.Errorf("update lost: %v", got)
+	}
+}
+
+func TestCollisionChains(t *testing.T) {
+	// One bucket forces every key onto a single chain.
+	s := testStore(t, 1)
+	const n = 64
+	for k := uint64(0); k < n; k++ {
+		if err := s.Set(1, k, val(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		got, ok, err := s.Get(1, k)
+		if err != nil || !ok {
+			t.Fatalf("key %d lost in chain: ok=%v err=%v", k, ok, err)
+		}
+		if got[0] != k*100 {
+			t.Errorf("key %d value = %d", k, got[0])
+		}
+	}
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	s := testStore(t, 1)
+	s.Set(1, 5, val(5))
+	s.Set(1, 6, val(6))
+	ok, err := s.Delete(1, 5)
+	if err != nil || !ok {
+		t.Fatalf("delete: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := s.Get(1, 5); ok {
+		t.Error("deleted key still visible")
+	}
+	if _, ok, _ := s.Get(1, 6); !ok {
+		t.Error("neighbor key lost by delete")
+	}
+	if ok, _ := s.Delete(1, 5); ok {
+		t.Error("double delete reported success")
+	}
+}
+
+func TestIncr(t *testing.T) {
+	s := testStore(t, 1<<8)
+	s.Set(1, 9, val(0))
+	for i := 1; i <= 5; i++ {
+		n, err := s.Incr(1, 9, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != uint64(2*i) {
+			t.Errorf("incr %d = %d", i, n)
+		}
+	}
+	if _, err := s.Incr(1, 12345, 1); err == nil {
+		t.Error("incr of missing key succeeded")
+	}
+}
+
+func TestDurabilityAcrossCrash(t *testing.T) {
+	s := testStore(t, 1<<8)
+	s.Set(1, 77, val(77))
+	s.Region().NVM().Crash()
+	got, ok, err := s.Get(1, 77)
+	if err != nil || !ok {
+		t.Fatalf("post-crash get: ok=%v err=%v", ok, err)
+	}
+	if got[0] != 7700 {
+		t.Errorf("post-crash value = %d", got[0])
+	}
+}
+
+func TestRejectWrongValueSize(t *testing.T) {
+	s := testStore(t, 1<<8)
+	if err := s.Set(1, 1, []uint64{1, 2}); err == nil {
+		t.Error("short value accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package nstore is the NStore port of Table 6: a transactional tuple
+// store built directly on low-level NVM primitives (store / clwb /
+// sfence), matching the paper's "low-level implts" row.  It implements a
+// write-ahead-log engine: each transaction appends durable log records,
+// fences (commit point), then applies updates in place.  The YCSB driver
+// of Figure 12 exercises Insert/Update/Read/Scan/ReadModifyWrite.
+package nstore
+
+import (
+	"fmt"
+	"sync"
+
+	"deepmc/internal/nvm"
+	"deepmc/internal/pmem"
+)
+
+const (
+	// TupleWords is the fixed tuple payload in 8-byte words.
+	TupleWords  = 8
+	tupleBytes  = (1 + TupleWords) * 8 // inUse + payload
+	logRecBytes = (2 + TupleWords) * 8 // key, len, payload
+)
+
+// Config sizes the engine.
+type Config struct {
+	NVM      nvm.Config
+	Tracker  pmem.Tracker
+	Capacity uint64 // max tuples (default 1<<16)
+	LogBytes int    // WAL capacity (default 1<<20)
+}
+
+// Engine is the tuple store.
+type Engine struct {
+	cfg Config
+	nv  *nvm.Pool
+
+	mu        sync.Mutex
+	tableBase int
+	logBase   int
+	logOff    int
+}
+
+// Open creates the engine.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 1 << 16
+	}
+	if cfg.LogBytes == 0 {
+		cfg.LogBytes = 1 << 20
+	}
+	e := &Engine{cfg: cfg, nv: nvm.NewPool(cfg.NVM)}
+	var err error
+	if e.tableBase, err = e.nv.Alloc(int(cfg.Capacity) * tupleBytes); err != nil {
+		return nil, err
+	}
+	if e.logBase, err = e.nv.Alloc(cfg.LogBytes); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NVM exposes the device.
+func (e *Engine) NVM() *nvm.Pool { return e.nv }
+
+func (e *Engine) tupleAddr(key uint64) (int, error) {
+	if key >= e.cfg.Capacity {
+		return 0, fmt.Errorf("nstore: key %d out of capacity %d", key, e.cfg.Capacity)
+	}
+	return e.tableBase + int(key)*tupleBytes, nil
+}
+
+// appendLog writes one WAL record and flushes it.  Caller holds mu.
+func (e *Engine) appendLog(thread int64, key uint64, words []uint64) error {
+	if e.logOff+logRecBytes > e.cfg.LogBytes {
+		e.logOff = 0 // wrap (a real engine truncates at checkpoint)
+	}
+	la := e.logBase + e.logOff
+	e.logOff += logRecBytes
+	if err := e.nv.Store64(la, key); err != nil {
+		return err
+	}
+	if err := e.nv.Store64(la+8, uint64(len(words))); err != nil {
+		return err
+	}
+	for i, w := range words {
+		if err := e.nv.Store64(la+16+i*8, w); err != nil {
+			return err
+		}
+	}
+	if t := e.cfg.Tracker; t != nil {
+		t.Write(thread, uint64(la), "nstore_log")
+	}
+	return e.nv.Flush(la, logRecBytes)
+}
+
+// write is the common insert/update path: WAL append, fence (commit
+// point), in-place apply, flush, fence.
+func (e *Engine) write(thread int64, key uint64, words []uint64) error {
+	if len(words) != TupleWords {
+		return fmt.Errorf("nstore: tuple must be %d words", TupleWords)
+	}
+	ta, err := e.tupleAddr(key)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.appendLog(thread, key, words); err != nil {
+		return err
+	}
+	e.nv.Fence() // commit point
+	if t := e.cfg.Tracker; t != nil {
+		t.Fence(thread)
+	}
+	if err := e.nv.Store64(ta, 1); err != nil {
+		return err
+	}
+	for i, w := range words {
+		if err := e.nv.Store64(ta+8+i*8, w); err != nil {
+			return err
+		}
+	}
+	if t := e.cfg.Tracker; t != nil {
+		t.Write(thread, uint64(ta), "nstore_apply")
+	}
+	if err := e.nv.Flush(ta, tupleBytes); err != nil {
+		return err
+	}
+	e.nv.Fence()
+	return nil
+}
+
+// Insert adds a tuple.
+func (e *Engine) Insert(thread int64, key uint64, words []uint64) error {
+	return e.write(thread, key, words)
+}
+
+// Update overwrites a tuple.
+func (e *Engine) Update(thread int64, key uint64, words []uint64) error {
+	return e.write(thread, key, words)
+}
+
+// Read fetches a tuple.
+func (e *Engine) Read(thread int64, key uint64) ([]uint64, bool, error) {
+	ta, err := e.tupleAddr(key)
+	if err != nil {
+		return nil, false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	used, err := e.nv.Load64(ta)
+	if err != nil || used == 0 {
+		return nil, false, err
+	}
+	out := make([]uint64, TupleWords)
+	for i := range out {
+		v, err := e.nv.Load64(ta + 8 + i*8)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Scan reads up to n consecutive tuples starting at key.
+func (e *Engine) Scan(thread int64, key uint64, n int) ([][]uint64, error) {
+	var out [][]uint64
+	for i := 0; i < n; i++ {
+		k := key + uint64(i)
+		if k >= e.cfg.Capacity {
+			break
+		}
+		t, ok, err := e.Read(thread, k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// ReadModifyWrite increments the first word of the tuple.
+func (e *Engine) ReadModifyWrite(thread int64, key uint64) error {
+	t, ok, err := e.Read(thread, key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		t = make([]uint64, TupleWords)
+	}
+	t[0]++
+	return e.Update(thread, key, t)
+}

@@ -1,0 +1,131 @@
+package nstore
+
+import (
+	"testing"
+
+	"deepmc/internal/nvm"
+)
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := Open(Config{NVM: nvm.Config{Size: 32 << 20}, Capacity: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func tuple(seed uint64) []uint64 {
+	out := make([]uint64, TupleWords)
+	for i := range out {
+		out[i] = seed + uint64(i)
+	}
+	return out
+}
+
+func TestInsertReadUpdate(t *testing.T) {
+	e := testEngine(t)
+	if err := e.Insert(1, 5, tuple(100)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := e.Read(1, 5)
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if got[0] != 100 || got[7] != 107 {
+		t.Errorf("tuple = %v", got)
+	}
+	if err := e.Update(1, 5, tuple(200)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = e.Read(1, 5)
+	if got[0] != 200 {
+		t.Errorf("update lost: %v", got)
+	}
+}
+
+func TestReadMissingTuple(t *testing.T) {
+	e := testEngine(t)
+	if _, ok, err := e.Read(1, 9); ok || err != nil {
+		t.Errorf("missing tuple: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := e.Read(1, 1<<20); err == nil {
+		t.Error("out-of-capacity key accepted")
+	}
+}
+
+func TestScan(t *testing.T) {
+	e := testEngine(t)
+	for k := uint64(10); k < 20; k += 2 {
+		e.Insert(1, k, tuple(k))
+	}
+	rows, err := e.Scan(1, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Errorf("scan found %d rows, want 5 (only even keys exist)", len(rows))
+	}
+	// Scan clamps at capacity.
+	rows, err = e.Scan(1, (1<<10)-2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("tail scan rows = %d", len(rows))
+	}
+}
+
+func TestReadModifyWrite(t *testing.T) {
+	e := testEngine(t)
+	e.Insert(1, 3, tuple(0))
+	for i := 0; i < 4; i++ {
+		if err := e.ReadModifyWrite(1, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, _ := e.Read(1, 3)
+	if got[0] != 4 {
+		t.Errorf("rmw counter = %d", got[0])
+	}
+	// RMW on a missing tuple initializes it.
+	if err := e.ReadModifyWrite(1, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := e.Read(1, 8)
+	if !ok || got[0] != 1 {
+		t.Errorf("rmw-insert = %v ok=%v", got, ok)
+	}
+}
+
+func TestWALCommitDurable(t *testing.T) {
+	e := testEngine(t)
+	e.Insert(1, 42, tuple(999))
+	e.NVM().Crash()
+	got, ok, err := e.Read(1, 42)
+	if err != nil || !ok {
+		t.Fatalf("post-crash read: ok=%v err=%v", ok, err)
+	}
+	if got[0] != 999 {
+		t.Errorf("post-crash tuple = %v", got)
+	}
+}
+
+func TestLogWraps(t *testing.T) {
+	e, err := Open(Config{NVM: nvm.Config{Size: 32 << 20}, Capacity: 64, LogBytes: 4 * logRecBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := e.Update(1, uint64(i%4), tuple(uint64(i))); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+}
+
+func TestRejectWrongTupleSize(t *testing.T) {
+	e := testEngine(t)
+	if err := e.Insert(1, 1, []uint64{1}); err == nil {
+		t.Error("short tuple accepted")
+	}
+}

@@ -1,0 +1,287 @@
+// Package redis is the persistent Redis port of Table 6: a string
+// dictionary, counters, persistent lists and sets over the PMDK pool
+// abstraction (the paper's Redis uses PMDK), exposing the operations the
+// redis-benchmark default suite drives: SET, GET, INCR, LPUSH, LPOP,
+// SADD.
+package redis
+
+import (
+	"fmt"
+	"sync"
+
+	"deepmc/internal/pmem/pmdk"
+)
+
+const (
+	// ValueBytes is the fixed payload size of string values.
+	ValueBytes = 64
+	// dict entry layout: 0 key, 8 inUse, 16 next, 24 listHead (for list
+	// keys) / counter, 32.. value bytes
+	entryBytes = 32 + ValueBytes
+	// list node layout: 0 next, 8.. value
+	listNodeBytes = 8 + ValueBytes
+)
+
+// Config sizes the store.
+type Config struct {
+	Buckets int
+	Pool    pmdk.Config
+}
+
+// DB is a persistent Redis-like database.
+type DB struct {
+	p          *pmdk.Pool
+	buckets    int
+	bucketBase int
+
+	mu sync.Mutex
+}
+
+// Open creates a database.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 1 << 14
+	}
+	p := pmdk.Open(cfg.Pool)
+	base, err := p.AllocObject(cfg.Buckets * 8)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{p: p, buckets: cfg.Buckets, bucketBase: base}, nil
+}
+
+// Pool exposes the underlying PMDK pool.
+func (db *DB) Pool() *pmdk.Pool { return db.p }
+
+func (db *DB) bucketAddr(key uint64) int {
+	h := key * 0xff51afd7ed558ccd
+	return db.bucketBase + int(h%uint64(db.buckets))*8
+}
+
+// find returns the entry address for key, or 0.  Caller holds mu.
+func (db *DB) find(thread int64, key uint64) (int, error) {
+	cur, err := db.p.Load64(thread, db.bucketAddr(key))
+	if err != nil {
+		return 0, err
+	}
+	for cur != 0 {
+		k, err := db.p.Load64(thread, int(cur))
+		if err != nil {
+			return 0, err
+		}
+		used, err := db.p.Load64(thread, int(cur)+8)
+		if err != nil {
+			return 0, err
+		}
+		if k == key && used != 0 {
+			return int(cur), nil
+		}
+		cur, err = db.p.Load64(thread, int(cur)+16)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return 0, nil
+}
+
+// ensure returns the entry for key, creating it transactionally if
+// needed.  Caller holds mu.
+func (db *DB) ensure(thread int64, key uint64) (int, error) {
+	ea, err := db.find(thread, key)
+	if err != nil || ea != 0 {
+		return ea, err
+	}
+	ea, err = db.p.AllocObject(entryBytes)
+	if err != nil {
+		return 0, err
+	}
+	ba := db.bucketAddr(key)
+	head, err := db.p.Load64(thread, ba)
+	if err != nil {
+		return 0, err
+	}
+	tx := db.p.Begin(thread)
+	if err := tx.Add(ba, 8); err != nil {
+		return 0, err
+	}
+	tx.Store64(ea, key)
+	tx.Store64(ea+8, 1)
+	tx.Store64(ea+16, head)
+	// The fresh entry itself is persisted by the commit of its cacheline
+	// range.
+	if err := tx.Add(ea, 32); err != nil {
+		return 0, err
+	}
+	tx.Store64(ba, uint64(ea))
+	return ea, tx.Commit()
+}
+
+// Set stores a string value (SET).
+func (db *DB) Set(thread int64, key uint64, val []byte) error {
+	if len(val) > ValueBytes {
+		return fmt.Errorf("redis: value too large")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ea, err := db.ensure(thread, key)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, ValueBytes)
+	copy(buf, val)
+	tx := db.p.Begin(thread)
+	if err := tx.Add(ea+32, ValueBytes); err != nil {
+		return err
+	}
+	if err := tx.Store(ea+32, buf); err != nil {
+		return err
+	}
+	return tx.Commit()
+}
+
+// Get fetches a string value (GET).
+func (db *DB) Get(thread int64, key uint64) ([]byte, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ea, err := db.find(thread, key)
+	if err != nil || ea == 0 {
+		return nil, false, err
+	}
+	b, err := db.p.Load(thread, ea+32, ValueBytes)
+	return b, err == nil, err
+}
+
+// Incr increments the counter slot of key (INCR).
+func (db *DB) Incr(thread int64, key uint64) (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ea, err := db.ensure(thread, key)
+	if err != nil {
+		return 0, err
+	}
+	v, err := db.p.Load64(thread, ea+24)
+	if err != nil {
+		return 0, err
+	}
+	tx := db.p.Begin(thread)
+	if err := tx.Add(ea+24, 8); err != nil {
+		return 0, err
+	}
+	tx.Store64(ea+24, v+1)
+	if err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	return v + 1, nil
+}
+
+// LPush prepends a value to the list at key (LPUSH).
+func (db *DB) LPush(thread int64, key uint64, val []byte) error {
+	if len(val) > ValueBytes {
+		return fmt.Errorf("redis: value too large")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ea, err := db.ensure(thread, key)
+	if err != nil {
+		return err
+	}
+	node, err := db.p.AllocObject(listNodeBytes)
+	if err != nil {
+		return err
+	}
+	head, err := db.p.Load64(thread, ea+24)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, ValueBytes)
+	copy(buf, val)
+	tx := db.p.Begin(thread)
+	if err := tx.Add(node, listNodeBytes); err != nil {
+		return err
+	}
+	tx.Store64(node, head)
+	if err := tx.Store(node+8, buf); err != nil {
+		return err
+	}
+	if err := tx.Add(ea+24, 8); err != nil {
+		return err
+	}
+	tx.Store64(ea+24, uint64(node))
+	return tx.Commit()
+}
+
+// LPop removes and returns the list head (LPOP).
+func (db *DB) LPop(thread int64, key uint64) ([]byte, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ea, err := db.find(thread, key)
+	if err != nil || ea == 0 {
+		return nil, false, err
+	}
+	head, err := db.p.Load64(thread, ea+24)
+	if err != nil || head == 0 {
+		return nil, false, err
+	}
+	next, err := db.p.Load64(thread, int(head))
+	if err != nil {
+		return nil, false, err
+	}
+	val, err := db.p.Load(thread, int(head)+8, ValueBytes)
+	if err != nil {
+		return nil, false, err
+	}
+	tx := db.p.Begin(thread)
+	if err := tx.Add(ea+24, 8); err != nil {
+		return nil, false, err
+	}
+	tx.Store64(ea+24, next)
+	return val, true, tx.Commit()
+}
+
+// SAdd adds a member to the set at key (SADD); the set reuses the list
+// representation with member-dedup.
+func (db *DB) SAdd(thread int64, key uint64, member uint64) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ea, err := db.ensure(thread, key)
+	if err != nil {
+		return false, err
+	}
+	// Dedup scan.
+	cur, err := db.p.Load64(thread, ea+24)
+	if err != nil {
+		return false, err
+	}
+	for cur != 0 {
+		v, err := db.p.Load64(thread, int(cur)+8)
+		if err != nil {
+			return false, err
+		}
+		if v == member {
+			return false, nil
+		}
+		cur, err = db.p.Load64(thread, int(cur))
+		if err != nil {
+			return false, err
+		}
+	}
+	node, err := db.p.AllocObject(listNodeBytes)
+	if err != nil {
+		return false, err
+	}
+	head, err := db.p.Load64(thread, ea+24)
+	if err != nil {
+		return false, err
+	}
+	tx := db.p.Begin(thread)
+	if err := tx.Add(node, 16); err != nil {
+		return false, err
+	}
+	tx.Store64(node, head)
+	tx.Store64(node+8, member)
+	if err := tx.Add(ea+24, 8); err != nil {
+		return false, err
+	}
+	tx.Store64(ea+24, uint64(node))
+	return true, tx.Commit()
+}

@@ -1,0 +1,144 @@
+package redis
+
+import (
+	"bytes"
+	"testing"
+
+	"deepmc/internal/nvm"
+	"deepmc/internal/pmem/pmdk"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{
+		Buckets: 1 << 8,
+		Pool:    pmdk.Config{NVM: nvm.Config{Size: 64 << 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestSetGetOverwrite(t *testing.T) {
+	db := testDB(t)
+	if err := db.Set(1, 10, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Set(1, 10, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get(1, 10)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if !bytes.HasPrefix(v, []byte("second")) {
+		t.Errorf("value = %q", v[:8])
+	}
+	if _, ok, _ := db.Get(1, 11); ok {
+		t.Error("missing key found")
+	}
+}
+
+func TestValueSizeLimit(t *testing.T) {
+	db := testDB(t)
+	if err := db.Set(1, 1, make([]byte, ValueBytes+1)); err == nil {
+		t.Error("oversized SET accepted")
+	}
+	if err := db.LPush(1, 1, make([]byte, ValueBytes+1)); err == nil {
+		t.Error("oversized LPUSH accepted")
+	}
+}
+
+func TestIncrFromZero(t *testing.T) {
+	db := testDB(t)
+	n, err := db.Incr(1, 33)
+	if err != nil || n != 1 {
+		t.Fatalf("first incr = %d err=%v", n, err)
+	}
+	n, _ = db.Incr(1, 33)
+	if n != 2 {
+		t.Errorf("second incr = %d", n)
+	}
+}
+
+func TestListOrdering(t *testing.T) {
+	db := testDB(t)
+	for _, s := range []string{"a", "b", "c"} {
+		if err := db.LPush(1, 5, []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []byte
+	for {
+		v, ok, err := db.LPop(1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, v[0])
+	}
+	if string(got) != "cba" {
+		t.Errorf("pop order = %q, want cba (LIFO)", got)
+	}
+}
+
+func TestLPopEmptyList(t *testing.T) {
+	db := testDB(t)
+	if _, ok, err := db.LPop(1, 99); ok || err != nil {
+		t.Errorf("pop of missing list: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSAddMembership(t *testing.T) {
+	db := testDB(t)
+	added, err := db.SAdd(1, 2, 100)
+	if err != nil || !added {
+		t.Fatalf("first sadd: added=%v err=%v", added, err)
+	}
+	added, _ = db.SAdd(1, 2, 100)
+	if added {
+		t.Error("duplicate member added")
+	}
+	added, _ = db.SAdd(1, 2, 101)
+	if !added {
+		t.Error("distinct member rejected")
+	}
+}
+
+func TestDictCollisions(t *testing.T) {
+	db, err := Open(Config{Buckets: 1, Pool: pmdk.Config{NVM: nvm.Config{Size: 64 << 20}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 32; k++ {
+		if err := db.Set(1, k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(0); k < 32; k++ {
+		v, ok, err := db.Get(1, k)
+		if err != nil || !ok || v[0] != byte(k) {
+			t.Fatalf("key %d: ok=%v err=%v v=%v", k, ok, err, v[:1])
+		}
+	}
+}
+
+func TestTransactionalDurability(t *testing.T) {
+	db := testDB(t)
+	db.Set(1, 50, []byte("persist me"))
+	db.Incr(1, 51)
+	db.LPush(1, 52, []byte("head"))
+	db.Pool().NVM().Crash()
+	if v, ok, _ := db.Get(1, 50); !ok || !bytes.HasPrefix(v, []byte("persist me")) {
+		t.Error("SET lost on crash")
+	}
+	if n, _ := db.Incr(1, 51); n != 2 {
+		t.Errorf("INCR state after crash = %d, want 2", n)
+	}
+	if v, ok, _ := db.LPop(1, 52); !ok || v[0] != 'h' {
+		t.Error("LPUSH lost on crash")
+	}
+}

@@ -1,0 +1,216 @@
+// Package callgraph builds the call graph of a PIR module and provides the
+// traversals the DeepMC pipeline needs: Tarjan strongly-connected
+// components (to bound recursion) and post-order over the SCC condensation
+// (the "visit callees before callers" order both the DSA bottom-up phase
+// and the interprocedural trace merge require — step ① of Figure 8).
+package callgraph
+
+import (
+	"sort"
+
+	"deepmc/internal/ir"
+)
+
+// CallSite records a single call instruction.
+type CallSite struct {
+	Caller *ir.Function
+	Callee string // callee name; may be external (not defined in module)
+	Ref    ir.InstrRef
+	Line   int
+}
+
+// Node is one function in the call graph.
+type Node struct {
+	Func  *ir.Function
+	Calls []CallSite // outgoing call sites in program order
+	Outs  []*Node    // unique callee nodes defined in the module
+	Ins   []*Node    // unique caller nodes
+	SCC   int        // SCC id; assigned by Tarjan, -1 before
+}
+
+// Graph is a module's call graph.
+type Graph struct {
+	Module *ir.Module
+	Nodes  map[string]*Node
+	// External lists callee names referenced but not defined in the module
+	// (the paper tracks such functions only if annotated; the analyses
+	// treat them as opaque).
+	External []string
+
+	sccCount int
+	sccOrder [][]*Node // SCCs in reverse topological order (callees first)
+}
+
+// New builds the call graph of m.
+func New(m *ir.Module) *Graph {
+	g := &Graph{Module: m, Nodes: make(map[string]*Node, len(m.Funcs))}
+	for _, name := range m.FuncNames() {
+		g.Nodes[name] = &Node{Func: m.Funcs[name], SCC: -1}
+	}
+	extSeen := make(map[string]bool)
+	for _, name := range m.FuncNames() {
+		n := g.Nodes[name]
+		f := n.Func
+		outSeen := make(map[string]bool)
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Op != ir.OpCall {
+					continue
+				}
+				n.Calls = append(n.Calls, CallSite{
+					Caller: f,
+					Callee: in.Callee,
+					Ref:    ir.InstrRef{Func: f.Name, Block: blk.Name, Index: i},
+					Line:   in.Line,
+				})
+				callee, ok := g.Nodes[in.Callee]
+				if !ok {
+					if !extSeen[in.Callee] {
+						extSeen[in.Callee] = true
+						g.External = append(g.External, in.Callee)
+					}
+					continue
+				}
+				if !outSeen[in.Callee] {
+					outSeen[in.Callee] = true
+					n.Outs = append(n.Outs, callee)
+					callee.Ins = append(callee.Ins, n)
+				}
+			}
+		}
+	}
+	sort.Strings(g.External)
+	g.tarjan()
+	return g
+}
+
+// tarjan assigns SCC ids and builds sccOrder (callees before callers).
+// Tarjan's algorithm emits SCCs in reverse topological order of the
+// condensation, which is exactly the order we want.
+func (g *Graph) tarjan() {
+	index := 0
+	indices := make(map[*Node]int)
+	lowlink := make(map[*Node]int)
+	onStack := make(map[*Node]bool)
+	var stack []*Node
+
+	var strongconnect func(v *Node)
+	strongconnect = func(v *Node) {
+		indices[v] = index
+		lowlink[v] = index
+		index++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range v.Outs {
+			if _, seen := indices[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && indices[w] < lowlink[v] {
+				lowlink[v] = indices[w]
+			}
+		}
+		if lowlink[v] == indices[v] {
+			var scc []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				w.SCC = g.sccCount
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			g.sccCount++
+			g.sccOrder = append(g.sccOrder, scc)
+		}
+	}
+	// Visit in declaration order for determinism.
+	for _, name := range g.Module.FuncNames() {
+		n := g.Nodes[name]
+		if _, seen := indices[n]; !seen {
+			strongconnect(n)
+		}
+	}
+}
+
+// PostOrder returns all functions so that (except within recursion cycles)
+// every callee precedes its callers.  Within one SCC, functions appear in
+// module declaration order for determinism.
+func (g *Graph) PostOrder() []*ir.Function {
+	var out []*ir.Function
+	for _, scc := range g.sccOrder {
+		sorted := append([]*Node(nil), scc...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Func.Name < sorted[j].Func.Name })
+		for _, n := range sorted {
+			out = append(out, n.Func)
+		}
+	}
+	return out
+}
+
+// SCCs returns the strongly connected components, callees first.
+func (g *Graph) SCCs() [][]*ir.Function {
+	out := make([][]*ir.Function, 0, len(g.sccOrder))
+	for _, scc := range g.sccOrder {
+		fs := make([]*ir.Function, 0, len(scc))
+		for _, n := range scc {
+			fs = append(fs, n.Func)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// IsRecursive reports whether the named function participates in a cycle
+// (including self-recursion).
+func (g *Graph) IsRecursive(name string) bool {
+	n := g.Nodes[name]
+	if n == nil {
+		return false
+	}
+	for _, scc := range g.sccOrder {
+		if len(scc) > 1 {
+			for _, m := range scc {
+				if m == n {
+					return true
+				}
+			}
+		}
+	}
+	for _, o := range n.Outs {
+		if o == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Callers returns the names of functions that call the named function.
+func (g *Graph) Callers(name string) []string {
+	n := g.Nodes[name]
+	if n == nil {
+		return nil
+	}
+	out := make([]string, 0, len(n.Ins))
+	for _, c := range n.Ins {
+		out = append(out, c.Func.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Roots returns functions never called within the module (entry points),
+// in declaration order.
+func (g *Graph) Roots() []*ir.Function {
+	var roots []*ir.Function
+	for _, name := range g.Module.FuncNames() {
+		if len(g.Nodes[name].Ins) == 0 {
+			roots = append(roots, g.Nodes[name].Func)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,177 @@
+package cfg
+
+import (
+	"testing"
+
+	"deepmc/internal/ir"
+)
+
+const loopSrc = `
+module m
+
+func straight() {
+	fence
+	ret
+}
+
+func diamond(c) {
+	condbr %c, left, right
+left:
+	br join
+right:
+	br join
+join:
+	ret
+}
+
+func looped(n) {
+	%i = const 0
+	br head
+head:
+	%cond = lt %i, %n
+	condbr %cond, body, exit
+body:
+	%i = add %i, 1
+	br head
+exit:
+	ret
+}
+
+func nested(n) {
+	%i = const 0
+	br outer
+outer:
+	%c1 = lt %i, %n
+	condbr %c1, inner, done
+inner:
+	%j = const 0
+	br ihead
+ihead:
+	%c2 = lt %j, %n
+	condbr %c2, ibody, iexit
+ibody:
+	%j = add %j, 1
+	br ihead
+iexit:
+	%i = add %i, 1
+	br outer
+done:
+	ret
+}
+`
+
+func mustGraph(t *testing.T, m *ir.Module, fn string) *Graph {
+	t.Helper()
+	g, err := New(m.Func(fn))
+	if err != nil {
+		t.Fatalf("New(%s): %v", fn, err)
+	}
+	return g
+}
+
+func TestEdges(t *testing.T) {
+	m := ir.MustParse(loopSrc)
+	g := mustGraph(t, m, "diamond")
+	entry := g.Entry()
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d, want 2", len(entry.Succs))
+	}
+	join := g.ByName("join")
+	if len(join.Preds) != 2 {
+		t.Errorf("join preds = %d, want 2", len(join.Preds))
+	}
+}
+
+func TestReversePostOrder(t *testing.T) {
+	m := ir.MustParse(loopSrc)
+	g := mustGraph(t, m, "diamond")
+	rpo := g.ReversePostOrder()
+	pos := map[string]int{}
+	for i, n := range rpo {
+		pos[n.Block.Name] = i
+	}
+	if pos["entry"] != 0 {
+		t.Errorf("entry at %d in RPO", pos["entry"])
+	}
+	if pos["join"] != len(rpo)-1 {
+		t.Errorf("join at %d, want last", pos["join"])
+	}
+	if pos["left"] >= pos["join"] || pos["right"] >= pos["join"] {
+		t.Errorf("branch blocks must precede join: %v", pos)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	m := ir.MustParse(loopSrc)
+	g := mustGraph(t, m, "diamond")
+	entry, left, join := g.Entry(), g.ByName("left"), g.ByName("join")
+	if !g.Dominates(entry, join) {
+		t.Error("entry should dominate join")
+	}
+	if g.Dominates(left, join) {
+		t.Error("left should not dominate join")
+	}
+	if id := g.IDom(join); id != entry {
+		t.Errorf("idom(join) = %v, want entry", id.Block.Name)
+	}
+	if g.IDom(entry) != nil {
+		t.Error("entry must have no idom")
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	m := ir.MustParse(loopSrc)
+	g := mustGraph(t, m, "looped")
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header.Block.Name != "head" {
+		t.Errorf("loop header = %s, want head", l.Header.Block.Name)
+	}
+	if !l.Body[g.ByName("body")] {
+		t.Error("loop body must contain 'body'")
+	}
+	if l.Body[g.ByName("exit")] {
+		t.Error("loop body must not contain 'exit'")
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	m := ir.MustParse(loopSrc)
+	g := mustGraph(t, m, "nested")
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	var outer, inner *Loop
+	for _, l := range loops {
+		switch l.Header.Block.Name {
+		case "outer":
+			outer = l
+		case "ihead":
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("loop headers wrong: %v", loops)
+	}
+	if !outer.Body[g.ByName("ihead")] {
+		t.Error("outer loop must contain inner header")
+	}
+	if inner.Body[g.ByName("outer")] {
+		t.Error("inner loop must not contain outer header")
+	}
+	if len(g.BackEdges()) != 2 {
+		t.Errorf("back edges = %d, want 2", len(g.BackEdges()))
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	m := ir.MustParse(loopSrc)
+	g := mustGraph(t, m, "straight")
+	if len(g.Nodes) != 1 || len(g.NaturalLoops()) != 0 || len(g.PostOrder()) != 1 {
+		t.Errorf("straight-line CFG wrong: %d nodes", len(g.Nodes))
+	}
+}

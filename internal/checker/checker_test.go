@@ -1,0 +1,859 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+// checkSrc runs the checker over PIR source under the given model.
+func checkSrc(t *testing.T, src string, model Model) *report.Report {
+	t.Helper()
+	m := ir.MustParse(src)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return Check(m, model)
+}
+
+// hasWarning reports whether rep contains a warning with the rule at the
+// line (line 0 matches any line).
+func hasWarning(rep *report.Report, rule report.Rule, line int) bool {
+	for _, w := range rep.Warnings {
+		if w.Rule == rule && (line == 0 || w.Line == line) {
+			return true
+		}
+	}
+	return false
+}
+
+func countRule(rep *report.Report, rule report.Rule) int {
+	n := 0
+	for _, w := range rep.Warnings {
+		if w.Rule == rule {
+			n++
+		}
+	}
+	return n
+}
+
+// --- Table 4: strict persistency --------------------------------------------
+
+// The nvm_lock example of Figure 9/10: lk.new_level is written but the
+// final fence only covers a flush of lk.state.
+const nvmLockSrc = `
+module m
+
+type nvm_amutex struct {
+	owners: int
+	level: int
+}
+
+type nvm_lkrec struct {
+	state: int
+	new_level: int
+}
+
+func nvm_add_lock_op(mutex: *nvm_amutex) *nvm_lkrec {
+	file "nvm_locks.c"
+	%lk = palloc nvm_lkrec @700
+	ret %lk
+}
+
+func nvm_lock(omutex: *nvm_amutex) {
+	file "nvm_locks.c"
+	%mutex = or %omutex, 0                 @883
+	%lk = call nvm_add_lock_op(%mutex)     @885
+	store %lk.state, 1                     @886
+	flush %lk.state                        @887
+	fence                                  @887
+	%o = load %mutex.owners                @889
+	%o2 = sub %o, 1
+	store %mutex.owners, %o2               @889
+	flush %mutex.owners                    @890
+	fence                                  @890
+	%lvl = load %mutex.level               @892
+	store %lk.new_level, %lvl              @893
+	store %lk.state, 2                     @895
+	flush %lk.state                        @896
+	fence                                  @896
+	ret
+}
+
+func driver() {
+	%mu = palloc nvm_amutex @10
+	call nvm_lock(%mu)      @11
+	ret
+}
+`
+
+func TestStrictUnflushedWriteFigure9(t *testing.T) {
+	rep := checkSrc(t, nvmLockSrc, Strict)
+	if !hasWarning(rep, report.RuleUnflushedWrite, 893) {
+		t.Errorf("Figure 9 bug (unflushed lk.new_level at line 893) not found:\n%s", rep)
+	}
+	// The properly persisted stores must not be flagged.
+	if hasWarning(rep, report.RuleUnflushedWrite, 886) || hasWarning(rep, report.RuleUnflushedWrite, 889) {
+		t.Errorf("false positive on correctly persisted writes:\n%s", rep)
+	}
+}
+
+func TestStrictCleanProgram(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+	b: int
+}
+
+func f() {
+	%p = palloc obj
+	store %p.a, 1 @10
+	flush %p.a    @11
+	fence         @12
+	store %p.b, 2 @13
+	flush %p.b    @14
+	fence         @15
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if len(rep.Warnings) != 0 {
+		t.Errorf("clean strict program produced warnings:\n%s", rep)
+	}
+}
+
+func TestStrictMultipleWritesAtOnce(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+	b: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	store %p.a, 1 @10
+	store %p.b, 2 @11
+	flush %p.a    @12
+	flush %p.b    @13
+	fence         @14
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleMultipleWritesAtOnce, 14) {
+		t.Errorf("two writes durable at one barrier not flagged:\n%s", rep)
+	}
+}
+
+func TestStrictMissingBarrierFigure3(t *testing.T) {
+	// nvm_create_region: flush of the region, then a transaction begins
+	// with no persist barrier in between.
+	src := `
+module m
+
+type region struct {
+	header: int
+}
+
+func nvm_create_region() {
+	file "nvm_region.c"
+	%r = palloc region  @610
+	store %r.header, 1  @612
+	flush %r, 8         @614
+	txbegin             @617
+	txend               @618
+	ret                 @620
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleMissingBarrier, 614) {
+		t.Errorf("Figure 3 missing barrier not found:\n%s", rep)
+	}
+}
+
+func TestStrictMissingBarrierAtPathEnd(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	store %p.a, 1 @5
+	flush %p.a    @6
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleMissingBarrier, 6) {
+		t.Errorf("unfenced flush at path end not flagged:\n%s", rep)
+	}
+}
+
+func TestTxUnloggedWriteFigure2(t *testing.T) {
+	// btree_map_create_split_node: a tree-node item is modified inside a
+	// transaction without TX_ADD logging.
+	src := `
+module m
+
+type tree_map_node struct {
+	n: int
+	items: [8]int
+}
+
+func split(node: *tree_map_node) {
+	file "btree_map.c"
+	%c = load %node.n       @199
+	%i = sub %c, 1
+	%p = index %node.items, %i
+	store %p, 0             @201
+	ret
+}
+
+func btree_map_insert(node: *tree_map_node) {
+	file "btree_map.c"
+	txbegin              @300
+	call split(%node)    @301
+	txend                @302
+	fence                @302
+	ret
+}
+
+func driver() {
+	%n = palloc tree_map_node
+	call btree_map_insert(%n)
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleUnflushedWrite, 201) {
+		t.Errorf("Figure 2 unlogged transactional write not found:\n%s", rep)
+	}
+}
+
+func TestTxLoggedWriteIsClean(t *testing.T) {
+	src := `
+module m
+
+type node struct {
+	n: int
+}
+
+func f() {
+	%p = palloc node
+	txbegin        @1
+	txadd %p       @2
+	store %p.n, 5  @3
+	txend          @4
+	fence          @4
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if countRule(rep, report.RuleUnflushedWrite) != 0 {
+		t.Errorf("logged transactional write flagged:\n%s", rep)
+	}
+}
+
+// --- Table 4: epoch persistency ---------------------------------------------
+
+func TestEpochMultipleWritesDurableAtOnce(t *testing.T) {
+	// Two epochs whose covered writes are only made durable by one final
+	// barrier: the PMFS "multiple writes made durable at once" bug.
+	src := `
+module m
+
+type obj struct {
+	a: int
+	b: int
+}
+
+type other struct {
+	x: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	%q = palloc other
+	epochbegin    @10
+	store %p.a, 1 @11
+	flush %p.a    @12
+	epochend      @13
+	epochbegin    @15
+	store %q.x, 2 @16
+	flush %q.x    @17
+	epochend      @18
+	fence         @19
+	ret
+}
+`
+	rep := checkSrc(t, src, Epoch)
+	if !hasWarning(rep, report.RuleMultipleWritesAtOnce, 19) {
+		t.Errorf("one barrier persisting two epochs not flagged:\n%s", rep)
+	}
+	if countRule(rep, report.RuleMissingBarrierBetweenEpochs) != 0 {
+		t.Errorf("boundary violation double-reported alongside the batch warning:\n%s", rep)
+	}
+}
+
+func TestEpochMissingBarrierBetweenEpochs(t *testing.T) {
+	// A write-free epoch followed immediately by another epoch: the pure
+	// ordering violation with nothing pending for a fence to expose.
+	src := `
+module m
+
+type obj struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	epochbegin    @10
+	epochend      @13
+	epochbegin    @15
+	store %p.a, 2 @16
+	flush %p.a    @17
+	epochend      @18
+	fence         @19
+	ret
+}
+`
+	rep := checkSrc(t, src, Epoch)
+	if !hasWarning(rep, report.RuleMissingBarrierBetweenEpochs, 13) {
+		t.Errorf("missing inter-epoch barrier not flagged:\n%s", rep)
+	}
+}
+
+func TestEpochWithBarrierClean(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+}
+
+type other struct {
+	x: int
+}
+
+func f() {
+	%p = palloc obj
+	%q = palloc other
+	epochbegin    @10
+	store %p.a, 1 @11
+	flush %p.a    @12
+	epochend      @13
+	fence         @14
+	epochbegin    @15
+	store %q.x, 2 @16
+	flush %q.x    @17
+	epochend      @18
+	fence         @19
+	ret
+}
+`
+	rep := checkSrc(t, src, Epoch)
+	if len(rep.Warnings) != 0 {
+		t.Errorf("clean epoch program produced warnings:\n%s", rep)
+	}
+}
+
+func TestEpochUnflushedWriteAtEpochEnd(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+	b: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	epochbegin    @10
+	store %p.a, 1 @11
+	store %p.b, 2 @12
+	flush %p.a    @13
+	epochend      @14
+	fence         @15
+	ret
+}
+`
+	rep := checkSrc(t, src, Epoch)
+	if !hasWarning(rep, report.RuleUnflushedWrite, 12) {
+		t.Errorf("unflushed epoch write not flagged:\n%s", rep)
+	}
+	if hasWarning(rep, report.RuleUnflushedWrite, 11) {
+		t.Errorf("flushed epoch write falsely flagged:\n%s", rep)
+	}
+}
+
+func TestEpochWholeObjectFlushCoversFieldWrites(t *testing.T) {
+	// Epoch allows A1 ⊆ A2: flushing the whole object covers all field
+	// writes (unlike the perf-clean exact flush, this triggers the
+	// flushing-unmodified-fields perf warning only if fields remain
+	// unwritten).
+	src := `
+module m
+
+type obj struct {
+	a: int
+	b: int
+}
+
+func f() {
+	%p = palloc obj
+	epochbegin    @10
+	store %p.a, 1 @11
+	store %p.b, 2 @12
+	flush %p      @13
+	epochend      @14
+	fence         @15
+	ret
+}
+`
+	rep := checkSrc(t, src, Epoch)
+	if countRule(rep, report.RuleUnflushedWrite) != 0 {
+		t.Errorf("whole-object flush must cover field writes under epoch model:\n%s", rep)
+	}
+	if countRule(rep, report.RuleFlushUnmodified) != 0 {
+		t.Errorf("all fields were written; no unmodified-field warning expected:\n%s", rep)
+	}
+}
+
+func TestEpochNestedTxMissingBarrierFigure4(t *testing.T) {
+	// pmfs_block_symlink: inner transaction flushes a buffer but has no
+	// persist barrier before returning to the outer transaction.
+	src := `
+module m
+
+type blockbuf struct {
+	data: int
+}
+
+func pmfs_block_symlink(blockp: *blockbuf) {
+	file "symlink.c"
+	txbegin             @30
+	store %blockp.data, 7 @36
+	flush %blockp.data  @38
+	txend               @40
+	ret
+}
+
+func pmfs_symlink(blockp: *blockbuf) {
+	file "namei.c"
+	txbegin                        @120
+	call pmfs_block_symlink(%blockp) @130
+	fence                          @131
+	txend                          @132
+	ret
+}
+
+func driver() {
+	%b = palloc blockbuf
+	call pmfs_symlink(%b)
+	ret
+}
+`
+	rep := checkSrc(t, src, Epoch)
+	if !hasWarning(rep, report.RuleMissingBarrierNestedTx, 40) {
+		t.Errorf("Figure 4 nested-transaction missing barrier not found:\n%s", rep)
+	}
+}
+
+func TestEpochNestedTxWithBarrierClean(t *testing.T) {
+	src := `
+module m
+
+type blockbuf struct {
+	data: int
+}
+
+func f(b: *blockbuf) {
+	txbegin            @1
+	txbegin            @2
+	store %b.data, 7   @3
+	flush %b.data      @4
+	fence              @5
+	txend              @6
+	fence              @7
+	txend              @8
+	fence              @8
+	ret
+}
+
+func driver() {
+	%b = palloc blockbuf
+	call f(%b)
+	ret
+}
+`
+	rep := checkSrc(t, src, Epoch)
+	if countRule(rep, report.RuleMissingBarrierNestedTx) != 0 {
+		t.Errorf("fenced nested tx falsely flagged:\n%s", rep)
+	}
+}
+
+func TestSemanticMismatchHashmapFigure1(t *testing.T) {
+	// The hashmap bug: buckets and nbuckets of the same object are
+	// persisted in separate consecutive transactions, so a crash between
+	// them leaves the object inconsistent.
+	src := `
+module m
+
+type hashmap struct {
+	nbuckets: int
+	buckets: [16]int
+}
+
+func create_hashmap(h: *hashmap) {
+	file "hashmap.c"
+	txbegin              @2
+	txadd %h.buckets     @3
+	memset %h.buckets, 0, 128 @4
+	txend                @5
+	fence                @5
+	txbegin              @6
+	txadd %h.nbuckets    @6
+	store %h.nbuckets, 16 @7
+	txend                @8
+	fence                @8
+	ret
+}
+
+func driver() {
+	%h = palloc hashmap
+	call create_hashmap(%h)
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleSemanticMismatch, 0) {
+		t.Errorf("Figure 1 semantic mismatch not found:\n%s", rep)
+	}
+}
+
+func TestSemanticMismatchDistinctObjectsClean(t *testing.T) {
+	src := `
+module m
+
+type a struct {
+	x: int
+}
+
+type b struct {
+	y: int
+}
+
+func f() {
+	%p = palloc a
+	%q = palloc b
+	txbegin        @1
+	txadd %p       @2
+	store %p.x, 1  @3
+	txend          @4
+	fence          @4
+	txbegin        @5
+	txadd %q       @6
+	store %q.y, 2  @7
+	txend          @8
+	fence          @8
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if countRule(rep, report.RuleSemanticMismatch) != 0 {
+		t.Errorf("transactions on distinct objects falsely flagged:\n%s", rep)
+	}
+}
+
+// --- Table 5: performance rules ---------------------------------------------
+
+func TestFlushUnmodified(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	flush %p.a @10
+	fence      @11
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleFlushUnmodified, 10) {
+		t.Errorf("flush of never-written storage not flagged:\n%s", rep)
+	}
+}
+
+func TestFlushUnmodifiedFieldsFigure5(t *testing.T) {
+	// pi_task_construct: one field assigned, the whole object persisted.
+	src := `
+module m
+
+type pi_task struct {
+	proto: int
+	state: int
+	pos: int
+}
+
+func pi_task_construct(tsk: *pi_task) {
+	file "pminvaders2.c"
+	store %tsk.proto, 1 @4
+	flush %tsk          @6
+	fence               @6
+	ret
+}
+
+func driver() {
+	%t = palloc pi_task
+	call pi_task_construct(%t)
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleFlushUnmodified, 6) {
+		t.Errorf("Figure 5 whole-object flush with unmodified fields not found:\n%s", rep)
+	}
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Rule == report.RuleFlushUnmodified && strings.Contains(w.Message, "state") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("warning should name the unmodified fields:\n%s", rep)
+	}
+}
+
+func TestRedundantFlushFigure6(t *testing.T) {
+	// nvm_free_blk flushes the block; nvm_free_callback flushes it again.
+	src := `
+module m
+
+type blk struct {
+	hdr: int
+}
+
+func nvm_free_blk(b: *blk) {
+	file "nvm_heap.c"
+	store %b.hdr, 0 @1960
+	flush %b.hdr    @1962
+	fence           @1962
+	ret
+}
+
+func nvm_free_callback(b: *blk) {
+	file "nvm_heap.c"
+	call nvm_free_blk(%b) @1970
+	flush %b.hdr          @1972
+	fence                 @1973
+	ret
+}
+
+func driver() {
+	%b = palloc blk
+	call nvm_free_callback(%b)
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleRedundantFlush, 1972) {
+		t.Errorf("Figure 6 redundant flush not found:\n%s", rep)
+	}
+}
+
+func TestRedundantFlushCleanWhenRewritten(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+}
+
+func f() {
+	%p = palloc obj
+	store %p.a, 1 @1
+	flush %p.a    @2
+	fence         @3
+	store %p.a, 2 @4
+	flush %p.a    @5
+	fence         @6
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if countRule(rep, report.RuleRedundantFlush) != 0 {
+		t.Errorf("flush after re-modification falsely flagged:\n%s", rep)
+	}
+}
+
+func TestDurableTxWithoutWritesFigure7(t *testing.T) {
+	src := `
+module m
+
+type alien struct {
+	timer: int
+	y: int
+}
+
+func process_aliens(iter: *alien, cond) {
+	file "pminvaders.c"
+	txbegin @250
+	condbr %cond, updates, skip
+updates:
+	txadd %iter          @251
+	store %iter.timer, 9 @252
+	br out
+skip:
+	br out
+out:
+	txend @256
+	fence @256
+	ret
+}
+
+func driver(c) {
+	%a = palloc alien
+	call process_aliens(%a, %c)
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	// The path skipping the update commits a durable transaction with no
+	// persistent writes.
+	if !hasWarning(rep, report.RuleDurableTxNoWrite, 250) {
+		t.Errorf("Figure 7 durable transaction without writes not found:\n%s", rep)
+	}
+}
+
+func TestMultiplePersistSameObjectInTx(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+	b: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	txbegin       @1
+	store %p.a, 1 @2
+	flush %p.a    @3
+	fence         @4
+	store %p.b, 2 @5
+	flush %p.b    @6
+	fence         @7
+	txend         @8
+	fence         @8
+	ret
+}
+`
+	rep := checkSrc(t, src, Strict)
+	if !hasWarning(rep, report.RuleMultiplePersist, 6) {
+		t.Errorf("object persisted twice in one tx not flagged:\n%s", rep)
+	}
+}
+
+// --- strand model -----------------------------------------------------------
+
+func TestStrandStaticWAW(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc obj
+	strandbegin 1  @10
+	store %p.a, 1  @11
+	flush %p.a     @12
+	strandend 1    @13
+	strandbegin 2  @14
+	store %p.a, 2  @15
+	flush %p.a     @16
+	strandend 2    @17
+	fence          @18
+	ret
+}
+`
+	rep := checkSrc(t, src, Strand)
+	if !hasWarning(rep, report.RuleStrandDependence, 15) {
+		t.Errorf("WAW between strands not flagged:\n%s", rep)
+	}
+}
+
+func TestStrandIndependentClean(t *testing.T) {
+	src := `
+module m
+
+type obj struct {
+	a: int
+	b: int
+}
+
+func f() {
+	%p = palloc obj
+	%q = palloc obj
+	strandbegin 1  @10
+	store %p.a, 1  @11
+	flush %p.a     @12
+	strandend 1    @13
+	strandbegin 2  @14
+	store %q.a, 2  @15
+	flush %q.a     @16
+	strandend 2    @17
+	fence          @18
+	ret
+}
+`
+	rep := checkSrc(t, src, Strand)
+	if countRule(rep, report.RuleStrandDependence) != 0 {
+		t.Errorf("independent strands falsely flagged:\n%s", rep)
+	}
+}
+
+// --- model flag parsing -------------------------------------------------------
+
+func TestParseModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Model
+		ok   bool
+	}{
+		{"strict", Strict, true},
+		{"epoch", Epoch, true},
+		{"strand", Strand, true},
+		{"relaxed", Strict, false},
+	} {
+		got, err := ParseModel(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseModel(%q) err = %v", tc.in, err)
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseModel(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package checker
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"deepmc/internal/report"
+)
+
+// FilterDB is the user-specified suppression database the paper proposes
+// in §5.4 to reduce false positives: once a reported warning has been
+// manually validated as spurious, it is recorded here and filtered from
+// future reports.  The database accumulates "learned experiences of
+// previously validated false positives".
+//
+// Entries suppress by (rule, file, line); rule or line may be wildcards
+// so a whole file or a whole rule in one file can be waived.  The
+// database serializes to a plain line format usable as a checked-in
+// suppression file:
+//
+//	# rule            file          line  reason
+//	unflushed-write   btree_map.c   412   error path is unreachable
+//	*                 generated.c   *     generated code, reviewed
+type FilterDB struct {
+	entries []FilterEntry
+}
+
+// FilterEntry is one suppression.
+type FilterEntry struct {
+	Rule   report.Rule // "*" suppresses any rule
+	File   string
+	Line   int // 0 suppresses any line
+	Reason string
+}
+
+// NewFilterDB creates an empty database.
+func NewFilterDB() *FilterDB { return &FilterDB{} }
+
+// Add records a suppression.
+func (db *FilterDB) Add(e FilterEntry) {
+	db.entries = append(db.entries, e)
+}
+
+// Learn records a validated false positive directly from its warning.
+func (db *FilterDB) Learn(w report.Warning, reason string) {
+	db.Add(FilterEntry{Rule: w.Rule, File: w.File, Line: w.Line, Reason: reason})
+}
+
+// Len returns the number of suppressions.
+func (db *FilterDB) Len() int { return len(db.entries) }
+
+// Suppresses reports whether a warning matches any entry.
+func (db *FilterDB) Suppresses(w report.Warning) bool {
+	for _, e := range db.entries {
+		if e.File != w.File {
+			continue
+		}
+		if e.Rule != "*" && e.Rule != w.Rule {
+			continue
+		}
+		if e.Line != 0 && e.Line != w.Line {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// Apply returns a new report without the suppressed warnings, plus the
+// number filtered out.
+func (db *FilterDB) Apply(rep *report.Report) (*report.Report, int) {
+	out := report.New()
+	filtered := 0
+	for _, w := range rep.Warnings {
+		if db.Suppresses(w) {
+			filtered++
+			continue
+		}
+		out.Add(w)
+	}
+	out.Sort()
+	return out, filtered
+}
+
+// Save writes the database in its line format, sorted for stable diffs.
+func (db *FilterDB) Save(w io.Writer) error {
+	entries := append([]FilterEntry(nil), db.entries...)
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	if _, err := fmt.Fprintln(w, "# DeepMC false-positive suppressions: rule file line reason"); err != nil {
+		return err
+	}
+	for _, e := range entries {
+		line := "*"
+		if e.Line != 0 {
+			line = strconv.Itoa(e.Line)
+		}
+		rule := string(e.Rule)
+		if rule == "" {
+			rule = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", rule, e.File, line, e.Reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadFilterDB parses the line format written by Save.
+func LoadFilterDB(r io.Reader) (*FilterDB, error) {
+	db := NewFilterDB()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("filterdb: line %d: need rule, file, line", lineNo)
+		}
+		e := FilterEntry{Rule: report.Rule(fields[0]), File: fields[1]}
+		if fields[2] != "*" {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("filterdb: line %d: bad line number %q", lineNo, fields[2])
+			}
+			e.Line = n
+		}
+		if len(fields) > 3 {
+			e.Reason = strings.Join(fields[3:], " ")
+		}
+		db.Add(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

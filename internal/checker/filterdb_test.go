@@ -1,0 +1,136 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+func mustParse(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFilterDBSuppression(t *testing.T) {
+	db := NewFilterDB()
+	db.Add(FilterEntry{Rule: report.RuleUnflushedWrite, File: "a.c", Line: 10})
+	db.Add(FilterEntry{Rule: "*", File: "gen.c"})
+	db.Add(FilterEntry{Rule: report.RuleRedundantFlush, File: "b.c"})
+
+	cases := []struct {
+		w    report.Warning
+		want bool
+	}{
+		{report.Warning{Rule: report.RuleUnflushedWrite, File: "a.c", Line: 10}, true},
+		{report.Warning{Rule: report.RuleUnflushedWrite, File: "a.c", Line: 11}, false},
+		{report.Warning{Rule: report.RuleRedundantFlush, File: "a.c", Line: 10}, false},
+		{report.Warning{Rule: report.RuleSemanticMismatch, File: "gen.c", Line: 99}, true},
+		{report.Warning{Rule: report.RuleRedundantFlush, File: "b.c", Line: 1}, true},
+		{report.Warning{Rule: report.RuleRedundantFlush, File: "b.c", Line: 500}, true},
+		{report.Warning{Rule: report.RuleFlushUnmodified, File: "b.c", Line: 1}, false},
+	}
+	for i, tc := range cases {
+		if got := db.Suppresses(tc.w); got != tc.want {
+			t.Errorf("case %d: Suppresses(%+v) = %v, want %v", i, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestFilterDBApply(t *testing.T) {
+	rep := report.New()
+	rep.Add(report.Warning{Rule: report.RuleUnflushedWrite, File: "a.c", Line: 1})
+	rep.Add(report.Warning{Rule: report.RuleUnflushedWrite, File: "a.c", Line: 2})
+	db := NewFilterDB()
+	db.Learn(rep.Warnings[0], "reviewed: unreachable")
+	out, filtered := db.Apply(rep)
+	if filtered != 1 || len(out.Warnings) != 1 {
+		t.Errorf("filtered=%d remaining=%d", filtered, len(out.Warnings))
+	}
+	if out.Warnings[0].Line != 2 {
+		t.Errorf("wrong warning survived: %+v", out.Warnings[0])
+	}
+}
+
+func TestFilterDBRoundTrip(t *testing.T) {
+	db := NewFilterDB()
+	db.Add(FilterEntry{Rule: report.RuleUnflushedWrite, File: "btree_map.c", Line: 412, Reason: "error path unreachable"})
+	db.Add(FilterEntry{Rule: "*", File: "gen.c", Reason: "generated code, reviewed"})
+	var b strings.Builder
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFilterDB(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, b.String())
+	}
+	if db2.Len() != 2 {
+		t.Fatalf("entries = %d", db2.Len())
+	}
+	w := report.Warning{Rule: report.RuleUnflushedWrite, File: "btree_map.c", Line: 412}
+	if !db2.Suppresses(w) {
+		t.Error("round-tripped database lost a suppression")
+	}
+	if !db2.Suppresses(report.Warning{Rule: report.RuleRedundantFlush, File: "gen.c", Line: 3}) {
+		t.Error("wildcard entry lost")
+	}
+}
+
+func TestFilterDBLoadErrors(t *testing.T) {
+	if _, err := LoadFilterDB(strings.NewReader("too few")); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, err := LoadFilterDB(strings.NewReader("rule f.c notanumber")); err == nil {
+		t.Error("bad line number accepted")
+	}
+	db, err := LoadFilterDB(strings.NewReader("# only comments\n\n"))
+	if err != nil || db.Len() != 0 {
+		t.Errorf("comment-only input: %v, %d entries", err, db.Len())
+	}
+}
+
+// TestFilterDBOnCorpusFPs models the §5.4 workflow: after validating the
+// corpus's seven false positives, learning them into the database makes
+// subsequent runs report only real bugs.
+func TestFilterDBOnCorpusFPs(t *testing.T) {
+	// Import cycle prevents using package corpus here; reproduce the
+	// workflow with a local program instead.
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func f(c) {
+	%p = palloc o
+	store %p.a, 1 @10
+	condbr %c, fl, skip
+fl:
+	flush %p.a @11
+	fence      @12
+	br out
+skip:
+	br out
+out:
+	ret
+}
+`
+	rep := Check(mustParse(t, src), Strict)
+	if len(rep.Warnings) == 0 {
+		t.Fatal("expected a warning to learn")
+	}
+	db := NewFilterDB()
+	for _, w := range rep.Warnings {
+		db.Learn(w, "validated: unreachable path")
+	}
+	out, filtered := db.Apply(rep)
+	if filtered != len(rep.Warnings) || len(out.Warnings) != 0 {
+		t.Errorf("filtered=%d remaining=%d", filtered, len(out.Warnings))
+	}
+}

@@ -1,0 +1,172 @@
+// Package core is DeepMC's top-level facade: the paper's "set a flag in
+// the compiler configuration" interface (§4.5).  A user picks a
+// persistency model (-strict, -epoch or -strand), hands over a PIR
+// module, and receives the combined static + dynamic report.
+package core
+
+import (
+	"fmt"
+
+	"deepmc/internal/checker"
+	"deepmc/internal/dsa"
+	"deepmc/internal/dynamic"
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+	"deepmc/internal/trace"
+)
+
+// Config mirrors DeepMC's compile-time configuration.
+type Config struct {
+	// Model is the declared persistency model: "strict", "epoch" or
+	// "strand" (the paper's single required flag).
+	Model string
+	// AllFunctions checks every function standalone instead of root
+	// traces only.
+	AllFunctions bool
+	// FieldInsensitive disables DSA field sensitivity (ablation).
+	FieldInsensitive bool
+	// NoPathPriority disables persistent-path prioritization in trace
+	// collection (ablation).
+	NoPathPriority bool
+	// LoopIterations overrides the trace collector's loop bound
+	// (default 10, as in the paper).
+	LoopIterations int
+	// PersistentAllocFns names external allocation functions returning
+	// persistent objects.
+	PersistentAllocFns []string
+}
+
+// checkerOptions lowers the configuration.
+func (c Config) checkerOptions() (checker.Options, error) {
+	model, err := checker.ParseModel(orDefault(c.Model, "strict"))
+	if err != nil {
+		return checker.Options{}, err
+	}
+	opts := checker.DefaultOptions(model)
+	opts.AllFunctions = c.AllFunctions
+	opts.DSA.FieldSensitive = !c.FieldInsensitive
+	opts.DSA.PersistentAllocFns = c.PersistentAllocFns
+	opts.Trace.PrioritizePersistent = !c.NoPathPriority
+	if c.LoopIterations > 0 {
+		opts.Trace.LoopIterations = c.LoopIterations
+	}
+	return opts, nil
+}
+
+func orDefault(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// Analyze runs DeepMC's offline (static) analysis over a module.
+func Analyze(m *ir.Module, cfg Config) (*report.Report, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	opts, err := cfg.checkerOptions()
+	if err != nil {
+		return nil, err
+	}
+	return checker.New(m, opts).CheckModule(), nil
+}
+
+// AnalyzeSource parses PIR text and analyzes it.
+func AnalyzeSource(src string, cfg Config) (*report.Report, error) {
+	m, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(m, cfg)
+}
+
+// RunDynamic executes an entry function under the instrumented runtime
+// (online analysis) and returns the dynamic report.
+func RunDynamic(m *ir.Module, entry string, args ...int64) (*report.Report, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	rt := dynamic.NewRuntime(true)
+	ip := interp.New(m, rt)
+	if _, err := ip.Run(entry, args...); err != nil {
+		return nil, fmt.Errorf("core: dynamic run of %s: %w", entry, err)
+	}
+	return rt.Checker.Report(), nil
+}
+
+// Check runs both analyses: static over the whole module, dynamic over
+// the given entry points, merged into one report — the full Figure 8
+// pipeline.
+func Check(m *ir.Module, cfg Config, entries []string, args ...int64) (*report.Report, error) {
+	rep, err := Analyze(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		dyn, err := RunDynamic(m, e, args...)
+		if err != nil {
+			return nil, err
+		}
+		rep.Merge(dyn)
+	}
+	rep.Sort()
+	return rep, nil
+}
+
+// PipelineStats quantifies one analysis run for the Table 9 experiment.
+type PipelineStats struct {
+	Funcs   int
+	Instrs  int
+	Traces  int
+	Nodes   int // DSG nodes across all functions
+	Reports int
+}
+
+// AnalyzeWithStats is Analyze plus pipeline accounting.
+func AnalyzeWithStats(m *ir.Module, cfg Config) (*report.Report, PipelineStats, error) {
+	var st PipelineStats
+	if err := ir.Verify(m); err != nil {
+		return nil, st, err
+	}
+	opts, err := cfg.checkerOptions()
+	if err != nil {
+		return nil, st, err
+	}
+	ck := checker.New(m, opts)
+	rep := ck.CheckModule()
+	st.Funcs = len(m.Funcs)
+	st.Instrs = m.NumInstrs()
+	for _, fn := range m.FuncNames() {
+		st.Nodes += len(ck.Analysis.Graph(fn).Nodes())
+		st.Traces += len(ck.Collector.FunctionTraces(fn))
+	}
+	st.Reports = len(rep.Warnings)
+	return rep, st, nil
+}
+
+// InstrumentationPlan exposes the dynamic instrumenter's static plan.
+func InstrumentationPlan(m *ir.Module, cfg Config, onlyAnnotated bool) (*dynamic.Plan, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	a := dsa.Analyze(m, dsa.Options{
+		FieldSensitive:     !cfg.FieldInsensitive,
+		PersistentAllocFns: cfg.PersistentAllocFns,
+	})
+	return dynamic.Instrument(m, a, onlyAnnotated), nil
+}
+
+// Traces exposes the collected traces of one function (CLI inspection).
+func Traces(m *ir.Module, cfg Config, fn string) ([]*trace.Trace, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	opts, err := cfg.checkerOptions()
+	if err != nil {
+		return nil, err
+	}
+	ck := checker.New(m, opts)
+	return ck.Collector.FunctionTraces(fn), nil
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"deepmc/internal/corpus"
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+func TestAnalyzeSourceWithModelFlag(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func f() {
+	%p = palloc o
+	store %p.a, 1 @5
+	fence         @6
+	ret
+}
+`
+	rep, err := AnalyzeSource(src, Config{Model: "strict"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Error("unflushed write not reported")
+	}
+	if _, err := AnalyzeSource(src, Config{Model: "bogus"}); err == nil {
+		t.Error("bogus model accepted")
+	}
+	if _, err := AnalyzeSource("not pir", Config{}); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestDefaultModelIsStrict(t *testing.T) {
+	rep, err := AnalyzeSource(`
+module m
+
+type o struct {
+	a: int
+}
+
+func f() {
+	%p = palloc o
+	store %p.a, 1 @3
+	flush %p.a    @4
+	ret           @5
+}
+`, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict flags the missing trailing barrier.
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Rule == report.RuleMissingBarrier {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("default model did not apply strict rules:\n%s", rep)
+	}
+}
+
+func TestCheckCombinesStaticAndDynamic(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func main() {
+	%p = palloc o
+	strandbegin 1  @10
+	store %p.a, 1  @11
+	flush %p.a     @12
+	fence          @12
+	strandend 1    @13
+	strandbegin 2  @14
+	store %p.a, 2  @15
+	flush %p.a     @16
+	fence          @16
+	strandend 2    @17
+	ret
+}
+`
+	m := ir.MustParse(src)
+	rep, err := Check(m, Config{Model: "strand"}, []string{"main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static and dynamic find the same defect; the merged report
+	// deduplicates it to one warning.
+	found := 0
+	for _, w := range rep.Warnings {
+		if w.Rule == report.RuleStrandDependence {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Errorf("strand WAW warnings = %d, want 1 (deduplicated):\n%s", found, rep)
+	}
+	// Running the dynamic analysis alone shows its own report.
+	dyn, err := RunDynamic(m, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dyn.Warnings) != 1 || !dyn.Warnings[0].Dynamic {
+		t.Errorf("dynamic-only report wrong:\n%s", dyn)
+	}
+}
+
+func TestAnalyzeWithStats(t *testing.T) {
+	p := corpus.PMDK()
+	rep, st, err := AnalyzeWithStats(p.Module(), Config{Model: "strict"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Funcs == 0 || st.Instrs == 0 || st.Nodes == 0 || st.Traces == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	if st.Reports != len(rep.Warnings) {
+		t.Errorf("stats.Reports=%d, warnings=%d", st.Reports, len(rep.Warnings))
+	}
+}
+
+func TestGenerateAppIsWellFormedAndMostlyClean(t *testing.T) {
+	for _, spec := range AppSpecs() {
+		spec.Funcs = 40 // keep the test quick
+		m := GenerateApp(spec)
+		if err := ir.Verify(m); err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		rep, err := Analyze(m, Config{Model: "strict"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The generator emits persistency-correct code; a handful of
+		// incidental warnings from merged traces is acceptable, a flood
+		// is a generator bug.
+		if len(rep.Warnings) > spec.Funcs/4 {
+			t.Errorf("%s: generated app produced %d warnings", spec.Name, len(rep.Warnings))
+		}
+	}
+}
+
+func TestGenerateAppDeterministic(t *testing.T) {
+	a := ir.Print(GenerateApp(AppSpec{Name: "x", Funcs: 20, CallDepth: 2, Seed: 9}))
+	b := ir.Print(GenerateApp(AppSpec{Name: "x", Funcs: 20, CallDepth: 2, Seed: 9}))
+	if a != b {
+		t.Error("generation not deterministic")
+	}
+	if !strings.Contains(a, "txbegin") || !strings.Contains(a, "palloc") {
+		t.Error("generated app misses expected constructs")
+	}
+}
+
+func TestInstrumentationPlanOnCorpus(t *testing.T) {
+	p := corpus.Mnemosyne()
+	plan, err := InstrumentationPlan(p.Module(), Config{Model: "epoch"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PersistentMemOps == 0 {
+		t.Error("plan found no persistent ops in the Mnemosyne corpus")
+	}
+	if plan.AnnotatedMemOps > plan.PersistentMemOps {
+		t.Error("annotated ops exceed persistent ops")
+	}
+}
+
+func TestTracesAccessor(t *testing.T) {
+	m := corpus.PMDK().Module()
+	ts, err := Traces(m, Config{Model: "strict"}, "demo_btree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) == 0 {
+		t.Error("no traces for demo_btree")
+	}
+}

@@ -1,0 +1,128 @@
+package corpus
+
+import (
+	"deepmc/internal/checker"
+	"deepmc/internal/report"
+)
+
+// mnemosyneSource reimplements the buggy Mnemosyne library code of
+// Table 8 in PIR: phlog_base.c, chhash.c and CHash.c.  Mnemosyne
+// declares the epoch persistency model.
+const mnemosyneSource = `
+module mnemosyne
+
+type phlog struct {
+	head: int
+	tail: int
+}
+
+type chhash_table struct {
+	count: int
+	version: int
+	buckets: int
+}
+
+; --- phlog_base.c ------------------------------------------------------------
+
+; Table 8 (line 132): the tail update inside the append epoch is never
+; written back.
+func phlog_append(log: *phlog) {
+	file "phlog_base.c"
+	epochbegin                   @128
+	store %log.head, 1           @130
+	flush %log.head              @131
+	store %log.tail, 2           @132
+	epochend                     @134
+	fence                        @135
+	ret
+}
+
+func demo_phlog() {
+	file "phlog_base.c"
+	%l = palloc phlog
+	call phlog_append(%l)
+	ret
+}
+
+; --- chhash.c ----------------------------------------------------------------
+
+; Table 8 (lines 185, 270): the table object is persisted once per field
+; update within a single transaction.
+func chhash_insert(t: *chhash_table) {
+	file "chhash.c"
+	txbegin                      @180
+	store %t.count, 1            @182
+	flush %t.count               @183
+	fence                        @183
+	store %t.version, 2          @184
+	flush %t.version             @185
+	fence                        @185
+	txend                        @186
+	fence                        @186
+	ret
+}
+
+func chhash_delete(t: *chhash_table) {
+	file "chhash.c"
+	txbegin                      @265
+	store %t.count, 0            @267
+	flush %t.count               @268
+	fence                        @268
+	store %t.buckets, 0          @269
+	flush %t.buckets             @270
+	fence                        @270
+	txend                        @271
+	fence                        @271
+	ret
+}
+
+func demo_chhash() {
+	file "chhash.c"
+	%t = palloc chhash_table
+	call chhash_insert(%t)
+	%t2 = palloc chhash_table
+	call chhash_delete(%t2)
+	ret
+}
+
+; --- CHash.c -----------------------------------------------------------------
+
+; Table 8 (line 150): the bucket array pointer is flushed twice during a
+; rehash.
+func chash_rehash(t: *chhash_table) {
+	file "CHash.c"
+	store %t.buckets, 1          @147
+	flush %t.buckets             @148
+	fence                        @148
+	flush %t.buckets             @150
+	fence                        @150
+	ret
+}
+
+func demo_chash() {
+	file "CHash.c"
+	%t = palloc chhash_table
+	call chash_rehash(%t)
+	ret
+}
+`
+
+// Mnemosyne returns the Mnemosyne corpus program: 4 expected warnings,
+// all valid new bugs — the Table 1 Mnemosyne column.
+func Mnemosyne() *Program {
+	return &Program{
+		Name:   "Mnemosyne",
+		Model:  checker.Epoch,
+		Source: mnemosyneSource,
+		Truth: []GroundTruth{
+			{File: "phlog_base.c", Line: 132, Rule: report.RuleUnflushedWrite, Valid: true, Lib: true,
+				Description: "Unflushed write", Years: 10.0},
+			{File: "chhash.c", Line: 185, Rule: report.RuleMultiplePersist, Valid: true, Lib: true,
+				Description: "Multiple writes to the same object in a transaction", Years: 10.0},
+			{File: "chhash.c", Line: 270, Rule: report.RuleMultiplePersist, Valid: true, Lib: true,
+				Description: "Multiple writes to the same object in a transaction", Years: 10.0},
+			{File: "CHash.c", Line: 150, Rule: report.RuleRedundantFlush, Valid: true, Lib: true,
+				Description: "Multiple flushes to a persistent object", Years: 10.0},
+		},
+	}
+}

@@ -1,0 +1,254 @@
+package corpus
+
+import (
+	"deepmc/internal/checker"
+	"deepmc/internal/report"
+)
+
+// nvmDirectSource reimplements the buggy NVM-Direct library code of
+// Tables 3 and 8 in PIR: nvm_region.c, nvm_locks.c and nvm_heap.c.
+// NVM-Direct declares the strict persistency model.
+const nvmDirectSource = `
+module nvmdirect
+
+type nvm_region struct {
+	header: int
+	root: int
+	meta: int
+}
+
+type nvm_amutex struct {
+	owners: int
+	level: int
+}
+
+type nvm_lkrec struct {
+	state: int
+	new_level: int
+	owner: int
+}
+
+type nvm_blk struct {
+	hdr: int
+	size: int
+}
+
+type nvm_heap_t struct {
+	meta: int
+	free_head: int
+}
+
+; --- nvm_region.c ----------------------------------------------------------
+
+; Figure 3 (line 614): the region header is flushed but no persist barrier
+; precedes the transaction that follows.
+func nvm_create_region(region: *nvm_region) {
+	file "nvm_region.c"
+	store %region.header, 1      @612
+	flush %region.header         @614
+	txbegin                      @617
+	txadd %region.root           @617
+	store %region.root, 5        @617
+	txend                        @618
+	fence                        @618
+	ret                          @620
+}
+
+; Table 3 (line 933): same pattern when tearing the region down.
+func nvm_destroy_region(region: *nvm_region) {
+	file "nvm_region.c"
+	store %region.header, 0      @931
+	flush %region.header         @933
+	txbegin                      @936
+	txadd %region.meta           @936
+	store %region.meta, 0        @937
+	txend                        @938
+	fence                        @938
+	ret
+}
+
+; False-positive decoy: the metadata area is written through the mapping
+; returned by the platform layer, which aliases region.meta at runtime;
+; the DSA keeps the two apart (§5.4: unresolved memory dependences).
+func nvm_map_region(region: *nvm_region) {
+	file "nvm_region.c"
+	%buf = call os_map_file(%region) @705
+	store %buf.hdr, 1            @707
+	flush %region.meta           @710
+	fence                        @710
+	ret
+}
+
+func demo_region() {
+	file "nvm_region.c"
+	%r = palloc nvm_region
+	call nvm_create_region(%r)
+	%r2 = palloc nvm_region
+	call nvm_destroy_region(%r2)
+	%r3 = palloc nvm_region
+	call nvm_map_region(%r3)
+	ret
+}
+
+; --- nvm_locks.c -----------------------------------------------------------
+
+func nvm_add_lock_op(mutex: *nvm_amutex) *nvm_lkrec {
+	file "nvm_locks.c"
+	%lk = palloc nvm_lkrec       @870
+	ret %lk                      @872
+}
+
+; Figure 9 / Table 8 (line 932): new_level is assigned but the final
+; persist only covers state — the write is never flushed.
+func nvm_lock(omutex: *nvm_amutex) {
+	file "nvm_locks.c"
+	%mutex = or %omutex, 0       @920
+	%lk = call nvm_add_lock_op(%mutex) @922
+	store %lk.state, 1           @924
+	flush %lk.state              @925
+	fence                        @925
+	%o = load %mutex.owners      @927
+	%o2 = sub %o, 1              @927
+	store %mutex.owners, %o2     @927
+	flush %mutex.owners          @928
+	fence                        @928
+	%lvl = load %mutex.level     @931
+	store %lk.new_level, %lvl    @932
+	store %lk.state, 2           @933
+	flush %lk.state              @934
+	fence                        @934
+	ret
+}
+
+; Table 8 (line 905): the deadlock-check transaction performs no
+; persistent writes.
+func nvm_wait_lock(mutex: *nvm_amutex) {
+	file "nvm_locks.c"
+	txbegin                      @905
+	%o = load %mutex.owners      @906
+	txend                        @908
+	fence                        @908
+	ret
+}
+
+; Table 8 (line 1411): the whole lock record is written back although
+; only the state field changed.
+func nvm_unlock(lk: *nvm_lkrec) {
+	file "nvm_locks.c"
+	store %lk.state, 0           @1409
+	flush %lk                    @1411
+	fence                        @1411
+	ret
+}
+
+func demo_locks() {
+	file "nvm_locks.c"
+	%m = palloc nvm_amutex
+	call nvm_lock(%m)
+	%m2 = palloc nvm_amutex
+	call nvm_wait_lock(%m2)
+	%lk = palloc nvm_lkrec
+	call nvm_unlock(%lk)
+	ret
+}
+
+; --- nvm_heap.c ------------------------------------------------------------
+
+; Figure 6 / Table 3 (line 1965): nvm_free_blk persists the header; the
+; callback flushes the same header again.
+func nvm_free_blk(b: *nvm_blk) {
+	file "nvm_heap.c"
+	store %b.hdr, 0              @1960
+	flush %b.hdr                 @1962
+	fence                        @1962
+	ret
+}
+
+func nvm_free_callback(b: *nvm_blk) {
+	file "nvm_heap.c"
+	call nvm_free_blk(%b)        @1963
+	flush %b.hdr                 @1965
+	fence                        @1966
+	ret
+}
+
+; Table 8 (line 1675): heap metadata is flushed although nothing wrote it
+; on this path.
+func nvm_heap_check(h: *nvm_heap_t) {
+	file "nvm_heap.c"
+	flush %h.meta                @1675
+	fence                        @1675
+	ret
+}
+
+; False-positive decoy: the GC transaction's writes happen inside a
+; recursive helper the interprocedural merge cannot inline (bounded
+; recursion); statically the transaction looks empty.
+func heap_gc_step(h: *nvm_heap_t, depth) {
+	file "nvm_heap.c"
+	%c = gt %depth, 0            @1800
+	condbr %c, rec, base         @1800
+rec:
+	store %h.meta, 1             @1802
+	flush %h.meta                @1803
+	fence                        @1803
+	%d = sub %depth, 1           @1804
+	call heap_gc_step(%h, %d)    @1804
+	ret
+base:
+	ret
+}
+
+func nvm_heap_gc(h: *nvm_heap_t, depth) {
+	file "nvm_heap.c"
+	txbegin                      @1790
+	call heap_gc_step(%h, %depth) @1792
+	txend                        @1793
+	fence                        @1793
+	ret
+}
+
+func demo_heap(depth) {
+	file "nvm_heap.c"
+	%b = palloc nvm_blk
+	call nvm_free_callback(%b)
+	%h = palloc nvm_heap_t
+	call nvm_heap_check(%h)
+	%h2 = palloc nvm_heap_t
+	call nvm_heap_gc(%h2, %depth)
+	ret
+}
+`
+
+// NVMDirect returns the NVM-Direct corpus program: 9 expected warnings,
+// 7 valid (3 studied + 4 new), 2 false positives — the Table 1
+// NVM-Direct column.
+func NVMDirect() *Program {
+	return &Program{
+		Name:   "NVM-Direct",
+		Model:  checker.Strict,
+		Source: nvmDirectSource,
+		Truth: []GroundTruth{
+			// Model violations.
+			{File: "nvm_locks.c", Line: 932, Rule: report.RuleUnflushedWrite, Valid: true, Lib: true,
+				Description: "Missing flush (new_level never written back)", Years: 5.3},
+			{File: "nvm_region.c", Line: 614, Rule: report.RuleMissingBarrier, Valid: true, Studied: true, Lib: true,
+				Description: "Missing persist barrier between epoch transactions", Years: 5.3},
+			{File: "nvm_region.c", Line: 933, Rule: report.RuleMissingBarrier, Valid: true, Studied: true, Lib: true,
+				Description: "Missing persist barrier between epoch transactions", Years: 5.3},
+			// Performance bugs.
+			{File: "nvm_heap.c", Line: 1965, Rule: report.RuleRedundantFlush, Valid: true, Studied: true, Lib: true,
+				Description: "Redundant flushes of persistent object", Years: 5.3},
+			{File: "nvm_locks.c", Line: 1411, Rule: report.RuleFlushUnmodified, Valid: true, Lib: true,
+				Description: "Flushing unmodified fields of an object", Years: 5.3},
+			{File: "nvm_heap.c", Line: 1675, Rule: report.RuleFlushUnmodified, Valid: true, Lib: true,
+				Description: "Flushing unmodified fields of an object", Years: 5.3},
+			{File: "nvm_region.c", Line: 710, Rule: report.RuleFlushUnmodified, Valid: false,
+				Description: "FP: platform mapping aliases the flushed metadata"},
+			{File: "nvm_locks.c", Line: 905, Rule: report.RuleDurableTxNoWrite, Valid: true, Lib: true,
+				Description: "Durable transaction without persistent writes", Years: 5.3},
+			{File: "nvm_heap.c", Line: 1790, Rule: report.RuleDurableTxNoWrite, Valid: false,
+				Description: "FP: transaction writes through bounded-recursion helper"},
+		},
+	}
+}

@@ -1,0 +1,591 @@
+package corpus
+
+import (
+	"deepmc/internal/checker"
+	"deepmc/internal/report"
+)
+
+// pmdkSource reimplements the buggy PMDK example programs and library
+// code of Tables 3 and 8 in PIR: btree_map.c, rbtree_map.c,
+// pminvaders.c, obj_pmemlog.c, hash_map.c, hashmap_atomic.c and
+// obj_pmemlog_simple.c.  PMDK declares the strict persistency model.
+const pmdkSource = `
+module pmdk
+
+type tree_map_node struct {
+	n: int
+	items: [8]int
+	slots: [9]int
+}
+
+type rbnode struct {
+	color: int
+	key: int
+	value: int
+	left: int
+	right: int
+}
+
+type game_state struct {
+	timer: int
+	y: int
+	x: int
+	score: int
+}
+
+type pmemlog struct {
+	hdr: int
+	tail: int
+	length: int
+}
+
+type hashmap struct {
+	nbuckets: int
+	mask: int
+	count: int
+	buckets: [16]int
+}
+
+type scratch struct {
+	tmp: int
+}
+
+; --- btree_map.c -----------------------------------------------------------
+
+; Figure 2: the split node's item is modified inside a transaction without
+; TX_ADD logging it.
+func btree_map_create_split_node(node: *tree_map_node, parent: *tree_map_node) {
+	file "btree_map.c"
+	%c = load %node.n            @199
+	%i = sub %c, 1               @200
+	%p = index %node.items, %i   @201
+	store %p, 0                  @201
+	ret                          @203
+}
+
+func btree_map_insert(node: *tree_map_node, parent: *tree_map_node) {
+	file "btree_map.c"
+	txbegin                      @190
+	txadd %parent                @193
+	store %parent.n, 2           @194
+	call btree_map_create_split_node(%node, %parent) @196
+	txend                        @205
+	fence                        @205
+	ret
+}
+
+; Table 8: clearing a node persists the entire object although only the
+; element count changed.
+func btree_map_clear_node(node: *tree_map_node) {
+	file "btree_map.c"
+	store %node.n, 0             @362
+	flush %node                  @365
+	fence                        @366
+	ret
+}
+
+; False-positive decoy: the unflushed path is an error path the runtime
+; never takes with a well-formed tree, but the static checker cannot know
+; that (§5.4: lack of dynamic contextual information).
+func btree_map_rotate(node: *tree_map_node, ok) {
+	file "btree_map.c"
+	store %node.n, 1             @412
+	condbr %ok, fl, skipf        @413
+fl:
+	flush %node.n                @413
+	fence                        @413
+	br out
+skipf:
+	br out
+out:
+	ret
+}
+
+; Table 8: each field update is persisted separately inside one
+; transaction, persisting the node object multiple times.
+func btree_map_insert_item(node: *tree_map_node) {
+	file "btree_map.c"
+	txbegin                      @460
+	store %node.n, 1             @462
+	flush %node.n                @463
+	fence                        @463
+	%p = index %node.items, 0    @464
+	store %p, 5                  @464
+	flush %p                     @465
+	fence                        @465
+	txend                        @466
+	fence                        @466
+	ret
+}
+
+func demo_btree(ok) {
+	file "btree_map.c"
+	%n = palloc tree_map_node
+	%q = palloc tree_map_node
+	call btree_map_insert(%n, %q)
+	%m = palloc tree_map_node
+	call btree_map_clear_node(%m)
+	%r = palloc tree_map_node
+	call btree_map_rotate(%r, %ok)
+	%s = palloc tree_map_node
+	call btree_map_insert_item(%s)
+	ret
+}
+
+; --- rbtree_map.c ----------------------------------------------------------
+
+; Table 3: recoloring flushes the same field again with no modification in
+; between (lines 197 and 231 in two operations).
+func rbtree_map_recolor(n: *rbnode) {
+	file "rbtree_map.c"
+	store %n.color, 1            @195
+	flush %n.color               @196
+	fence                        @196
+	flush %n.color               @197
+	fence                        @197
+	ret
+}
+
+func rbtree_map_rotate_left(n: *rbnode) {
+	file "rbtree_map.c"
+	store %n.left, 7             @229
+	flush %n.left                @230
+	fence                        @230
+	flush %n.left                @231
+	fence                        @231
+	ret
+}
+
+; Table 8: key and value are persisted separately within one transaction.
+func rbtree_map_insert(n: *rbnode) {
+	file "rbtree_map.c"
+	txbegin                      @255
+	store %n.key, 3              @257
+	flush %n.key                 @258
+	fence                        @258
+	store %n.value, 4            @259
+	flush %n.value               @259
+	fence                        @259
+	txend                        @260
+	fence                        @260
+	ret
+}
+
+; Table 3 (line 379): the removed node's value is flushed but the persist
+; barrier is missing before the function returns.
+func rbtree_map_remove(n: *rbnode) {
+	file "rbtree_map.c"
+	store %n.value, 0            @377
+	flush %n.value               @379
+	ret                          @381
+}
+
+func demo_rbtree() {
+	file "rbtree_map.c"
+	%a = palloc rbnode
+	call rbtree_map_recolor(%a)
+	%b = palloc rbnode
+	call rbtree_map_rotate_left(%b)
+	%c = palloc rbnode
+	call rbtree_map_insert(%c)
+	%d = palloc rbnode
+	call rbtree_map_remove(%d)
+	ret
+}
+
+; --- pminvaders.c ----------------------------------------------------------
+
+; Table 3 (line 143): the whole game state is persisted although only the
+; timer field was updated.
+func timer_tick(g: *game_state) {
+	file "pminvaders.c"
+	store %g.timer, 9            @141
+	flush %g                     @143
+	fence                        @143
+	ret
+}
+
+; Table 3 (line 246): the score area is flushed although nothing modified
+; it on this path.
+func draw_alien(g: *game_state) {
+	file "pminvaders.c"
+	flush %g.score               @246
+	fence                        @246
+	ret
+}
+
+; Table 8 (line 249): a durable transaction that only reads game state.
+func process_bullets(g: *game_state) {
+	file "pminvaders.c"
+	txbegin                      @249
+	%v = alloc scratch           @250
+	%t = load %g.timer           @251
+	store %v.tmp, %t             @251
+	txend                        @253
+	fence                        @253
+	ret
+}
+
+; Figure 7 / Table 3 (line 256): when the timer condition fails, the
+; transaction commits without having written anything persistent.
+func process_aliens(g: *game_state, c) {
+	file "pminvaders.c"
+	txbegin                      @256
+	condbr %c, upd, skip         @257
+upd:
+	txadd %g                     @258
+	store %g.timer, 9            @259
+	store %g.y, 1                @260
+	br out
+skip:
+	br out
+out:
+	txend                        @262
+	fence                        @262
+	ret
+}
+
+; Table 8 (line 266): durable transaction with volatile-only work.
+func process_player(g: *game_state) {
+	file "pminvaders.c"
+	txbegin                      @266
+	%v = alloc scratch           @267
+	store %v.tmp, 1              @267
+	txend                        @269
+	fence                        @269
+	ret
+}
+
+; Table 3 (line 301): durable transaction around pure drawing.
+func draw_score(g: *game_state) {
+	file "pminvaders.c"
+	txbegin                      @301
+	%t = load %g.score           @302
+	%v = alloc scratch           @303
+	store %v.tmp, %t             @303
+	txend                        @304
+	fence                        @304
+	ret
+}
+
+; Table 8 (line 351): durable transaction wrapping the frame tick.
+func game_loop_tick(g: *game_state) {
+	file "pminvaders.c"
+	txbegin                      @351
+	%t = load %g.timer           @352
+	%v = alloc scratch           @353
+	store %v.tmp, %t             @353
+	txend                        @355
+	fence                        @355
+	ret
+}
+
+; False-positive decoy: the retry path defensively re-flushes the high
+; score after a verification failure; the checker sees a redundant flush.
+func update_highscore(g: *game_state, retry) {
+	file "pminvaders.c"
+	store %g.score, 100          @405
+	flush %g.score               @406
+	fence                        @406
+	condbr %retry, again, done   @408
+again:
+	flush %g.score               @410
+	fence                        @410
+	br done
+done:
+	ret
+}
+
+func demo_pminvaders(c, retry) {
+	file "pminvaders.c"
+	%g = palloc game_state
+	call timer_tick(%g)
+	%g2 = palloc game_state
+	call draw_alien(%g2)
+	%g3 = palloc game_state
+	call process_bullets(%g3)
+	%g4 = palloc game_state
+	call process_aliens(%g4, %c)
+	%g5 = palloc game_state
+	call process_player(%g5)
+	%g6 = palloc game_state
+	call draw_score(%g6)
+	%g7 = palloc game_state
+	call game_loop_tick(%g7)
+	%g8 = palloc game_state
+	call update_highscore(%g8, %retry)
+	ret
+}
+
+; --- obj_pmemlog.c ---------------------------------------------------------
+
+; Table 3 (line 91): the log header and tail belong together, but two
+; consecutive transactions persist them separately.
+func pmemlog_append(log: *pmemlog) {
+	file "obj_pmemlog.c"
+	txbegin                      @85
+	txadd %log.hdr               @86
+	store %log.hdr, 1            @87
+	txend                        @88
+	fence                        @88
+	txbegin                      @90
+	txadd %log.tail              @91
+	store %log.tail, 2           @91
+	txend                        @92
+	fence                        @92
+	ret
+}
+
+; Table 8-style (line 130): the length initialization is flushed but not
+; fenced before the next transaction begins.
+func pmemlog_init(log: *pmemlog) {
+	file "obj_pmemlog.c"
+	store %log.length, 0         @128
+	flush %log.length            @130
+	txbegin                      @134
+	txadd %log.hdr               @135
+	store %log.hdr, 7            @136
+	txend                        @137
+	fence                        @137
+	ret
+}
+
+func demo_pmemlog() {
+	file "obj_pmemlog.c"
+	%l = palloc pmemlog
+	call pmemlog_append(%l)
+	%l2 = palloc pmemlog
+	call pmemlog_init(%l2)
+	ret
+}
+
+; --- hash_map.c ------------------------------------------------------------
+
+; Figure 1 (lines 120, 264): bucket array and bucket count are persisted
+; in separate consecutive transactions; a crash between them leaves the
+; map inconsistent.
+func hm_create(h: *hashmap) {
+	file "hash_map.c"
+	txbegin                      @115
+	txadd %h.buckets             @116
+	memset %h.buckets, 0, 128    @117
+	txend                        @118
+	fence                        @118
+	txbegin                      @119
+	txadd %h.nbuckets            @120
+	store %h.nbuckets, 16        @120
+	txend                        @121
+	fence                        @121
+	ret
+}
+
+func hm_rebuild(h: *hashmap) {
+	file "hash_map.c"
+	txbegin                      @260
+	txadd %h.count               @261
+	store %h.count, 0            @262
+	txend                        @263
+	fence                        @263
+	txbegin                      @264
+	txadd %h.mask                @264
+	store %h.mask, 15            @264
+	txend                        @265
+	fence                        @265
+	ret
+}
+
+func demo_hash_map() {
+	file "hash_map.c"
+	%h = palloc hashmap
+	call hm_create(%h)
+	%h2 = palloc hashmap
+	call hm_rebuild(%h2)
+	ret
+}
+
+; --- hashmap_atomic.c ------------------------------------------------------
+
+; Table 8 (line 120): count and mask persisted separately within one
+; transaction.
+func hma_init(h: *hashmap) {
+	file "hashmap_atomic.c"
+	txbegin                      @115
+	store %h.count, 0            @117
+	flush %h.count               @118
+	fence                        @118
+	store %h.mask, 15            @119
+	flush %h.mask                @120
+	fence                        @120
+	txend                        @121
+	fence                        @121
+	ret
+}
+
+; Table 8 (lines 285, 496): consecutive transactions updating fields of
+; one object that the program treats as a single atomic unit.
+func hma_grow(h: *hashmap) {
+	file "hashmap_atomic.c"
+	txbegin                      @280
+	txadd %h.buckets             @281
+	memset %h.buckets, 0, 128    @282
+	txend                        @283
+	fence                        @283
+	txbegin                      @284
+	txadd %h.nbuckets            @285
+	store %h.nbuckets, 32        @285
+	txend                        @286
+	fence                        @286
+	ret
+}
+
+func hma_rebuild(h: *hashmap) {
+	file "hashmap_atomic.c"
+	txbegin                      @492
+	txadd %h.count               @493
+	store %h.count, 0            @494
+	txend                        @495
+	fence                        @495
+	txbegin                      @496
+	txadd %h.mask                @496
+	store %h.mask, 31            @496
+	txend                        @497
+	fence                        @497
+	ret
+}
+
+; False-positive decoy: the second transaction is an optional repair step
+; that is semantically idempotent; the rule still fires (§5.4:
+; programmer-intent cases).
+func hma_repair(h: *hashmap) {
+	file "hashmap_atomic.c"
+	txbegin                      @550
+	txadd %h.count               @551
+	store %h.count, 1            @552
+	txend                        @553
+	fence                        @553
+	txbegin                      @554
+	txadd %h.count               @555
+	store %h.count, 1            @555
+	txend                        @556
+	fence                        @556
+	ret
+}
+
+func demo_hashmap_atomic() {
+	file "hashmap_atomic.c"
+	%h = palloc hashmap
+	call hma_init(%h)
+	%h2 = palloc hashmap
+	call hma_grow(%h2)
+	%h3 = palloc hashmap
+	call hma_rebuild(%h3)
+	%h4 = palloc hashmap
+	call hma_repair(%h4)
+	ret
+}
+
+; --- obj_pmemlog_simple.c ---------------------------------------------------
+
+; Table 8 (line 207): header and tail again split across consecutive
+; transactions.
+func pls_append(log: *pmemlog) {
+	file "obj_pmemlog_simple.c"
+	txbegin                      @200
+	txadd %log.hdr               @201
+	store %log.hdr, 1            @202
+	txend                        @203
+	fence                        @203
+	txbegin                      @206
+	txadd %log.tail              @207
+	store %log.tail, 2           @207
+	txend                        @208
+	fence                        @208
+	ret
+}
+
+; Table 8 (line 252): the tail pointer is written back twice.
+func pls_truncate(log: *pmemlog) {
+	file "obj_pmemlog_simple.c"
+	store %log.tail, 0           @249
+	flush %log.tail              @250
+	fence                        @250
+	flush %log.tail              @252
+	fence                        @252
+	ret
+}
+
+func demo_pmemlog_simple() {
+	file "obj_pmemlog_simple.c"
+	%l = palloc pmemlog
+	call pls_append(%l)
+	%l2 = palloc pmemlog
+	call pls_truncate(%l2)
+	ret
+}
+`
+
+// PMDK returns the PMDK corpus program: 26 expected warnings, 23 valid
+// (11 studied + 12 new), 3 false positives — the Table 1 PMDK column.
+func PMDK() *Program {
+	return &Program{
+		Name:   "PMDK",
+		Model:  checker.Strict,
+		Source: pmdkSource,
+		Truth: []GroundTruth{
+			// Model violations.
+			{File: "btree_map.c", Line: 201, Rule: report.RuleUnflushedWrite, Valid: true, Studied: true,
+				Description: "Modify tree node without making it durable", Years: 4.4},
+			{File: "btree_map.c", Line: 412, Rule: report.RuleUnflushedWrite, Valid: false,
+				Description: "FP: unflushed path is an unreachable error path"},
+			{File: "rbtree_map.c", Line: 379, Rule: report.RuleMissingBarrier, Valid: true, Studied: true,
+				Description: "Modified object not made durable (missing barrier)", Years: 4.4},
+			{File: "obj_pmemlog.c", Line: 130, Rule: report.RuleMissingBarrier, Valid: true,
+				Description: "Flush without persist barrier before next transaction", Years: 4.4},
+			{File: "obj_pmemlog.c", Line: 91, Rule: report.RuleSemanticMismatch, Valid: true, Studied: true, Lib: true,
+				Description: "Multiple epochs writing to different fields of an object", Years: 4.4},
+			{File: "hash_map.c", Line: 120, Rule: report.RuleSemanticMismatch, Valid: true, Studied: true,
+				Description: "Multiple epochs writing to different fields of an object", Years: 4.4},
+			{File: "hash_map.c", Line: 264, Rule: report.RuleSemanticMismatch, Valid: true, Studied: true,
+				Description: "Multiple epochs writing to different fields of an object", Years: 4.4},
+			{File: "hashmap_atomic.c", Line: 285, Rule: report.RuleSemanticMismatch, Valid: true,
+				Description: "Multiple epochs write to different fields of an object", Years: 4.4},
+			{File: "hashmap_atomic.c", Line: 496, Rule: report.RuleSemanticMismatch, Valid: true,
+				Description: "Multiple epochs write to different fields of an object", Years: 4.4},
+			{File: "obj_pmemlog_simple.c", Line: 207, Rule: report.RuleSemanticMismatch, Valid: true, Lib: true,
+				Description: "Multiple epochs write to different fields of an object", Years: 4.4},
+			{File: "hashmap_atomic.c", Line: 555, Rule: report.RuleSemanticMismatch, Valid: false,
+				Description: "FP: idempotent repair transaction flagged as mismatch"},
+			// Performance bugs.
+			{File: "rbtree_map.c", Line: 197, Rule: report.RuleRedundantFlush, Valid: true, Studied: true,
+				Description: "Log unmodified fields of a tree node (redundant write-back)", Years: 4.4},
+			{File: "rbtree_map.c", Line: 231, Rule: report.RuleRedundantFlush, Valid: true, Studied: true,
+				Description: "Log unmodified fields of a tree node (redundant write-back)", Years: 4.4},
+			{File: "obj_pmemlog_simple.c", Line: 252, Rule: report.RuleRedundantFlush, Valid: true, Lib: true,
+				Description: "Multiple flushes to a persistent object", Years: 4.4},
+			{File: "pminvaders.c", Line: 410, Rule: report.RuleRedundantFlush, Valid: false,
+				Description: "FP: defensive re-flush on retry path"},
+			{File: "pminvaders.c", Line: 143, Rule: report.RuleFlushUnmodified, Valid: true, Studied: true,
+				Description: "Flush unmodified fields of an object", Years: 4.4},
+			{File: "pminvaders.c", Line: 246, Rule: report.RuleFlushUnmodified, Valid: true, Studied: true,
+				Description: "Flush unmodified fields of an object", Years: 4.4},
+			{File: "btree_map.c", Line: 365, Rule: report.RuleFlushUnmodified, Valid: true,
+				Description: "Flushing unmodified fields of tree node", Years: 4.4},
+			{File: "btree_map.c", Line: 465, Rule: report.RuleMultiplePersist, Valid: true,
+				Description: "Persist the same object multiple times in a transaction", Years: 4.4},
+			{File: "rbtree_map.c", Line: 259, Rule: report.RuleMultiplePersist, Valid: true,
+				Description: "Flushing unmodified fields of tree node (split persists)", Years: 4.4},
+			{File: "hashmap_atomic.c", Line: 120, Rule: report.RuleMultiplePersist, Valid: true,
+				Description: "Persist the same object multiple times in a transaction", Years: 4.4},
+			{File: "pminvaders.c", Line: 256, Rule: report.RuleDurableTxNoWrite, Valid: true, Studied: true,
+				Description: "Durable transaction without persistent writes", Years: 4.4},
+			{File: "pminvaders.c", Line: 301, Rule: report.RuleDurableTxNoWrite, Valid: true, Studied: true,
+				Description: "Durable transaction without persistent writes", Years: 4.4},
+			{File: "pminvaders.c", Line: 249, Rule: report.RuleDurableTxNoWrite, Valid: true,
+				Description: "Durable transaction without persistent writes", Years: 4.4},
+			{File: "pminvaders.c", Line: 266, Rule: report.RuleDurableTxNoWrite, Valid: true,
+				Description: "Durable transaction without persistent writes", Years: 4.4},
+			{File: "pminvaders.c", Line: 351, Rule: report.RuleDurableTxNoWrite, Valid: true,
+				Description: "Durable transaction without persistent writes", Years: 4.4},
+		},
+	}
+}

@@ -1,0 +1,261 @@
+package corpus
+
+import (
+	"deepmc/internal/checker"
+	"deepmc/internal/report"
+)
+
+// pmfsSource reimplements the buggy PMFS library code of Tables 3 and 8
+// in PIR: journal.c, symlink.c/namei.c, xips.c, files.c, super.c and
+// bbuild.c.  PMFS declares the epoch persistency model.
+const pmfsSource = `
+module pmfs
+
+type pmfs_journal struct {
+	head: int
+	tail: int
+}
+
+type pmfs_commit_blk struct {
+	data: int
+}
+
+type pmfs_buf struct {
+	data: int
+	len: int
+}
+
+type pmfs_inode struct {
+	size: int
+	block: int
+	flags: int
+	mtime: int
+}
+
+type pmfs_super struct {
+	magic: int
+	version: int
+	mount_time: int
+	size: int
+}
+
+; --- journal.c --------------------------------------------------------------
+
+; Table 3 (line 632): commit lets a single barrier make the writes of two
+; journal epochs durable at once.
+func pmfs_commit_transaction(j: *pmfs_journal, cb: *pmfs_commit_blk) {
+	file "journal.c"
+	epochbegin                   @620
+	store %j.head, 1             @622
+	flush %j.head                @623
+	epochend                     @624
+	epochbegin                   @626
+	store %cb.data, 2            @627
+	flush %cb.data               @628
+	epochend                     @629
+	fence                        @632
+	ret
+}
+
+func demo_journal() {
+	file "journal.c"
+	%j = palloc pmfs_journal
+	%cb = palloc pmfs_commit_blk
+	call pmfs_commit_transaction(%j, %cb)
+	ret
+}
+
+; --- symlink.c / namei.c -----------------------------------------------------
+
+; Figure 4 (symlink.c line 38): the inner transaction returns to the
+; outer one without a persist barrier.
+func pmfs_block_symlink(blockp: *pmfs_buf) {
+	file "symlink.c"
+	txbegin                      @30
+	store %blockp.data, 7        @36
+	flush %blockp.data           @37
+	txend                        @38
+	ret                          @39
+}
+
+func pmfs_symlink(blockp: *pmfs_buf) {
+	file "namei.c"
+	txbegin                      @120
+	call pmfs_block_symlink(%blockp) @130
+	fence                        @131
+	txend                        @132
+	fence                        @132
+	ret
+}
+
+func demo_symlink() {
+	file "namei.c"
+	%b = palloc pmfs_buf
+	call pmfs_symlink(%b)
+	ret
+}
+
+; --- xips.c ------------------------------------------------------------------
+
+; Table 3 (lines 207, 262): the same buffer is written back twice.
+func pmfs_xip_file_read(buf: *pmfs_buf) {
+	file "xips.c"
+	store %buf.data, 1           @204
+	flush %buf.data              @205
+	fence                        @205
+	flush %buf.data              @207
+	fence                        @207
+	ret
+}
+
+func pmfs_xip_file_write(buf: *pmfs_buf) {
+	file "xips.c"
+	store %buf.len, 8            @259
+	flush %buf.len               @260
+	fence                        @260
+	flush %buf.len               @262
+	fence                        @262
+	ret
+}
+
+; False-positive decoy: when the direct-IO fast path is configured out,
+; the first epoch's barrier branch is dead; the checker merges the
+; infeasible path where one barrier covers both epochs (§5.4).
+func pmfs_xip_sync(buf: *pmfs_buf, fast: int, extra: *pmfs_inode) {
+	file "xips.c"
+	epochbegin                   @290
+	store %buf.data, 3           @291
+	flush %buf.data              @292
+	epochend                     @293
+	condbr %fast, quick, slow    @294
+quick:
+	br fin
+slow:
+	fence                        @296
+	br fin
+fin:
+	epochbegin                   @297
+	store %extra.mtime, 4        @298
+	flush %extra.mtime           @299
+	epochend                     @299
+	fence                        @300
+	ret
+}
+
+func demo_xips(fast) {
+	file "xips.c"
+	%b = palloc pmfs_buf
+	call pmfs_xip_file_read(%b)
+	%b2 = palloc pmfs_buf
+	call pmfs_xip_file_write(%b2)
+	%b3 = palloc pmfs_buf
+	%i = palloc pmfs_inode
+	call pmfs_xip_sync(%b3, %fast, %i)
+	ret
+}
+
+; --- files.c -----------------------------------------------------------------
+
+; Table 3 (line 232): the whole inode is written back although only the
+; size field changed.
+func pmfs_update_isize(inode: *pmfs_inode) {
+	file "files.c"
+	store %inode.size, 100       @230
+	flush %inode                 @232
+	fence                        @232
+	ret
+}
+
+func demo_files() {
+	file "files.c"
+	%i = palloc pmfs_inode
+	call pmfs_update_isize(%i)
+	ret
+}
+
+; --- super.c -----------------------------------------------------------------
+
+; Table 8 (lines 542, 543, 579): superblock fields are written back on
+; the successful-recovery path although nothing modified them; line 584
+; flushes the repaired copy a second time.
+func pmfs_recover_super(sb: *pmfs_super, rsb: *pmfs_super) {
+	file "super.c"
+	flush %sb.magic              @542
+	fence                        @542
+	flush %sb.version            @543
+	fence                        @543
+	flush %sb.mount_time         @579
+	fence                        @579
+	store %rsb.magic, 77         @582
+	flush %rsb.magic             @583
+	fence                        @583
+	flush %rsb.magic             @584
+	fence                        @584
+	ret
+}
+
+func demo_super() {
+	file "super.c"
+	%sb = palloc pmfs_super
+	%rsb = palloc pmfs_super
+	call pmfs_recover_super(%sb, %rsb)
+	ret
+}
+
+; --- bbuild.c ----------------------------------------------------------------
+
+; False-positive decoy: the inode table is rebuilt through the block
+; iterator the platform returns; the DSA cannot connect the iterator's
+; stores to the flushed table (§5.4).
+func pmfs_rebuild_inode_table(sb: *pmfs_super) {
+	file "bbuild.c"
+	%it = call pmfs_block_iterator(%sb) @405
+	store %it.size, 1            @408
+	flush %sb.size               @412
+	fence                        @412
+	ret
+}
+
+func demo_bbuild() {
+	file "bbuild.c"
+	%sb = palloc pmfs_super
+	call pmfs_rebuild_inode_table(%sb)
+	ret
+}
+`
+
+// PMFS returns the PMFS corpus program: 11 expected warnings, 9 valid
+// (5 studied + 4 new), 2 false positives — the Table 1 PMFS column.
+func PMFS() *Program {
+	return &Program{
+		Name:   "PMFS",
+		Model:  checker.Epoch,
+		Source: pmfsSource,
+		Truth: []GroundTruth{
+			// Model violations.
+			{File: "journal.c", Line: 632, Rule: report.RuleMultipleWritesAtOnce, Valid: true, Studied: true, Lib: true,
+				Description: "Multiple writes made durable at once", Years: 3.2},
+			{File: "xips.c", Line: 300, Rule: report.RuleMultipleWritesAtOnce, Valid: false,
+				Description: "FP: infeasible path merges two fenced epochs"},
+			{File: "symlink.c", Line: 38, Rule: report.RuleMissingBarrierNestedTx, Valid: true, Studied: true, Lib: true,
+				Description: "Missing persist barrier in nested transactions", Years: 3.2},
+			// Performance bugs.
+			{File: "xips.c", Line: 207, Rule: report.RuleRedundantFlush, Valid: true, Studied: true, Lib: true,
+				Description: "Flush the same buffer multiple times", Years: 3.2},
+			{File: "xips.c", Line: 262, Rule: report.RuleRedundantFlush, Valid: true, Studied: true, Lib: true,
+				Description: "Flush the same buffer multiple times", Years: 3.2},
+			{File: "super.c", Line: 584, Rule: report.RuleRedundantFlush, Valid: true, Lib: true,
+				Description: "Redundant flush of the repaired superblock copy", Years: 3.2},
+			{File: "files.c", Line: 232, Rule: report.RuleFlushUnmodified, Valid: true, Studied: true, Lib: true,
+				Description: "Flush unmodified object", Years: 3.2},
+			{File: "super.c", Line: 542, Rule: report.RuleFlushUnmodified, Valid: true, Lib: true,
+				Description: "Flushing unmodified fields of an object", Years: 3.2},
+			{File: "super.c", Line: 543, Rule: report.RuleFlushUnmodified, Valid: true, Lib: true,
+				Description: "Flushing unmodified fields of an object", Years: 3.2},
+			{File: "super.c", Line: 579, Rule: report.RuleFlushUnmodified, Valid: true, Lib: true,
+				Description: "Flushing unmodified fields of an object", Years: 3.2},
+			{File: "bbuild.c", Line: 412, Rule: report.RuleFlushUnmodified, Valid: false,
+				Description: "FP: iterator stores alias the flushed table"},
+		},
+	}
+}

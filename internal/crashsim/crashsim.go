@@ -1,0 +1,357 @@
+// Package crashsim validates persistency-model violations by exhaustive
+// crash-point enumeration, in the spirit of the Yat validator the paper
+// compares against (§6): a PIR program is executed once to completion to
+// count its steps, then re-executed with a simulated crash after every
+// prefix; at each crash point the durable image — what clwb/sfence
+// semantics guarantee survives — is handed to a user invariant.
+//
+// This is how the repository demonstrates that the corpus's
+// model-violation bugs are real: the buggy btree split loses its item
+// update at some crash point; the fixed version never violates the
+// invariant.
+package crashsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+)
+
+// Word is one 8-byte persistent location: object id + byte offset.
+type Word struct {
+	Obj int
+	Off int
+}
+
+// Image is the durable view of persistent memory at a crash point.
+type Image struct {
+	durable map[Word]int64
+	objects map[int]*interp.Object
+}
+
+// Load returns the durable value of a word (zero if never persisted).
+func (im *Image) Load(obj, off int) int64 { return im.durable[Word{Obj: obj, Off: off}] }
+
+// LoadField returns the durable value of obj.field using the object's
+// type layout; ok is false if the object or field is unknown.
+func (im *Image) LoadField(objID int, field string) (int64, bool) {
+	o := im.objects[objID]
+	if o == nil || o.Type == nil {
+		return 0, false
+	}
+	off := o.Type.FieldOffset(field)
+	if off < 0 {
+		return 0, false
+	}
+	return im.Load(objID, off), true
+}
+
+// Objects lists the persistent objects allocated before the crash, in
+// allocation order (ids ascend).
+func (im *Image) Objects() []*interp.Object {
+	var out []*interp.Object
+	for id := 1; ; id++ {
+		o, ok := im.objects[id]
+		if !ok {
+			break
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// undoRec is one undo-log pre-image: the value recovery restores if the
+// enclosing transaction never commits.
+type undoRec struct {
+	w   Word
+	val int64
+}
+
+// nvmState tracks volatile vs durable word state under clwb/sfence
+// semantics (word-granular persistence domain), plus undo-log
+// transaction semantics: TX_ADD snapshots pre-images, commit persists
+// the logged words, and a crash inside an open transaction is followed
+// by recovery rolling the logged words back.
+type nvmState struct {
+	interp.NopHooks
+	current map[Word]int64
+	durable map[Word]int64
+	dirty   map[Word]bool
+	staged  map[Word]bool
+	objects map[int]*interp.Object
+
+	txDepth int
+	undo    []undoRec
+	logged  map[Word]bool
+}
+
+func newNVMState() *nvmState {
+	return &nvmState{
+		current: make(map[Word]int64),
+		durable: make(map[Word]int64),
+		dirty:   make(map[Word]bool),
+		staged:  make(map[Word]bool),
+		objects: make(map[int]*interp.Object),
+		logged:  make(map[Word]bool),
+	}
+}
+
+// OnTxBegin opens a transaction level.
+func (s *nvmState) OnTxBegin(_, _ string, _ int) { s.txDepth++ }
+
+// OnTxAdd records undo pre-images for the logged range.  The pre-image
+// is the current content, as PMDK's TX_ADD snapshots it.
+func (s *nvmState) OnTxAdd(obj *interp.Object, off, size int, _, _ string, _ int) {
+	if !obj.Persistent || s.txDepth == 0 {
+		return
+	}
+	s.objects[obj.ID] = obj
+	for g := 0; g < size; g += 8 {
+		w := Word{Obj: obj.ID, Off: off + g}
+		if s.logged[w] {
+			continue
+		}
+		s.logged[w] = true
+		s.undo = append(s.undo, undoRec{w: w, val: s.current[w]})
+	}
+}
+
+// OnTxEnd commits at the outermost level: logged words persist with
+// their current values (PMDK flushes logged ranges at TX_COMMIT) and the
+// undo log retires.
+func (s *nvmState) OnTxEnd(_, _ string, _ int) {
+	if s.txDepth > 0 {
+		s.txDepth--
+	}
+	if s.txDepth != 0 {
+		return
+	}
+	for w := range s.logged {
+		s.durable[w] = s.current[w]
+		delete(s.dirty, w)
+		delete(s.staged, w)
+	}
+	s.logged = make(map[Word]bool)
+	s.undo = nil
+}
+
+// OnWrite mirrors a persistent store into the volatile view.
+func (s *nvmState) OnWrite(obj *interp.Object, off, size int, _, _ string, _ int) {
+	if !obj.Persistent {
+		return
+	}
+	s.objects[obj.ID] = obj
+	for g := 0; g < size; g += 8 {
+		w := Word{Obj: obj.ID, Off: off + g}
+		slot := (off + g) / 8
+		if slot < len(obj.Slots) {
+			s.current[w] = obj.Slots[slot].I
+		}
+		s.dirty[w] = true
+	}
+}
+
+// OnFlush stages dirty words for write-back.
+func (s *nvmState) OnFlush(obj *interp.Object, off, size int, _, _ string, _ int) {
+	if !obj.Persistent {
+		return
+	}
+	for g := 0; g < size; g += 8 {
+		w := Word{Obj: obj.ID, Off: off + g}
+		if s.dirty[w] || s.staged[w] {
+			s.staged[w] = true
+		}
+	}
+}
+
+// OnFence makes staged words durable.
+func (s *nvmState) OnFence(_, _ string, _ int) {
+	for w := range s.staged {
+		s.durable[w] = s.current[w]
+		delete(s.dirty, w)
+	}
+	s.staged = make(map[Word]bool)
+}
+
+// image snapshots the durable state, applying post-crash recovery: an
+// open transaction's logged words roll back to their undo pre-images.
+func (s *nvmState) image() *Image {
+	d := make(map[Word]int64, len(s.durable))
+	for w, v := range s.durable {
+		d[w] = v
+	}
+	if s.txDepth > 0 {
+		for _, u := range s.undo {
+			d[u.w] = u.val
+		}
+	}
+	objs := make(map[int]*interp.Object, len(s.objects))
+	for id, o := range s.objects {
+		objs[id] = o
+	}
+	return &Image{durable: d, objects: objs}
+}
+
+// Violation describes an invariant failure at one crash point.
+type Violation struct {
+	Step int
+	Err  error
+}
+
+// Result of a crash enumeration.
+type Result struct {
+	TotalSteps int
+	CrashesRun int
+	Violations []Violation
+}
+
+// Clean reports whether no crash point violated the invariant.
+func (r *Result) Clean() bool { return len(r.Violations) == 0 }
+
+// String summarizes the result.
+func (r *Result) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("crashsim: %d crash points over %d steps, invariant holds everywhere",
+			r.CrashesRun, r.TotalSteps)
+	}
+	v := r.Violations[0]
+	return fmt.Sprintf("crashsim: %d/%d crash points violate the invariant (first at step %d: %v)",
+		len(r.Violations), r.CrashesRun, v.Step, v.Err)
+}
+
+// Invariant inspects a durable image; returning an error marks the
+// crash point inconsistent.
+type Invariant func(im *Image) error
+
+// maxExactOutcomes bounds exhaustive subset enumeration of in-flight
+// words; above it, outcomes are sampled.
+const maxExactOutcomes = 10
+
+// sampledOutcomes is how many random persist subsets are tried when the
+// in-flight set is too large to enumerate.
+const sampledOutcomes = 256
+
+// Enumerate runs entry to completion to count steps, then re-executes
+// with a crash after every step prefix.  At each crash point the
+// guaranteed-durable image is extended with every possible persist
+// outcome of the in-flight words — dirty cachelines may be evicted and
+// clwb'd lines may drain at any time before the fence, so any subset of
+// them may have reached the medium.  The invariant must hold for every
+// outcome; one counterexample marks the crash point violated (that is
+// precisely how unflushed writes and missing barriers manifest on real
+// hardware: as one unlucky persist ordering).
+//
+// Stride > 1 samples every Nth crash point (for long programs);
+// stride <= 1 checks all of them.
+func Enumerate(m *ir.Module, entry string, inv Invariant, stride int) (*Result, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	// Full run: count steps.
+	full := interp.New(m, interp.NopHooks{})
+	if _, err := full.Run(entry); err != nil {
+		return nil, fmt.Errorf("crashsim: full run: %w", err)
+	}
+	total := full.Steps()
+
+	res := &Result{TotalSteps: total}
+	for k := 1; k <= total; k += stride {
+		st := newNVMState()
+		ip := interp.New(m, st)
+		ip.MaxSteps = k
+		_, err := ip.Run(entry)
+		// A step-budget stop is the simulated crash; err == nil means the
+		// program completed (the final crash point); any other error is a
+		// real failure.
+		if err != nil && !ip.BudgetExhausted() {
+			return nil, fmt.Errorf("crashsim: run to step %d: %w", k, err)
+		}
+		res.CrashesRun++
+		if ierr := st.checkOutcomes(inv, int64(k)); ierr != nil {
+			res.Violations = append(res.Violations, Violation{Step: k, Err: ierr})
+		}
+	}
+	return res, nil
+}
+
+// inFlight returns the words that may or may not have persisted at the
+// crash: dirty (evictable) plus staged (clwb'd, awaiting fence), sorted
+// for determinism.
+func (s *nvmState) inFlight() []Word {
+	set := make(map[Word]bool, len(s.dirty)+len(s.staged))
+	for w := range s.dirty {
+		set[w] = true
+	}
+	for w := range s.staged {
+		set[w] = true
+	}
+	// Words logged in an open transaction are rolled back by recovery
+	// whatever the cache did; their persist outcome is not free.
+	if s.txDepth > 0 {
+		for w := range s.logged {
+			delete(set, w)
+		}
+	}
+	out := make([]Word, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Obj != out[j].Obj {
+			return out[i].Obj < out[j].Obj
+		}
+		return out[i].Off < out[j].Off
+	})
+	return out
+}
+
+// checkOutcomes applies the invariant to every persist outcome of the
+// in-flight words (exhaustive for small sets, sampled otherwise).
+func (s *nvmState) checkOutcomes(inv Invariant, seed int64) error {
+	flight := s.inFlight()
+	base := s.image()
+	apply := func(mask uint64) error {
+		im := &Image{durable: make(map[Word]int64, len(base.durable)+len(flight)), objects: base.objects}
+		for w, v := range base.durable {
+			im.durable[w] = v
+		}
+		for bit, w := range flight {
+			if mask&(1<<uint(bit)) != 0 {
+				im.durable[w] = s.current[w]
+			}
+		}
+		return inv(im)
+	}
+	if len(flight) <= maxExactOutcomes {
+		for mask := uint64(0); mask < 1<<uint(len(flight)); mask++ {
+			if err := apply(mask); err != nil {
+				return fmt.Errorf("persist outcome %#x of %d in-flight words: %w", mask, len(flight), err)
+			}
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Always include the two extremes.
+	if err := apply(0); err != nil {
+		return fmt.Errorf("persist outcome (none) of %d in-flight words: %w", len(flight), err)
+	}
+	all := ^uint64(0)
+	if len(flight) < 64 {
+		all = uint64(1)<<uint(len(flight)) - 1
+	}
+	if err := apply(all); err != nil {
+		return fmt.Errorf("persist outcome (all) of %d in-flight words: %w", len(flight), err)
+	}
+	for i := 0; i < sampledOutcomes; i++ {
+		if err := apply(rng.Uint64()); err != nil {
+			return fmt.Errorf("sampled persist outcome of %d in-flight words: %w", len(flight), err)
+		}
+	}
+	return nil
+}

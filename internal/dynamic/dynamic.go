@@ -1,0 +1,356 @@
+// Package dynamic implements DeepMC's runtime analysis library (paper
+// §4.4): happens-before detection of WAW and RAW dependences between
+// strands over persistent memory, using shadow segments.
+//
+// The design mirrors the paper's customized ThreadSanitizer runtime:
+//
+//   - The persistent address space is mapped to shadow segments; each
+//     segment tracks the access history of one aligned address range and
+//     carries its own lock, so concurrent application threads touching
+//     disjoint regions do not contend.  Only persistent addresses are
+//     shadowed (the paper's scalability argument), unless the TrackAll
+//     ablation is enabled.
+//   - Happens-before has a two-tier representation.  A global persist
+//     barrier outside strand regions orders everything before it against
+//     everything after it; since every transaction commit fences, this is
+//     by far the most common edge, and it is represented by one atomic
+//     epoch counter consulted on the fast path.  Strand begin/end and
+//     lock acquire/release edges use per-strand vector clocks, compared
+//     only when the epoch test is inconclusive.
+//   - Shadow cells are FastTrack-style: one write epoch plus a read
+//     vector bounded at one entry per strand.
+//
+// Conflicting accesses from unordered strands produce WARNING reports
+// with both access sites, exactly the elaborate error reports §4.4
+// describes.
+package dynamic
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"deepmc/internal/report"
+)
+
+// segmentShift sets the shadow segment granularity (bytes per segment).
+const segmentShift = 12 // 4 KiB segments, like the paper's page-mapped shadow
+
+// VC is a vector clock mapping strand/thread ids to logical times.
+type VC map[int64]uint64
+
+// Copy returns an independent copy.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	for k, t := range v {
+		c[k] = t
+	}
+	return c
+}
+
+// Join folds o into v (pointwise max).
+func (v VC) Join(o VC) {
+	for k, t := range o {
+		if v[k] < t {
+			v[k] = t
+		}
+	}
+}
+
+// HappensBefore reports whether epoch (s,c) is ordered before the clock v.
+func (v VC) HappensBefore(s int64, c uint64) bool { return v[s] >= c }
+
+// access is one recorded access site.
+type access struct {
+	strand int64
+	clock  uint64
+	gepoch uint64 // global fence epoch at access time
+	fn     string
+	file   string
+	line   int
+}
+
+// shadowCell is the FastTrack state of one address.
+type shadowCell struct {
+	hasWrite bool
+	write    access
+	// reads holds at most one entry per strand since the last write.
+	reads []access
+}
+
+// segment shadows one aligned address range with its own lock.
+type segment struct {
+	mu    sync.Mutex
+	cells map[uint64]*shadowCell
+}
+
+// strandState is one strand/thread's clock state.  The vc map is guarded
+// by mu; own mirrors vc[id] for lock-free fast-path reads (only the
+// owning thread and strand/lock operations advance it).
+type strandState struct {
+	id   int64
+	mu   sync.Mutex
+	vc   VC
+	next uint64
+	own  atomic.Uint64
+}
+
+// Stats surfaces the checker's footprint for the scalability evaluation.
+type Stats struct {
+	Segments   int
+	Cells      int
+	Writes     uint64
+	Reads      uint64
+	RacesFound int
+}
+
+// Checker is the runtime analysis library.  It is safe for concurrent
+// use by application threads.
+type Checker struct {
+	// TrackAll shadows volatile memory too (ablation; the paper tracks
+	// only persistent regions).
+	TrackAll bool
+
+	gepoch atomic.Uint64 // global fence counter
+
+	segMu    sync.RWMutex
+	segments map[uint64]*segment
+
+	clocks sync.Map // int64 -> *strandState
+
+	mu     sync.Mutex // guards locks and rep
+	locks  map[any]VC
+	rep    *report.Report
+	races  int
+	writes atomic.Uint64
+	reads  atomic.Uint64
+}
+
+// NewChecker creates an empty runtime checker.
+func NewChecker() *Checker {
+	return &Checker{
+		segments: make(map[uint64]*segment),
+		locks:    make(map[any]VC),
+		rep:      report.New(),
+	}
+}
+
+// Report returns the accumulated warnings.
+func (c *Checker) Report() *report.Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rep.Sort()
+	return c.rep
+}
+
+// StatsSnapshot returns current footprint counters.
+func (c *Checker) StatsSnapshot() Stats {
+	c.segMu.RLock()
+	segs := len(c.segments)
+	cells := 0
+	for _, s := range c.segments {
+		s.mu.Lock()
+		cells += len(s.cells)
+		s.mu.Unlock()
+	}
+	c.segMu.RUnlock()
+	c.mu.Lock()
+	races := c.races
+	c.mu.Unlock()
+	return Stats{
+		Segments: segs, Cells: cells,
+		Writes: c.writes.Load(), Reads: c.reads.Load(),
+		RacesFound: races,
+	}
+}
+
+// strand returns (creating) the strand state, lock-free on the hot path.
+func (c *Checker) strand(id int64) *strandState {
+	if v, ok := c.clocks.Load(id); ok {
+		return v.(*strandState)
+	}
+	st := &strandState{id: id, vc: VC{id: 0}, next: 1}
+	actual, _ := c.clocks.LoadOrStore(id, st)
+	return actual.(*strandState)
+}
+
+// bump advances a strand's own clock component.
+func (st *strandState) bump() {
+	st.mu.Lock()
+	st.vc[st.id] = st.next
+	st.own.Store(st.next)
+	st.next++
+	st.mu.Unlock()
+}
+
+// StrandBegin opens (or resumes) a strand.  It is concurrent with other
+// live strands; ordering against pre-fence history comes from the global
+// epoch.
+func (c *Checker) StrandBegin(id int64) { c.strand(id).bump() }
+
+// StrandEnd closes a strand region.  The strand's writes remain visible
+// in the shadow state (they may still race with later strands until a
+// global fence orders them).
+func (c *Checker) StrandEnd(id int64) { c.strand(id).bump() }
+
+// GlobalFence orders every strand's past against everything that
+// follows (a persist barrier outside strand regions): one atomic bump.
+func (c *Checker) GlobalFence() { c.gepoch.Add(1) }
+
+// Acquire orders the thread after the last Release of the lock.
+func (c *Checker) Acquire(id int64, lock any) {
+	st := c.strand(id)
+	c.mu.Lock()
+	lv, ok := c.locks[lock]
+	if ok {
+		st.mu.Lock()
+		st.vc.Join(lv)
+		st.mu.Unlock()
+	}
+	c.mu.Unlock()
+}
+
+// Release publishes the thread's clock through the lock.
+func (c *Checker) Release(id int64, lock any) {
+	st := c.strand(id)
+	st.bump()
+	st.mu.Lock()
+	snapshot := st.vc.Copy()
+	st.mu.Unlock()
+	c.mu.Lock()
+	lv, ok := c.locks[lock]
+	if !ok {
+		lv = make(VC)
+		c.locks[lock] = lv
+	}
+	lv.Join(snapshot)
+	c.mu.Unlock()
+}
+
+// seg returns (creating) the shadow segment for an address.
+func (c *Checker) seg(addr uint64) *segment {
+	key := addr >> segmentShift
+	c.segMu.RLock()
+	s := c.segments[key]
+	c.segMu.RUnlock()
+	if s != nil {
+		return s
+	}
+	c.segMu.Lock()
+	defer c.segMu.Unlock()
+	if s = c.segments[key]; s == nil {
+		s = &segment{cells: make(map[uint64]*shadowCell)}
+		c.segments[key] = s
+	}
+	return s
+}
+
+// ordered decides whether a previous access happens-before the current
+// one: same strand, separated by a global fence, or vector-clock ordered
+// (the slow path).
+func (c *Checker) ordered(st *strandState, now uint64, prev *access) bool {
+	if prev.strand == st.id {
+		return true
+	}
+	if prev.gepoch < now {
+		return true // a global persist barrier intervened
+	}
+	st.mu.Lock()
+	hb := st.vc.HappensBefore(prev.strand, prev.clock)
+	st.mu.Unlock()
+	return hb
+}
+
+// Write records a persistent write by strand id at addr and checks WAW
+// and read-write races against unordered prior accesses.
+func (c *Checker) Write(id int64, addr uint64, persistent bool, fn, file string, line int) {
+	if !persistent && !c.TrackAll {
+		return
+	}
+	c.writes.Add(1)
+	st := c.strand(id)
+	now := c.gepoch.Load()
+	s := c.seg(addr)
+	s.mu.Lock()
+	sc := s.cells[addr]
+	if sc == nil {
+		sc = &shadowCell{}
+		s.cells[addr] = sc
+	}
+	type conflict struct {
+		prev access
+		kind string
+	}
+	var raceWith []conflict
+	if sc.hasWrite && !c.ordered(st, now, &sc.write) {
+		raceWith = append(raceWith, conflict{prev: sc.write, kind: "WAW"})
+	}
+	for i := range sc.reads {
+		r := &sc.reads[i]
+		if !c.ordered(st, now, r) {
+			raceWith = append(raceWith, conflict{prev: *r, kind: "RAW"})
+		}
+	}
+	sc.hasWrite = true
+	sc.write = access{strand: id, clock: st.own.Load(), gepoch: now, fn: fn, file: file, line: line}
+	sc.reads = sc.reads[:0]
+	s.mu.Unlock()
+	for _, cf := range raceWith {
+		c.race(cf.kind, cf.prev, access{strand: id, fn: fn, file: file, line: line}, addr)
+	}
+}
+
+// Read records a persistent read and checks RAW races against unordered
+// prior writes from other strands.
+func (c *Checker) Read(id int64, addr uint64, persistent bool, fn, file string, line int) {
+	if !persistent && !c.TrackAll {
+		return
+	}
+	c.reads.Add(1)
+	st := c.strand(id)
+	now := c.gepoch.Load()
+	s := c.seg(addr)
+	s.mu.Lock()
+	sc := s.cells[addr]
+	if sc == nil {
+		sc = &shadowCell{}
+		s.cells[addr] = sc
+	}
+	var raced *access
+	if sc.hasWrite && !c.ordered(st, now, &sc.write) {
+		cp := sc.write
+		raced = &cp
+	}
+	rec := access{strand: id, clock: st.own.Load(), gepoch: now, fn: fn, file: file, line: line}
+	updated := false
+	for i := range sc.reads {
+		if sc.reads[i].strand == id {
+			sc.reads[i] = rec
+			updated = true
+			break
+		}
+	}
+	if !updated {
+		sc.reads = append(sc.reads, rec)
+	}
+	s.mu.Unlock()
+	if raced != nil {
+		c.race("RAW", *raced, access{strand: id, fn: fn, file: file, line: line}, addr)
+	}
+}
+
+func (c *Checker) race(kind string, prev, cur access, addr uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.races++
+	c.rep.Add(report.Warning{
+		Rule: report.RuleStrandDependence,
+		Message: fmt.Sprintf(
+			"%s dependence between strands %d and %d on persistent address %#x (previous access at %s:%d): dependent persists must share a strand or be ordered by a barrier",
+			kind, prev.strand, cur.strand, addr, prev.file, prev.line),
+		Func:    cur.fn,
+		File:    cur.file,
+		Line:    cur.line,
+		Dynamic: true,
+	})
+}

@@ -1,0 +1,271 @@
+package dynamic
+
+import (
+	"sync"
+	"testing"
+
+	"deepmc/internal/dsa"
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+func TestWAWBetweenStrands(t *testing.T) {
+	c := NewChecker()
+	c.StrandBegin(1)
+	c.Write(1, 0x1000, true, "f", "f.c", 10)
+	c.StrandEnd(1)
+	c.StrandBegin(2)
+	c.Write(2, 0x1000, true, "f", "f.c", 20)
+	c.StrandEnd(2)
+	rep := c.Report()
+	if len(rep.Warnings) != 1 {
+		t.Fatalf("warnings = %d, want 1:\n%s", len(rep.Warnings), rep)
+	}
+	w := rep.Warnings[0]
+	if w.Rule != report.RuleStrandDependence || !w.Dynamic || w.Line != 20 {
+		t.Errorf("warning = %+v", w)
+	}
+}
+
+func TestRAWBetweenStrands(t *testing.T) {
+	c := NewChecker()
+	c.StrandBegin(1)
+	c.Write(1, 0x2000, true, "f", "f.c", 10)
+	c.StrandEnd(1)
+	c.StrandBegin(2)
+	c.Read(2, 0x2000, true, "f", "f.c", 30)
+	c.StrandEnd(2)
+	rep := c.Report()
+	if len(rep.Warnings) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(rep.Warnings))
+	}
+}
+
+func TestGlobalFenceOrdersStrands(t *testing.T) {
+	c := NewChecker()
+	c.StrandBegin(1)
+	c.Write(1, 0x3000, true, "f", "f.c", 10)
+	c.StrandEnd(1)
+	c.GlobalFence()
+	c.StrandBegin(2)
+	c.Write(2, 0x3000, true, "f", "f.c", 20)
+	c.StrandEnd(2)
+	if rep := c.Report(); len(rep.Warnings) != 0 {
+		t.Errorf("fence-ordered strands must not race:\n%s", rep)
+	}
+}
+
+func TestDisjointAddressesNoRace(t *testing.T) {
+	c := NewChecker()
+	c.StrandBegin(1)
+	c.Write(1, 0x100, true, "f", "f.c", 1)
+	c.StrandEnd(1)
+	c.StrandBegin(2)
+	c.Write(2, 0x108, true, "f", "f.c", 2)
+	c.StrandEnd(2)
+	if rep := c.Report(); len(rep.Warnings) != 0 {
+		t.Errorf("disjoint strands must not race:\n%s", rep)
+	}
+}
+
+func TestSameStrandNoRace(t *testing.T) {
+	c := NewChecker()
+	c.StrandBegin(1)
+	c.Write(1, 0x100, true, "f", "f.c", 1)
+	c.Write(1, 0x100, true, "f", "f.c", 2)
+	c.Read(1, 0x100, true, "f", "f.c", 3)
+	c.StrandEnd(1)
+	if rep := c.Report(); len(rep.Warnings) != 0 {
+		t.Errorf("a strand cannot race with itself:\n%s", rep)
+	}
+}
+
+func TestVolatileUntracked(t *testing.T) {
+	c := NewChecker()
+	c.StrandBegin(1)
+	c.Write(1, 0x100, false, "f", "f.c", 1)
+	c.StrandEnd(1)
+	c.StrandBegin(2)
+	c.Write(2, 0x100, false, "f", "f.c", 2)
+	c.StrandEnd(2)
+	if rep := c.Report(); len(rep.Warnings) != 0 {
+		t.Errorf("volatile accesses must be ignored by default:\n%s", rep)
+	}
+	st := c.StatsSnapshot()
+	if st.Writes != 0 {
+		t.Errorf("stats recorded %d volatile writes", st.Writes)
+	}
+}
+
+func TestTrackAllAblation(t *testing.T) {
+	c := NewChecker()
+	c.TrackAll = true
+	c.StrandBegin(1)
+	c.Write(1, 0x100, false, "f", "f.c", 1)
+	c.StrandEnd(1)
+	c.StrandBegin(2)
+	c.Write(2, 0x100, false, "f", "f.c", 2)
+	c.StrandEnd(2)
+	if rep := c.Report(); len(rep.Warnings) != 1 {
+		t.Errorf("TrackAll must detect the volatile race:\n%s", rep)
+	}
+}
+
+func TestAcquireReleaseOrdering(t *testing.T) {
+	c := NewChecker()
+	lock := "mu"
+	c.StrandBegin(1)
+	c.Write(1, 0x500, true, "f", "f.c", 1)
+	c.Release(1, lock)
+	c.StrandEnd(1)
+	c.StrandBegin(2)
+	c.Acquire(2, lock)
+	c.Write(2, 0x500, true, "f", "f.c", 2)
+	c.StrandEnd(2)
+	if rep := c.Report(); len(rep.Warnings) != 0 {
+		t.Errorf("lock-ordered accesses must not race:\n%s", rep)
+	}
+}
+
+func TestConcurrentUseIsSafe(t *testing.T) {
+	c := NewChecker()
+	var wg sync.WaitGroup
+	for th := int64(1); th <= 8; th++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			c.StrandBegin(id)
+			for i := 0; i < 1000; i++ {
+				c.Write(id, uint64(id)<<20|uint64(i*8), true, "f", "f.c", int(id))
+			}
+			c.StrandEnd(id)
+		}(th)
+	}
+	wg.Wait()
+	st := c.StatsSnapshot()
+	if st.Writes != 8000 {
+		t.Errorf("writes = %d, want 8000", st.Writes)
+	}
+	if rep := c.Report(); len(rep.Warnings) != 0 {
+		t.Errorf("disjoint concurrent writes raced:\n%s", rep)
+	}
+}
+
+func TestShadowSegments(t *testing.T) {
+	c := NewChecker()
+	c.StrandBegin(1)
+	// Two addresses in one 4K segment, one in another.
+	c.Write(1, 0x0008, true, "f", "f.c", 1)
+	c.Write(1, 0x0010, true, "f", "f.c", 2)
+	c.Write(1, 0x5000, true, "f", "f.c", 3)
+	c.StrandEnd(1)
+	st := c.StatsSnapshot()
+	if st.Segments != 2 {
+		t.Errorf("segments = %d, want 2", st.Segments)
+	}
+	if st.Cells != 3 {
+		t.Errorf("cells = %d, want 3", st.Cells)
+	}
+}
+
+// --- end-to-end through the interpreter -------------------------------------
+
+const strandProgSrc = `
+module m
+
+type acct struct {
+	bal: int
+	log: int
+}
+
+func racy(a: *acct) {
+	file "racy.c"
+	strandbegin 1        @10
+	store %a.bal, 100    @11
+	flush %a.bal         @12
+	strandend 1          @13
+	strandbegin 2        @14
+	store %a.bal, 200    @15
+	flush %a.bal         @16
+	strandend 2          @17
+	fence                @18
+	ret
+}
+
+func ordered(a: *acct) {
+	file "ordered.c"
+	strandbegin 1        @20
+	store %a.bal, 100    @21
+	flush %a.bal         @22
+	strandend 1          @23
+	fence                @24
+	strandbegin 2        @25
+	store %a.bal, 200    @26
+	flush %a.bal         @27
+	strandend 2          @28
+	fence                @29
+	ret
+}
+
+func main_racy() {
+	%a = palloc acct
+	call racy(%a)
+	ret
+}
+
+func main_ordered() {
+	%a = palloc acct
+	call ordered(%a)
+	ret
+}
+`
+
+func TestEndToEndStrandRace(t *testing.T) {
+	m := ir.MustParse(strandProgSrc)
+	rt := NewRuntime(true)
+	ip := interp.New(m, rt)
+	if _, err := ip.Run("main_racy"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := rt.Checker.Report()
+	found := false
+	for _, w := range rep.Warnings {
+		if w.Rule == report.RuleStrandDependence && w.Line == 15 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("WAW at racy.c:15 not detected:\n%s", rep)
+	}
+}
+
+func TestEndToEndOrderedClean(t *testing.T) {
+	m := ir.MustParse(strandProgSrc)
+	rt := NewRuntime(true)
+	ip := interp.New(m, rt)
+	if _, err := ip.Run("main_ordered"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep := rt.Checker.Report(); len(rep.Warnings) != 0 {
+		t.Errorf("fence-separated strands flagged:\n%s", rep)
+	}
+}
+
+func TestInstrumentPlanScopes(t *testing.T) {
+	m := ir.MustParse(strandProgSrc)
+	a := dsa.Analyze(m, dsa.DefaultOptions())
+	annotated := Instrument(m, a, true)
+	full := Instrument(m, a, false)
+	if annotated.TotalMemOps == 0 || annotated.PersistentMemOps == 0 {
+		t.Fatalf("plan counted nothing: %+v", annotated)
+	}
+	if len(annotated.Sites) > len(full.Sites) {
+		t.Errorf("annotated scope (%d sites) cannot exceed full scope (%d)",
+			len(annotated.Sites), len(full.Sites))
+	}
+	if annotated.AnnotatedMemOps != len(annotated.Sites) {
+		t.Errorf("annotated sites %d != AnnotatedMemOps %d",
+			len(annotated.Sites), annotated.AnnotatedMemOps)
+	}
+}

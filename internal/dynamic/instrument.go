@@ -1,0 +1,82 @@
+package dynamic
+
+import (
+	"deepmc/internal/dsa"
+	"deepmc/internal/ir"
+)
+
+// Plan is the static instrumentation plan (step ⑤ of Figure 8): the set
+// of instructions that need runtime tracking calls.  DeepMC instruments
+// only persistent-memory accesses inside programmer-annotated epoch or
+// strand regions, which is what keeps the runtime overhead low — the
+// Stats fields quantify exactly how much instrumentation the DSA-informed
+// plan avoids.
+type Plan struct {
+	// Sites lists the instructions that receive tracking calls.
+	Sites map[ir.InstrRef]bool
+	// TotalMemOps counts all load/store/memcopy/memset sites in the
+	// module.
+	TotalMemOps int
+	// PersistentMemOps counts sites the DSA proved to touch NVM.
+	PersistentMemOps int
+	// AnnotatedMemOps counts persistent sites inside epoch/strand regions
+	// (the instrumented set under the default scope).
+	AnnotatedMemOps int
+}
+
+// Instrument computes the plan for a module.  When onlyAnnotated is
+// false, every persistent access is instrumented (the full-tracking
+// ablation).
+//
+// Region membership is approximated syntactically per block path: an
+// instruction is "annotated" if an epoch/strand begin dominates it in
+// instruction order within its function (the frameworks under study open
+// and close regions in the same function, so this matches the paper's
+// pre-defined annotations).
+func Instrument(m *ir.Module, a *dsa.Analysis, onlyAnnotated bool) *Plan {
+	p := &Plan{Sites: make(map[ir.InstrRef]bool)}
+	for _, fname := range m.FuncNames() {
+		f := m.Funcs[fname]
+		g := a.Graph(fname)
+		depth := 0
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				switch in.Op {
+				case ir.OpEpochBegin, ir.OpStrandBegin:
+					depth++
+					continue
+				case ir.OpEpochEnd, ir.OpStrandEnd:
+					if depth > 0 {
+						depth--
+					}
+					continue
+				case ir.OpLoad, ir.OpStore, ir.OpMemCopy, ir.OpMemSet:
+				default:
+					continue
+				}
+				p.TotalMemOps++
+				cell := cellOfOperand(g, in.Args[0])
+				if !cell.IsPtr() || !cell.Obj.Persistent() {
+					continue
+				}
+				p.PersistentMemOps++
+				inRegion := depth > 0
+				if inRegion {
+					p.AnnotatedMemOps++
+				}
+				if inRegion || !onlyAnnotated {
+					p.Sites[ir.InstrRef{Func: fname, Block: blk.Name, Index: i}] = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+func cellOfOperand(g *dsa.Graph, v ir.Value) dsa.Cell {
+	if r, ok := v.(ir.Reg); ok {
+		return g.RegCell(r.Name)
+	}
+	return dsa.Cell{}
+}

@@ -1,0 +1,96 @@
+package dynamic
+
+import (
+	"deepmc/internal/interp"
+)
+
+// Runtime adapts interpreter events to the runtime checker — it plays the
+// role of the calls the instrumenter injects into the IR (step ⑤ of
+// Figure 8).  Accesses outside annotated epoch/strand regions are not
+// tracked when OnlyAnnotated is set, mirroring the paper's low-overhead
+// instrumentation scope.
+type Runtime struct {
+	Checker *Checker
+	// OnlyAnnotated restricts tracking to code inside epoch or strand
+	// regions (the paper's default).  When false every persistent access
+	// is tracked (ablation: full instrumentation).
+	OnlyAnnotated bool
+
+	curStrand   int64
+	strandDepth int
+	epochDepth  int
+}
+
+// NewRuntime wires a fresh checker to an interpreter hook set.
+func NewRuntime(onlyAnnotated bool) *Runtime {
+	return &Runtime{Checker: NewChecker(), OnlyAnnotated: onlyAnnotated, curStrand: 0}
+}
+
+var _ interp.Hooks = (*Runtime)(nil)
+
+func addrOf(obj *interp.Object, off int) uint64 {
+	return uint64(obj.ID)<<32 | uint64(uint32(off))
+}
+
+func (r *Runtime) tracked() bool {
+	return !r.OnlyAnnotated || r.strandDepth > 0 || r.epochDepth > 0
+}
+
+// OnWrite records each 8-byte granule of the write.
+func (r *Runtime) OnWrite(obj *interp.Object, off, size int, fn, file string, line int) {
+	if !r.tracked() {
+		return
+	}
+	for g := 0; g < size; g += 8 {
+		r.Checker.Write(r.curStrand, addrOf(obj, off+g), obj.Persistent, fn, file, line)
+	}
+}
+
+// OnRead records each 8-byte granule of the read.
+func (r *Runtime) OnRead(obj *interp.Object, off, size int, fn, file string, line int) {
+	if !r.tracked() {
+		return
+	}
+	for g := 0; g < size; g += 8 {
+		r.Checker.Read(r.curStrand, addrOf(obj, off+g), obj.Persistent, fn, file, line)
+	}
+}
+
+// OnFlush is not a dependence-carrying access; nothing to track.
+func (r *Runtime) OnFlush(*interp.Object, int, int, string, string, int) {}
+
+// OnFence outside strand regions orders all strands (a global persist
+// barrier); inside a strand it only orders that strand's own persists,
+// which the per-strand clock already captures.
+func (r *Runtime) OnFence(string, string, int) {
+	if r.strandDepth == 0 {
+		r.Checker.GlobalFence()
+	}
+}
+
+func (r *Runtime) OnTxBegin(string, string, int)                         {}
+func (r *Runtime) OnTxEnd(string, string, int)                           {}
+func (r *Runtime) OnTxAdd(*interp.Object, int, int, string, string, int) {}
+
+func (r *Runtime) OnEpochBegin(string, string, int) { r.epochDepth++ }
+func (r *Runtime) OnEpochEnd(string, string, int) {
+	if r.epochDepth > 0 {
+		r.epochDepth--
+	}
+}
+
+func (r *Runtime) OnStrandBegin(id int64, _, _ string, _ int) {
+	r.curStrand = id
+	r.strandDepth++
+	r.Checker.StrandBegin(id)
+}
+
+func (r *Runtime) OnStrandEnd(id int64, _, _ string, _ int) {
+	r.Checker.StrandEnd(id)
+	if r.strandDepth > 0 {
+		r.strandDepth--
+	}
+	if r.strandDepth == 0 {
+		r.curStrand = 0
+	}
+}

@@ -1,0 +1,301 @@
+// Package fixer implements the automated bug fixing the paper leaves as
+// future work (§4.3): given a module and the checker's warnings, it
+// rewrites the IR to repair the mechanical bug classes —
+//
+//   - unflushed-write: insert a covering flush (and barrier) after the
+//     store;
+//   - missing-persist-barrier: insert a fence after the unfenced flush;
+//   - missing-barrier-nested-tx: insert a fence before the inner txend;
+//   - redundant-flush: delete the duplicate flush (and a fence that
+//     guarded only it);
+//   - flush-unmodified of never-written storage: delete the flush;
+//   - flush-unmodified whole-object flushes: narrow the flush to the
+//     fields actually written.
+//
+// Semantic classes (semantic-mismatch, durable-tx-no-writes,
+// multiple-persist, strand dependences) need programmer intent and are
+// reported as Skipped, exactly the boundary the paper draws.
+package fixer
+
+import (
+	"fmt"
+	"strings"
+
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+// Outcome describes what happened to one warning.
+type Outcome struct {
+	Warning report.Warning
+	Fixed   bool
+	Action  string // human-readable description of the rewrite
+}
+
+// Result summarizes a fixing run.
+type Result struct {
+	Outcomes []Outcome
+}
+
+// FixedCount returns how many warnings were repaired.
+func (r *Result) FixedCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Fixed {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the result, one line per warning.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, o := range r.Outcomes {
+		status := "SKIP "
+		if o.Fixed {
+			status = "FIXED"
+		}
+		fmt.Fprintf(&b, "%s %s:%d %s: %s\n", status, o.Warning.File, o.Warning.Line, o.Warning.Rule, o.Action)
+	}
+	fmt.Fprintf(&b, "%d/%d warnings fixed\n", r.FixedCount(), len(r.Outcomes))
+	return b.String()
+}
+
+// Fix applies automated repairs for the warnings to a copy of the
+// module, returning the repaired module and the per-warning outcomes.
+func Fix(m *ir.Module, warnings []report.Warning) (*ir.Module, *Result) {
+	fixed := m.Clone()
+	res := &Result{}
+	for _, w := range warnings {
+		out := Outcome{Warning: w}
+		switch w.Rule {
+		case report.RuleUnflushedWrite:
+			out.Fixed, out.Action = fixUnflushedWrite(fixed, w)
+		case report.RuleMissingBarrier:
+			out.Fixed, out.Action = fixMissingBarrier(fixed, w)
+		case report.RuleMissingBarrierNestedTx:
+			out.Fixed, out.Action = fixNestedTxBarrier(fixed, w)
+		case report.RuleRedundantFlush:
+			out.Fixed, out.Action = fixRedundantFlush(fixed, w)
+		case report.RuleFlushUnmodified:
+			out.Fixed, out.Action = fixFlushUnmodified(fixed, w)
+		default:
+			out.Action = "requires programmer intent; not auto-fixable"
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+	return fixed, res
+}
+
+// site locates an instruction by (file, line, opcode predicate).
+type site struct {
+	fn  *ir.Function
+	blk *ir.Block
+	idx int
+}
+
+// findSites returns all instructions in functions of the warning's file
+// at the warning's line matching pred, in stable order.
+func findSites(m *ir.Module, w report.Warning, pred func(*ir.Instr) bool) []site {
+	var out []site
+	for _, name := range m.FuncNames() {
+		f := m.Funcs[name]
+		if f.File != w.File {
+			continue
+		}
+		for _, blk := range f.Blocks {
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				if in.Line == w.Line && pred(in) {
+					out = append(out, site{fn: f, blk: blk, idx: i})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// insertAfter inserts instructions after the site's index.
+func insertAfter(s site, ins ...ir.Instr) {
+	blk := s.blk
+	tail := append([]ir.Instr(nil), blk.Instrs[s.idx+1:]...)
+	blk.Instrs = append(blk.Instrs[:s.idx+1], append(ins, tail...)...)
+}
+
+// removeAt deletes the instruction at the site.
+func removeAt(s site) {
+	blk := s.blk
+	blk.Instrs = append(blk.Instrs[:s.idx], blk.Instrs[s.idx+1:]...)
+}
+
+// fixUnflushedWrite inserts "flush <ptr>; fence" right after the store.
+func fixUnflushedWrite(m *ir.Module, w report.Warning) (bool, string) {
+	sites := findSites(m, w, func(in *ir.Instr) bool {
+		return in.Op == ir.OpStore || in.Op == ir.OpMemCopy || in.Op == ir.OpMemSet
+	})
+	if len(sites) == 0 {
+		return false, "no store found at the reported line"
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		s := sites[i]
+		ptr := s.blk.Instrs[s.idx].Args[0]
+		insertAfter(s,
+			ir.Instr{Op: ir.OpFlush, Args: []ir.Value{ptr}, Line: w.Line},
+			ir.Instr{Op: ir.OpFence, Line: w.Line},
+		)
+	}
+	return true, "inserted covering flush and persist barrier after the store"
+}
+
+// fixMissingBarrier inserts a fence right after the unfenced flush.
+func fixMissingBarrier(m *ir.Module, w report.Warning) (bool, string) {
+	sites := findSites(m, w, func(in *ir.Instr) bool { return in.Op == ir.OpFlush })
+	if len(sites) == 0 {
+		return false, "no flush found at the reported line"
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		insertAfter(sites[i], ir.Instr{Op: ir.OpFence, Line: w.Line})
+	}
+	return true, "inserted persist barrier after the flush"
+}
+
+// fixNestedTxBarrier inserts a fence immediately before the inner txend.
+func fixNestedTxBarrier(m *ir.Module, w report.Warning) (bool, string) {
+	sites := findSites(m, w, func(in *ir.Instr) bool { return in.Op == ir.OpTxEnd })
+	if len(sites) == 0 {
+		return false, "no txend found at the reported line"
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		s := sites[i]
+		blk := s.blk
+		tail := append([]ir.Instr(nil), blk.Instrs[s.idx:]...)
+		blk.Instrs = append(blk.Instrs[:s.idx],
+			append([]ir.Instr{{Op: ir.OpFence, Line: w.Line}}, tail...)...)
+	}
+	return true, "inserted persist barrier before the nested transaction end"
+}
+
+// fixRedundantFlush deletes the duplicate flush; if the instruction
+// directly after it is a fence that guarded only this flush (preceded by
+// no other flush since the previous fence), the fence goes too.
+func fixRedundantFlush(m *ir.Module, w report.Warning) (bool, string) {
+	sites := findSites(m, w, func(in *ir.Instr) bool { return in.Op == ir.OpFlush })
+	if len(sites) == 0 {
+		return false, "no flush found at the reported line"
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		s := sites[i]
+		dropFence := false
+		if s.idx+1 < len(s.blk.Instrs) && s.blk.Instrs[s.idx+1].Op == ir.OpFence {
+			dropFence = !flushSincePreviousFence(s)
+		}
+		if dropFence {
+			s.blk.Instrs = append(s.blk.Instrs[:s.idx], s.blk.Instrs[s.idx+2:]...)
+		} else {
+			removeAt(s)
+		}
+	}
+	return true, "removed redundant flush"
+}
+
+// flushSincePreviousFence reports whether another flush precedes the
+// site's flush after the most recent fence in the same block.
+func flushSincePreviousFence(s site) bool {
+	for i := s.idx - 1; i >= 0; i-- {
+		switch s.blk.Instrs[i].Op {
+		case ir.OpFence:
+			return false
+		case ir.OpFlush:
+			return true
+		}
+	}
+	return false
+}
+
+// fixFlushUnmodified handles both flavors: a flush of never-written
+// storage is deleted; a whole-object flush over partial writes is
+// narrowed to the fields written earlier in the same function.
+func fixFlushUnmodified(m *ir.Module, w report.Warning) (bool, string) {
+	sites := findSites(m, w, func(in *ir.Instr) bool { return in.Op == ir.OpFlush })
+	if len(sites) == 0 {
+		return false, "no flush found at the reported line"
+	}
+	narrowed := false
+	for i := len(sites) - 1; i >= 0; i-- {
+		s := sites[i]
+		flush := s.blk.Instrs[s.idx]
+		baseReg, isReg := flush.Args[0].(ir.Reg)
+		var fieldPtrs []ir.Value
+		if isReg {
+			fieldPtrs = writtenFieldPtrs(s.fn, baseReg.Name, s)
+		}
+		if len(fieldPtrs) == 0 {
+			// Nothing was written: the flush is pure overhead; delete it
+			// (and its private fence, as in the redundant case).
+			if s.idx+1 < len(s.blk.Instrs) && s.blk.Instrs[s.idx+1].Op == ir.OpFence &&
+				!flushSincePreviousFence(s) {
+				s.blk.Instrs = append(s.blk.Instrs[:s.idx], s.blk.Instrs[s.idx+2:]...)
+			} else {
+				removeAt(s)
+			}
+			continue
+		}
+		// Narrow: replace the whole-object flush with per-field flushes.
+		repl := make([]ir.Instr, 0, len(fieldPtrs))
+		for _, p := range fieldPtrs {
+			repl = append(repl, ir.Instr{Op: ir.OpFlush, Args: []ir.Value{p}, Line: flush.Line})
+		}
+		tail := append([]ir.Instr(nil), s.blk.Instrs[s.idx+1:]...)
+		s.blk.Instrs = append(s.blk.Instrs[:s.idx], append(repl, tail...)...)
+		narrowed = true
+	}
+	if narrowed {
+		return true, "narrowed whole-object flush to the written fields"
+	}
+	return true, "removed flush of unmodified storage"
+}
+
+// writtenFieldPtrs finds registers that are field pointers (geps rooted
+// at base) stored through before the flush site, in order of first
+// store.
+func writtenFieldPtrs(f *ir.Function, base string, flushSite site) []ir.Value {
+	// Map gep destination -> root register (following one gep level).
+	rootOf := make(map[string]string)
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op != ir.OpGEP {
+				continue
+			}
+			if r, ok := in.Args[0].(ir.Reg); ok {
+				root := r.Name
+				if via, ok := rootOf[root]; ok {
+					root = via
+				}
+				rootOf[in.Dst] = root
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	var out []ir.Value
+	for _, blk := range f.Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op != ir.OpStore {
+				continue
+			}
+			// Only stores before the flush in the same block, or in
+			// earlier blocks (approximation: any other block).
+			if blk == flushSite.blk && i >= flushSite.idx {
+				continue
+			}
+			if r, ok := blk.Instrs[i].Args[0].(ir.Reg); ok {
+				if rootOf[r.Name] == base && !seen[r.Name] {
+					seen[r.Name] = true
+					out = append(out, ir.Reg{Name: r.Name})
+				}
+			}
+		}
+	}
+	return out
+}

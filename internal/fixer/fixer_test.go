@@ -1,0 +1,340 @@
+package fixer
+
+import (
+	"strings"
+	"testing"
+
+	"deepmc/internal/checker"
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+// fixAndRecheck runs check -> fix -> re-check and returns the final
+// report plus the fix result.
+func fixAndRecheck(t *testing.T, src string, model checker.Model) (*report.Report, *Result) {
+	t.Helper()
+	m := ir.MustParse(src)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	rep := checker.Check(m, model)
+	fixed, res := Fix(m, rep.Warnings)
+	if err := ir.Verify(fixed); err != nil {
+		t.Fatalf("fixed module fails verification: %v\n%s", err, ir.Print(fixed))
+	}
+	return checker.Check(fixed, model), res
+}
+
+func TestFixUnflushedWrite(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+	b: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc o
+	store %p.a, 1 @10
+	fence         @12
+	ret
+}
+`
+	after, res := fixAndRecheck(t, src, checker.Strict)
+	if res.FixedCount() != 1 {
+		t.Fatalf("fixed = %d\n%s", res.FixedCount(), res)
+	}
+	for _, w := range after.Warnings {
+		if w.Rule == report.RuleUnflushedWrite {
+			t.Errorf("unflushed write survived the fix:\n%s", after)
+		}
+	}
+}
+
+func TestFixMissingBarrier(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc o
+	store %p.a, 1 @5
+	flush %p.a    @6
+	ret
+}
+`
+	after, res := fixAndRecheck(t, src, checker.Strict)
+	if res.FixedCount() != 1 {
+		t.Fatalf("fixed = %d\n%s", res.FixedCount(), res)
+	}
+	if len(after.Warnings) != 0 {
+		t.Errorf("warnings after fix:\n%s", after)
+	}
+}
+
+func TestFixNestedTxBarrier(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func inner(p: *o) {
+	file "symlink.c"
+	txbegin       @30
+	store %p.a, 7 @36
+	flush %p.a    @37
+	txend         @38
+	ret
+}
+
+func outer(p: *o) {
+	file "namei.c"
+	txbegin        @120
+	call inner(%p) @130
+	fence          @131
+	txend          @132
+	fence          @132
+	ret
+}
+
+func driver() {
+	%p = palloc o
+	call outer(%p)
+	ret
+}
+`
+	after, res := fixAndRecheck(t, src, checker.Epoch)
+	if res.FixedCount() != 1 {
+		t.Fatalf("fixed = %d\n%s", res.FixedCount(), res)
+	}
+	for _, w := range after.Warnings {
+		if w.Rule == report.RuleMissingBarrierNestedTx {
+			t.Errorf("nested-tx barrier bug survived:\n%s", after)
+		}
+	}
+}
+
+func TestFixRedundantFlush(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc o
+	store %p.a, 1 @5
+	flush %p.a    @6
+	fence         @6
+	flush %p.a    @8
+	fence         @8
+	ret
+}
+`
+	after, res := fixAndRecheck(t, src, checker.Strict)
+	if res.FixedCount() != 1 {
+		t.Fatalf("fixed = %d\n%s", res.FixedCount(), res)
+	}
+	if len(after.Warnings) != 0 {
+		t.Errorf("warnings after fix:\n%s", after)
+	}
+}
+
+func TestFixFlushNeverWritten(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc o
+	flush %p.a @5
+	fence      @5
+	ret
+}
+`
+	after, res := fixAndRecheck(t, src, checker.Strict)
+	if res.FixedCount() != 1 {
+		t.Fatalf("fixed = %d\n%s", res.FixedCount(), res)
+	}
+	if len(after.Warnings) != 0 {
+		t.Errorf("warnings after fix:\n%s", after)
+	}
+}
+
+func TestFixNarrowWholeObjectFlush(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+	b: int
+	c: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc o
+	store %p.a, 1 @4
+	flush %p      @6
+	fence         @6
+	ret
+}
+`
+	m := ir.MustParse(src)
+	rep := checker.Check(m, checker.Strict)
+	fixed, res := Fix(m, rep.Warnings)
+	if res.FixedCount() != 1 {
+		t.Fatalf("fixed = %d\n%s", res.FixedCount(), res)
+	}
+	text := ir.Print(fixed)
+	if strings.Contains(text, "flush %p\n") {
+		t.Errorf("whole-object flush not narrowed:\n%s", text)
+	}
+	after := checker.Check(fixed, checker.Strict)
+	if len(after.Warnings) != 0 {
+		t.Errorf("warnings after narrowing:\n%s", after)
+	}
+}
+
+func TestSemanticBugsSkipped(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+	b: int
+}
+
+func f(p: *o) {
+	file "f.c"
+	txbegin       @1
+	txadd %p.a    @2
+	store %p.a, 1 @3
+	txend         @4
+	fence         @4
+	txbegin       @5
+	txadd %p.b    @6
+	store %p.b, 2 @6
+	txend         @7
+	fence         @7
+	ret
+}
+
+func driver() {
+	%p = palloc o
+	call f(%p)
+	ret
+}
+`
+	m := ir.MustParse(src)
+	rep := checker.Check(m, checker.Strict)
+	if len(rep.Warnings) == 0 {
+		t.Fatal("expected a semantic-mismatch warning")
+	}
+	_, res := Fix(m, rep.Warnings)
+	if res.FixedCount() != 0 {
+		t.Errorf("semantic bug auto-fixed; it requires intent:\n%s", res)
+	}
+}
+
+func TestFixDoesNotMutateOriginal(t *testing.T) {
+	src := `
+module m
+
+type o struct {
+	a: int
+}
+
+func f() {
+	file "f.c"
+	%p = palloc o
+	store %p.a, 1 @5
+	flush %p.a    @6
+	ret
+}
+`
+	m := ir.MustParse(src)
+	before := ir.Print(m)
+	rep := checker.Check(m, checker.Strict)
+	Fix(m, rep.Warnings)
+	if ir.Print(m) != before {
+		t.Error("Fix mutated the input module")
+	}
+}
+
+// TestFixCorpusMechanicalBugs applies the fixer to every mechanical
+// (auto-fixable) warning of a strict-model program modeled on the corpus
+// and checks that re-analysis reports none of them.
+func TestFixCorpusMechanicalBugs(t *testing.T) {
+	src := `
+module m
+
+type rec struct {
+	x: int
+	y: int
+}
+
+func g1(p: *rec) {
+	file "lib.c"
+	store %p.x, 1 @10
+	fence         @11
+	ret
+}
+
+func g2(p: *rec) {
+	file "lib.c"
+	store %p.y, 2 @20
+	flush %p.y    @21
+	ret
+}
+
+func g3(p: *rec) {
+	file "lib.c"
+	store %p.x, 3 @30
+	flush %p.x    @31
+	fence         @31
+	flush %p.x    @33
+	fence         @33
+	ret
+}
+
+func driver1() {
+	%a = palloc rec
+	call g1(%a)
+	ret
+}
+
+func driver2() {
+	%b = palloc rec
+	call g2(%b)
+	ret
+}
+
+func driver3() {
+	%c = palloc rec
+	call g3(%c)
+	ret
+}
+`
+	after, res := fixAndRecheck(t, src, checker.Strict)
+	if res.FixedCount() != len(res.Outcomes) {
+		t.Fatalf("not all mechanical bugs fixed:\n%s", res)
+	}
+	if len(after.Warnings) != 0 {
+		t.Errorf("warnings after fixing everything:\n%s", after)
+	}
+}

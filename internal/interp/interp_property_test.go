@@ -1,0 +1,122 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deepmc/internal/ir"
+)
+
+// evalModel mirrors the interpreter's binop semantics in plain Go.
+func evalModel(op string, a, b int64) (int64, bool) {
+	switch op {
+	case "add":
+		return a + b, true
+	case "sub":
+		return a - b, true
+	case "mul":
+		return a * b, true
+	case "and":
+		return a & b, true
+	case "or":
+		return a | b, true
+	case "xor":
+		return a ^ b, true
+	}
+	return 0, false
+}
+
+// TestRandomExpressionPrograms builds random straight-line arithmetic
+// programs with the builder, runs them through the interpreter, and
+// compares against direct evaluation.
+func TestRandomExpressionPrograms(t *testing.T) {
+	ops := []string{"add", "sub", "mul", "and", "or", "xor"}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mod := ir.NewModule("prop")
+		b := ir.NewBuilder(mod)
+		b.BeginFunc("f")
+		b.SetRetType(ir.IntType)
+		// regs[i] holds the model value of register ri.
+		vals := []int64{rng.Int63n(100), rng.Int63n(100)}
+		b.Const("r0", vals[0])
+		b.Const("r1", vals[1])
+		n := 2 + rng.Intn(12)
+		for i := 2; i < n+2; i++ {
+			op := ops[rng.Intn(len(ops))]
+			x := rng.Intn(len(vals))
+			y := rng.Intn(len(vals))
+			model, ok := evalModel(op, vals[x], vals[y])
+			if !ok {
+				continue
+			}
+			b.Bin(fmt.Sprintf("r%d", i), op,
+				ir.R(fmt.Sprintf("r%d", x)), ir.R(fmt.Sprintf("r%d", y)))
+			vals = append(vals, model)
+		}
+		b.Ret(ir.R(fmt.Sprintf("r%d", len(vals)-1)))
+		if err := ir.Verify(mod); err != nil {
+			t.Logf("verify: %v", err)
+			return false
+		}
+		got, err := New(mod, nil).Run("f")
+		if err != nil {
+			t.Logf("run: %v", err)
+			return false
+		}
+		return got.I == vals[len(vals)-1]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomProgramsSurviveTextRoundTrip: builder-made programs print,
+// reparse and execute to the same result.
+func TestRandomProgramsSurviveTextRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mod := ir.NewModule("rt")
+		st := mod.AddType(ir.StructType("cell",
+			ir.Field{Name: "v", Type: ir.IntType},
+			ir.Field{Name: "w", Type: ir.IntType},
+		))
+		b := ir.NewBuilder(mod)
+		b.BeginFunc("f")
+		b.SetRetType(ir.IntType)
+		p := b.PAlloc("p", st)
+		_ = p
+		x := rng.Int63n(1000)
+		y := rng.Int63n(1000)
+		b.StoreField("p", "v", ir.C(x))
+		b.StoreField("p", "w", ir.C(y))
+		b.FlushField("p", "v")
+		b.FlushField("p", "w")
+		b.Fence()
+		b.LoadField("a", "p", "v")
+		b.LoadField("c", "p", "w")
+		b.Bin("s", "add", ir.R("a"), ir.R("c"))
+		b.Ret(ir.R("s"))
+
+		run := func(m *ir.Module) int64 {
+			v, err := New(m, nil).Run("f")
+			if err != nil {
+				t.Logf("run: %v", err)
+				return -1
+			}
+			return v.I
+		}
+		direct := run(mod)
+		reparsed, err := ir.Parse(ir.Print(mod))
+		if err != nil {
+			t.Logf("reparse: %v", err)
+			return false
+		}
+		return direct == x+y && run(reparsed) == direct
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package ir
+
+import "fmt"
+
+// Builder constructs PIR functions imperatively.  It is the programmatic
+// counterpart of the text format and is used heavily by the bug corpus,
+// where each instruction is anchored to a source line of the original C
+// program.
+//
+// The builder keeps a "current line" that is stamped onto every emitted
+// instruction until changed, mirroring how debug locations flow through a
+// compiler front end:
+//
+//	b := ir.NewBuilder(mod)
+//	b.BeginFunc("nvm_lock", ir.Pm("omutex", mutexPtr))
+//	b.SetFile("nvm_locks.c")
+//	b.Line(884).Assign("mutex", ir.R("omutex"))
+//	b.Line(886).Store(b.FieldAddr("lk", "state"), ir.C(1))
+type Builder struct {
+	mod  *Module
+	fn   *Function
+	blk  *Block
+	line int
+	tmp  int
+}
+
+// NewBuilder returns a builder that adds functions to mod.
+func NewBuilder(mod *Module) *Builder { return &Builder{mod: mod} }
+
+// Pm constructs a typed parameter (named for "param").
+func Pm(name string, t *Type) Param { return Param{Name: name, Type: t} }
+
+// BeginFunc starts a new function; subsequent emissions go to its implicit
+// "entry" block until Label is called.
+func (b *Builder) BeginFunc(name string, params ...Param) *Function {
+	b.fn = &Function{Name: name, Params: params}
+	b.mod.AddFunc(b.fn)
+	b.blk = &Block{Name: "entry"}
+	b.fn.AddBlock(b.blk)
+	b.line = 0
+	b.tmp = 0
+	return b.fn
+}
+
+// SetFile records the original source file of the current function.
+func (b *Builder) SetFile(file string) *Builder {
+	b.fn.File = file
+	return b
+}
+
+// SetRetType records the current function's return type.
+func (b *Builder) SetRetType(t *Type) *Builder {
+	b.fn.RetType = t
+	return b
+}
+
+// Line sets the current source line stamped on subsequent instructions.
+func (b *Builder) Line(n int) *Builder {
+	b.line = n
+	return b
+}
+
+// Label starts (or switches to) the named block of the current function.
+func (b *Builder) Label(name string) *Builder {
+	if blk := b.fn.Block(name); blk != nil {
+		b.blk = blk
+		return b
+	}
+	b.blk = &Block{Name: name}
+	b.fn.AddBlock(b.blk)
+	return b
+}
+
+// emit appends the instruction to the current block with the current line.
+func (b *Builder) emit(in Instr) {
+	if b.fn == nil || b.blk == nil {
+		panic("ir: Builder emit outside a function")
+	}
+	in.Line = b.line
+	b.blk.Instrs = append(b.blk.Instrs, in)
+}
+
+// fresh returns a unique temporary register name.
+func (b *Builder) fresh() string {
+	b.tmp++
+	return fmt.Sprintf(".t%d", b.tmp)
+}
+
+// Const emits dst = const v and returns the destination register.
+func (b *Builder) Const(dst string, v int64) Reg {
+	if dst == "" {
+		dst = b.fresh()
+	}
+	b.emit(Instr{Op: OpConst, Dst: dst, Args: []Value{C(v)}})
+	return R(dst)
+}
+
+// Assign emits dst = const/copy of v (lowered as a bin "or v, 0" for
+// registers to keep the opcode set minimal).
+func (b *Builder) Assign(dst string, v Value) Reg {
+	if c, ok := v.(Const); ok {
+		return b.Const(dst, c.Val)
+	}
+	b.emit(Instr{Op: OpBin, Bin: "or", Dst: dst, Args: []Value{v, C(0)}})
+	return R(dst)
+}
+
+// Bin emits dst = op a, b.
+func (b *Builder) Bin(dst, op string, a, v Value) Reg {
+	if dst == "" {
+		dst = b.fresh()
+	}
+	b.emit(Instr{Op: OpBin, Bin: op, Dst: dst, Args: []Value{a, v}})
+	return R(dst)
+}
+
+// Alloc emits dst = alloc T (volatile allocation).
+func (b *Builder) Alloc(dst string, t *Type) Reg {
+	if dst == "" {
+		dst = b.fresh()
+	}
+	b.emit(Instr{Op: OpAlloc, Dst: dst, Type: t})
+	return R(dst)
+}
+
+// PAlloc emits dst = palloc T (persistent allocation).
+func (b *Builder) PAlloc(dst string, t *Type) Reg {
+	if dst == "" {
+		dst = b.fresh()
+	}
+	b.emit(Instr{Op: OpAlloc, Dst: dst, Type: t, Persistent: true})
+	return R(dst)
+}
+
+// FieldAddr emits a GEP to the named field of the object the register
+// points to, returning the pointer register.
+func (b *Builder) FieldAddr(obj, field string) Reg {
+	dst := b.fresh()
+	b.emit(Instr{Op: OpGEP, Dst: dst, Field: field, Args: []Value{R(obj)}})
+	return R(dst)
+}
+
+// FieldAddrOf is FieldAddr for an arbitrary pointer value.
+func (b *Builder) FieldAddrOf(p Value, field string) Reg {
+	dst := b.fresh()
+	b.emit(Instr{Op: OpGEP, Dst: dst, Field: field, Args: []Value{p}})
+	return R(dst)
+}
+
+// IndexAddr emits a GEP to element idx of the array p points to.
+func (b *Builder) IndexAddr(p Value, idx Value) Reg {
+	dst := b.fresh()
+	b.emit(Instr{Op: OpGEP, Dst: dst, Args: []Value{p, idx}})
+	return R(dst)
+}
+
+// Load emits dst = load p.
+func (b *Builder) Load(dst string, p Value) Reg {
+	if dst == "" {
+		dst = b.fresh()
+	}
+	b.emit(Instr{Op: OpLoad, Dst: dst, Args: []Value{p}})
+	return R(dst)
+}
+
+// LoadField loads obj.field in one step.
+func (b *Builder) LoadField(dst, obj, field string) Reg {
+	return b.Load(dst, b.FieldAddr(obj, field))
+}
+
+// Store emits store p, v.
+func (b *Builder) Store(p Value, v Value) {
+	b.emit(Instr{Op: OpStore, Args: []Value{p, v}})
+}
+
+// StoreField stores v into obj.field in one step.
+func (b *Builder) StoreField(obj, field string, v Value) {
+	b.Store(b.FieldAddr(obj, field), v)
+}
+
+// Flush emits flush p.
+func (b *Builder) Flush(p Value) {
+	b.emit(Instr{Op: OpFlush, Args: []Value{p}})
+}
+
+// FlushField flushes obj.field in one step.
+func (b *Builder) FlushField(obj, field string) {
+	b.Flush(b.FieldAddr(obj, field))
+}
+
+// FlushSize emits flush p, size (an explicit byte count, as in
+// nvm_flush(region, sizeof(*region))).
+func (b *Builder) FlushSize(p Value, size Value) {
+	b.emit(Instr{Op: OpFlush, Args: []Value{p, size}})
+}
+
+// Fence emits a persist barrier.
+func (b *Builder) Fence() { b.emit(Instr{Op: OpFence}) }
+
+// TxBegin / TxEnd / TxAdd emit transaction markers.
+func (b *Builder) TxBegin()      { b.emit(Instr{Op: OpTxBegin}) }
+func (b *Builder) TxEnd()        { b.emit(Instr{Op: OpTxEnd}) }
+func (b *Builder) TxAdd(p Value) { b.emit(Instr{Op: OpTxAdd, Args: []Value{p}}) }
+
+// EpochBegin / EpochEnd emit epoch boundaries.
+func (b *Builder) EpochBegin() { b.emit(Instr{Op: OpEpochBegin}) }
+func (b *Builder) EpochEnd()   { b.emit(Instr{Op: OpEpochEnd}) }
+
+// StrandBegin / StrandEnd emit strand boundaries for strand id.
+func (b *Builder) StrandBegin(id Value) { b.emit(Instr{Op: OpStrandBegin, Args: []Value{id}}) }
+func (b *Builder) StrandEnd(id Value)   { b.emit(Instr{Op: OpStrandEnd, Args: []Value{id}}) }
+
+// Call emits dst = call callee(args...).  Pass dst == "" for a call whose
+// result is unused.
+func (b *Builder) Call(dst, callee string, args ...Value) Reg {
+	b.emit(Instr{Op: OpCall, Dst: dst, Callee: callee, Args: args})
+	return R(dst)
+}
+
+// Ret emits ret [v].
+func (b *Builder) Ret(vs ...Value) {
+	b.emit(Instr{Op: OpRet, Args: vs})
+}
+
+// Br emits an unconditional branch.
+func (b *Builder) Br(label string) {
+	b.emit(Instr{Op: OpBr, Labels: [2]string{label}})
+}
+
+// CondBr emits a conditional branch.
+func (b *Builder) CondBr(cond Value, ifLabel, elseLabel string) {
+	b.emit(Instr{Op: OpCondBr, Args: []Value{cond}, Labels: [2]string{ifLabel, elseLabel}})
+}
+
+// MemCopy emits memcopy dst, src, size.
+func (b *Builder) MemCopy(dst, src, size Value) {
+	b.emit(Instr{Op: OpMemCopy, Args: []Value{dst, src, size}})
+}
+
+// MemSet emits memset p, v, size.
+func (b *Builder) MemSet(p, v, size Value) {
+	b.emit(Instr{Op: OpMemSet, Args: []Value{p, v, size}})
+}

@@ -1,0 +1,28 @@
+package ir
+
+import "testing"
+
+// FuzzParse ensures the parser never panics on arbitrary input and that
+// anything it accepts round-trips through the printer.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSrc)
+	f.Add("module m\nfunc f() {\n ret\n}\n")
+	f.Add("module m\n\ntype t struct {\n a: int\n}\n")
+	f.Add("module m\nfunc f(x) int {\n %y = add %x, 1 @3\n ret %y\n}\n")
+	f.Add("not a module at all")
+	f.Add("module m\nfunc f() {\n store %p, 1\n}")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Print(m)
+		m2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("printed module does not reparse: %v\n%s", err, text)
+		}
+		if Print(m2) != text {
+			t.Fatalf("print/parse/print unstable for accepted input %q", src)
+		}
+	})
+}

@@ -1,0 +1,239 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds of the PIR text format.
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tNewline
+	tIdent  // bare identifier / keyword
+	tReg    // %name
+	tInt    // integer literal (possibly negative)
+	tString // "quoted"
+	tAt     // @
+	tLParen // (
+	tRParen // )
+	tLBrace // {
+	tRBrace // }
+	tLBrack // [
+	tRBrack // ]
+	tComma  // ,
+	tColon  // :
+	tEq     // =
+	tDot    // .
+	tStar   // *
+)
+
+var tokNames = [...]string{
+	tEOF: "EOF", tNewline: "newline", tIdent: "identifier", tReg: "register",
+	tInt: "integer", tString: "string", tAt: "'@'", tLParen: "'('",
+	tRParen: "')'", tLBrace: "'{'", tRBrace: "'}'", tLBrack: "'['",
+	tRBrack: "']'", tComma: "','", tColon: "':'", tEq: "'='", tDot: "'.'",
+	tStar: "'*'",
+}
+
+func (k tokKind) String() string { return tokNames[k] }
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	line int
+}
+
+// lexer tokenizes PIR source.  Newlines are significant (they terminate
+// statements), so the lexer emits tNewline tokens; consecutive newlines
+// and comment-only lines collapse into one.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1}
+	if err := lx.run(); err != nil {
+		return nil, err
+	}
+	return lx.toks, nil
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("pir: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) emit(k tokKind, text string) {
+	lx.toks = append(lx.toks, token{kind: k, text: text, line: lx.line})
+}
+
+func (lx *lexer) run() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.emitNewline()
+			lx.pos++
+			lx.line++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == ';':
+			lx.skipLineComment()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			lx.skipLineComment()
+		case c == '%':
+			if err := lx.lexReg(); err != nil {
+				return err
+			}
+		case c == '"':
+			if err := lx.lexString(); err != nil {
+				return err
+			}
+		case c == '-' || (c >= '0' && c <= '9'):
+			if err := lx.lexInt(); err != nil {
+				return err
+			}
+		case isIdentStart(rune(c)):
+			lx.lexIdent()
+		default:
+			k, ok := punctKind(c)
+			if !ok {
+				return lx.errf("unexpected character %q", string(c))
+			}
+			lx.emit(k, string(c))
+			lx.pos++
+		}
+	}
+	lx.emitNewline()
+	lx.emit(tEOF, "")
+	return nil
+}
+
+func (lx *lexer) emitNewline() {
+	if n := len(lx.toks); n > 0 && lx.toks[n-1].kind != tNewline {
+		lx.emit(tNewline, "\n")
+	}
+}
+
+func (lx *lexer) skipLineComment() {
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.pos++
+	}
+}
+
+func punctKind(c byte) (tokKind, bool) {
+	switch c {
+	case '@':
+		return tAt, true
+	case '(':
+		return tLParen, true
+	case ')':
+		return tRParen, true
+	case '{':
+		return tLBrace, true
+	case '}':
+		return tRBrace, true
+	case '[':
+		return tLBrack, true
+	case ']':
+		return tRBrack, true
+	case ',':
+		return tComma, true
+	case ':':
+		return tColon, true
+	case '=':
+		return tEq, true
+	case '.':
+		return tDot, true
+	case '*':
+		return tStar, true
+	}
+	return tEOF, false
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentCont(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (lx *lexer) lexIdent() {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentCont(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	lx.emit(tIdent, lx.src[start:lx.pos])
+}
+
+// lexReg lexes %name, where name may contain dots only via the parser's
+// place syntax (the lexer stops at '.').  Leading '.' after '%' is allowed
+// for compiler temporaries such as %.t1.
+func (lx *lexer) lexReg() error {
+	lx.pos++ // skip %
+	start := lx.pos
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' {
+		lx.pos++
+	}
+	for lx.pos < len(lx.src) && isIdentCont(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	if lx.pos == start {
+		return lx.errf("empty register name after %%")
+	}
+	lx.emit(tReg, lx.src[start:lx.pos])
+	return nil
+}
+
+func (lx *lexer) lexInt() error {
+	start := lx.pos
+	if lx.src[lx.pos] == '-' {
+		lx.pos++
+	}
+	digits := 0
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.pos++
+		digits++
+	}
+	if digits == 0 {
+		return lx.errf("malformed integer literal")
+	}
+	text := lx.src[start:lx.pos]
+	var v int64
+	neg := false
+	s := text
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	for i := 0; i < len(s); i++ {
+		v = v*10 + int64(s[i]-'0')
+	}
+	if neg {
+		v = -v
+	}
+	lx.toks = append(lx.toks, token{kind: tInt, text: text, ival: v, line: lx.line})
+	return nil
+}
+
+func (lx *lexer) lexString() error {
+	lx.pos++ // skip opening quote
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' && lx.src[lx.pos] != '\n' {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) || lx.src[lx.pos] != '"' {
+		return lx.errf("unterminated string literal")
+	}
+	lx.emit(tString, lx.src[start:lx.pos])
+	lx.pos++ // skip closing quote
+	return nil
+}

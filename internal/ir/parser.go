@@ -1,0 +1,657 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Parse reads a module from PIR text.  The format, by example:
+//
+//	module pmdk
+//
+//	type tree_map_node struct {
+//	    n: int
+//	    items: [8]int
+//	    slots: [9]*tree_map_node
+//	}
+//
+//	func btree_map_create_split_node(node: *tree_map_node, c: int) *tree_map_node {
+//	    file "btree_map.c"
+//	entry:
+//	    %i   = sub %c, 1
+//	    %p   = index %node.items, %i    @201
+//	    store %p, 0                     @201
+//	    ret %node
+//	}
+//
+// Statements end at newlines; `@N` suffixes record the original source
+// line; `;` and `//` start comments.  Pointer operands of load, store,
+// flush, txadd, memcopy and memset accept place expressions
+// (%reg.field[index]...), which the parser lowers to explicit gep
+// instructions on fresh temporaries.
+func Parse(src string) (*Module, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseModule()
+}
+
+// MustParse is Parse that panics on error; for tests and embedded corpus
+// sources that are compile-time constants.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	mod  *Module
+	fn   *Function
+	blk  *Block
+	tmp  int
+	line int // current @line annotation scope (last seen)
+	// stmtSeq counts source statements; instructions lowered from the same
+	// statement share a sequence number so @N stamps all of them.
+	stmtSeq int
+}
+
+func (p *parser) peek() token       { return p.toks[p.pos] }
+func (p *parser) next() token       { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k tokKind) bool { return p.toks[p.pos].kind == k }
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("pir: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, found %s %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, err := p.expect(tIdent)
+	if err != nil {
+		return err
+	}
+	if t.text != kw {
+		return p.errf(t, "expected %q, found %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) skipNewlines() {
+	for p.at(tNewline) {
+		p.pos++
+	}
+}
+
+func (p *parser) endStatement() error {
+	t := p.next()
+	if t.kind != tNewline && t.kind != tEOF {
+		return p.errf(t, "expected end of statement, found %s %q", t.kind, t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	p.skipNewlines()
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return nil, err
+	}
+	p.mod = NewModule(name.text)
+	if err := p.endStatement(); err != nil {
+		return nil, err
+	}
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		switch {
+		case t.kind == tEOF:
+			return p.mod, nil
+		case t.kind == tIdent && t.text == "type":
+			if err := p.parseTypeDecl(); err != nil {
+				return nil, err
+			}
+		case t.kind == tIdent && t.text == "func":
+			if err := p.parseFunc(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(t, "expected 'type' or 'func' declaration, found %q", t.text)
+		}
+	}
+}
+
+func (p *parser) parseTypeDecl() error {
+	p.next() // 'type'
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("struct"); err != nil {
+		return err
+	}
+	if _, err := p.expect(tLBrace); err != nil {
+		return err
+	}
+	st := &Type{Kind: KStruct, Name: name.text}
+	for {
+		p.skipNewlines()
+		if p.at(tRBrace) {
+			p.next()
+			break
+		}
+		fname, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tColon); err != nil {
+			return err
+		}
+		ft, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		st.Fields = append(st.Fields, Field{Name: fname.text, Type: ft})
+		// Optional comma or newline separates fields.
+		if p.at(tComma) {
+			p.next()
+		}
+	}
+	p.mod.AddType(st)
+	return p.endStatement()
+}
+
+// parseType parses int | *T | [N]T | StructName.
+func (p *parser) parseType() (*Type, error) {
+	t := p.peek()
+	switch t.kind {
+	case tStar:
+		p.next()
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return PtrTo(elem), nil
+	case tLBrack:
+		p.next()
+		n, err := p.expect(tInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tRBrack); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return ArrayOf(int(n.ival), elem), nil
+	case tIdent:
+		p.next()
+		if t.text == "int" {
+			return IntType, nil
+		}
+		// Named struct reference; resolved lazily against the module so
+		// mutually recursive types work.
+		if def, ok := p.mod.Types[t.text]; ok {
+			return def, nil
+		}
+		return &Type{Kind: KStruct, Name: t.text}, nil
+	}
+	return nil, p.errf(t, "expected type, found %s %q", t.kind, t.text)
+}
+
+func (p *parser) parseFunc() error {
+	p.next() // 'func'
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return err
+	}
+	p.fn = &Function{Name: name.text}
+	p.tmp = 0
+	if _, err := p.expect(tLParen); err != nil {
+		return err
+	}
+	for !p.at(tRParen) {
+		pn, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		param := Param{Name: pn.text}
+		if p.at(tColon) {
+			p.next()
+			pt, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			param.Type = pt
+		}
+		p.fn.Params = append(p.fn.Params, param)
+		if p.at(tComma) {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	if !p.at(tLBrace) {
+		rt, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		p.fn.RetType = rt
+	}
+	if _, err := p.expect(tLBrace); err != nil {
+		return err
+	}
+	p.blk = &Block{Name: "entry"}
+	p.fn.AddBlock(p.blk)
+	p.line = 0
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.kind == tRBrace {
+			p.next()
+			break
+		}
+		if err := p.parseStatement(); err != nil {
+			return err
+		}
+	}
+	// Drop the implicit entry block if the source immediately opened a
+	// labeled block and never used it.
+	if len(p.fn.Blocks) > 1 && len(p.fn.Blocks[0].Instrs) == 0 && p.fn.Blocks[0].Name == "entry" {
+		p.fn.Blocks = p.fn.Blocks[1:]
+		p.fn.blockIdx = nil
+	}
+	p.mod.AddFunc(p.fn)
+	return p.endStatement()
+}
+
+// parseStatement handles one line: a label, a file directive, or an
+// instruction.
+func (p *parser) parseStatement() error {
+	t := p.peek()
+	// Label: ident ':'
+	if t.kind == tIdent && p.toks[p.pos+1].kind == tColon {
+		p.next()
+		p.next()
+		if blk := p.fn.Block(t.text); blk != nil {
+			p.blk = blk
+		} else {
+			p.blk = &Block{Name: t.text}
+			p.fn.AddBlock(p.blk)
+		}
+		return p.endStatement()
+	}
+	if t.kind == tIdent && t.text == "file" {
+		p.next()
+		s, err := p.expect(tString)
+		if err != nil {
+			return err
+		}
+		p.fn.File = s.text
+		return p.endStatement()
+	}
+	return p.parseInstr()
+}
+
+// emit appends in to the current block, stamping the pending @line.
+func (p *parser) emit(in Instr) {
+	in.Line = p.line
+	p.blk.Instrs = append(p.blk.Instrs, in)
+}
+
+func (p *parser) fresh() string {
+	p.tmp++
+	return fmt.Sprintf(".p%d", p.tmp)
+}
+
+// parseValue parses %reg or integer literal.
+func (p *parser) parseValue() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tReg:
+		return R(t.text), nil
+	case tInt:
+		return C(t.ival), nil
+	}
+	return nil, p.errf(t, "expected value, found %s %q", t.kind, t.text)
+}
+
+// parsePlace parses %reg('.'field | '['value']')* and lowers the access
+// path to gep instructions, returning the final pointer value.
+func (p *parser) parsePlace() (Value, error) {
+	t := p.next()
+	if t.kind == tInt {
+		// A raw address constant (rare; used by low-level tests).
+		return C(t.ival), nil
+	}
+	if t.kind != tReg {
+		return nil, p.errf(t, "expected place, found %s %q", t.kind, t.text)
+	}
+	var cur Value = R(t.text)
+	for {
+		switch p.peek().kind {
+		case tDot:
+			p.next()
+			f, err := p.expect(tIdent)
+			if err != nil {
+				return nil, err
+			}
+			dst := p.fresh()
+			p.emit(Instr{Op: OpGEP, Dst: dst, Field: f.text, Args: []Value{cur}, stmtSeq: p.stmtSeq})
+			cur = R(dst)
+		case tLBrack:
+			p.next()
+			idx, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tRBrack); err != nil {
+				return nil, err
+			}
+			dst := p.fresh()
+			p.emit(Instr{Op: OpGEP, Dst: dst, Args: []Value{cur, idx}, stmtSeq: p.stmtSeq})
+			cur = R(dst)
+		default:
+			return cur, nil
+		}
+	}
+}
+
+// parseLineSuffix consumes an optional @N annotation, updating the pending
+// source line, then requires end of statement.
+func (p *parser) parseLineSuffix() error {
+	if p.at(tAt) {
+		p.next()
+		n, err := p.expect(tInt)
+		if err != nil {
+			return err
+		}
+		p.line = int(n.ival)
+		// Stamp the just-updated line onto instructions already emitted
+		// for this statement that carried the stale line (gep lowering).
+		for i := len(p.blk.Instrs) - 1; i >= 0; i-- {
+			if p.blk.Instrs[i].stmtSeq == p.stmtSeq {
+				p.blk.Instrs[i].Line = p.line
+			} else {
+				break
+			}
+		}
+	}
+	return p.endStatement()
+}
+
+func isBinMnemonic(s string) bool {
+	switch s {
+	case "add", "sub", "mul", "div", "mod", "and", "or", "xor",
+		"shl", "shr", "eq", "ne", "lt", "le", "gt", "ge":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseInstr() error {
+	p.stmtSeq++
+	t := p.peek()
+	if t.kind == tReg {
+		return p.parseAssign()
+	}
+	if t.kind != tIdent {
+		return p.errf(t, "expected instruction, found %s %q", t.kind, t.text)
+	}
+	p.next()
+	switch t.text {
+	case "store":
+		ptr, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		v, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpStore, Args: []Value{ptr, v}, stmtSeq: p.stmtSeq})
+	case "flush":
+		ptr, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		args := []Value{ptr}
+		if p.at(tComma) {
+			p.next()
+			sz, err := p.parseValue()
+			if err != nil {
+				return err
+			}
+			args = append(args, sz)
+		}
+		p.emit(Instr{Op: OpFlush, Args: args, stmtSeq: p.stmtSeq})
+	case "fence":
+		p.emit(Instr{Op: OpFence, stmtSeq: p.stmtSeq})
+	case "txbegin":
+		p.emit(Instr{Op: OpTxBegin, stmtSeq: p.stmtSeq})
+	case "txend":
+		p.emit(Instr{Op: OpTxEnd, stmtSeq: p.stmtSeq})
+	case "txadd":
+		ptr, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		args := []Value{ptr}
+		if p.at(tComma) {
+			p.next()
+			sz, err := p.parseValue()
+			if err != nil {
+				return err
+			}
+			args = append(args, sz)
+		}
+		p.emit(Instr{Op: OpTxAdd, Args: args, stmtSeq: p.stmtSeq})
+	case "epochbegin":
+		p.emit(Instr{Op: OpEpochBegin, stmtSeq: p.stmtSeq})
+	case "epochend":
+		p.emit(Instr{Op: OpEpochEnd, stmtSeq: p.stmtSeq})
+	case "strandbegin", "strandend":
+		id, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		op := OpStrandBegin
+		if t.text == "strandend" {
+			op = OpStrandEnd
+		}
+		p.emit(Instr{Op: op, Args: []Value{id}, stmtSeq: p.stmtSeq})
+	case "call":
+		if err := p.parseCall(""); err != nil {
+			return err
+		}
+	case "ret":
+		var args []Value
+		if !p.at(tNewline) && !p.at(tAt) && !p.at(tEOF) {
+			v, err := p.parseValue()
+			if err != nil {
+				return err
+			}
+			args = []Value{v}
+		}
+		p.emit(Instr{Op: OpRet, Args: args, stmtSeq: p.stmtSeq})
+	case "br":
+		l, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpBr, Labels: [2]string{l.text}, stmtSeq: p.stmtSeq})
+	case "condbr":
+		v, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		l1, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		l2, err := p.expect(tIdent)
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpCondBr, Args: []Value{v}, Labels: [2]string{l1.text, l2.text}, stmtSeq: p.stmtSeq})
+	case "memcopy", "memset":
+		a, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		var b Value
+		if t.text == "memcopy" {
+			b, err = p.parsePlace()
+		} else {
+			b, err = p.parseValue()
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		c, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		op := OpMemCopy
+		if t.text == "memset" {
+			op = OpMemSet
+		}
+		p.emit(Instr{Op: op, Args: []Value{a, b, c}, stmtSeq: p.stmtSeq})
+	default:
+		return p.errf(t, "unknown instruction %q", t.text)
+	}
+	return p.parseLineSuffix()
+}
+
+func (p *parser) parseAssign() error {
+	dst, err := p.expect(tReg)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tEq); err != nil {
+		return err
+	}
+	t := p.next()
+	if t.kind != tIdent {
+		return p.errf(t, "expected opcode after '=', found %s %q", t.kind, t.text)
+	}
+	switch {
+	case t.text == "const":
+		v, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpConst, Dst: dst.text, Args: []Value{v}, stmtSeq: p.stmtSeq})
+	case isBinMnemonic(t.text):
+		a, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		b, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpBin, Bin: t.text, Dst: dst.text, Args: []Value{a, b}, stmtSeq: p.stmtSeq})
+	case t.text == "alloc" || t.text == "palloc":
+		ty, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpAlloc, Dst: dst.text, Type: ty, Persistent: t.text == "palloc", stmtSeq: p.stmtSeq})
+	case t.text == "field":
+		base, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		f, err := p.expect(tString)
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpGEP, Dst: dst.text, Field: f.text, Args: []Value{base}, stmtSeq: p.stmtSeq})
+	case t.text == "index":
+		base, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tComma); err != nil {
+			return err
+		}
+		idx, err := p.parseValue()
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpGEP, Dst: dst.text, Args: []Value{base, idx}, stmtSeq: p.stmtSeq})
+	case t.text == "load":
+		ptr, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		p.emit(Instr{Op: OpLoad, Dst: dst.text, Args: []Value{ptr}, stmtSeq: p.stmtSeq})
+	case t.text == "call":
+		if err := p.parseCall(dst.text); err != nil {
+			return err
+		}
+	default:
+		return p.errf(t, "unknown opcode %q", t.text)
+	}
+	return p.parseLineSuffix()
+}
+
+func (p *parser) parseCall(dst string) error {
+	name, err := p.expect(tIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tLParen); err != nil {
+		return err
+	}
+	var args []Value
+	for !p.at(tRParen) {
+		v, err := p.parsePlace()
+		if err != nil {
+			return err
+		}
+		args = append(args, v)
+		if p.at(tComma) {
+			p.next()
+		}
+	}
+	p.next() // ')'
+	p.emit(Instr{Op: OpCall, Dst: dst, Callee: name.text, Args: args, stmtSeq: p.stmtSeq})
+	return nil
+}

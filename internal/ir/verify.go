@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VerifyError aggregates all verification failures of a module.
+type VerifyError struct {
+	Problems []string
+}
+
+// Error renders all problems, one per line.
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ir: module verification failed:\n\t%s",
+		strings.Join(e.Problems, "\n\t"))
+}
+
+// Verify checks the structural well-formedness of a module:
+//
+//   - every function has at least one block,
+//   - every block is non-empty and ends with exactly one terminator,
+//   - terminators appear only at block ends,
+//   - branch targets name existing blocks,
+//   - binary mnemonics are valid,
+//   - every used register is defined by a parameter or some instruction,
+//   - instruction operand counts match their opcode.
+//
+// Verify returns nil or a *VerifyError listing every problem found.
+func Verify(m *Module) error {
+	var probs []string
+	bad := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	for _, fname := range m.FuncNames() {
+		f := m.Funcs[fname]
+		if len(f.Blocks) == 0 {
+			bad("%s: function has no blocks", fname)
+			continue
+		}
+		defs := make(map[string]bool)
+		for _, p := range f.Params {
+			defs[p.Name] = true
+		}
+		for _, blk := range f.Blocks {
+			for _, in := range blk.Instrs {
+				if in.HasDst() {
+					defs[in.Dst] = true
+				}
+			}
+		}
+		seen := make(map[string]bool)
+		for _, blk := range f.Blocks {
+			if seen[blk.Name] {
+				bad("%s: duplicate block %q", fname, blk.Name)
+			}
+			seen[blk.Name] = true
+			if len(blk.Instrs) == 0 {
+				bad("%s/%s: empty block", fname, blk.Name)
+				continue
+			}
+			for i := range blk.Instrs {
+				in := &blk.Instrs[i]
+				last := i == len(blk.Instrs)-1
+				if in.Op.IsTerminator() && !last {
+					bad("%s/%s#%d: terminator %s before end of block", fname, blk.Name, i, in.Op)
+				}
+				if last && !in.Op.IsTerminator() {
+					bad("%s/%s: block does not end in a terminator (ends with %s)", fname, blk.Name, in.Op)
+				}
+				verifyInstr(f, blk, i, in, defs, bad)
+			}
+		}
+	}
+	if len(probs) > 0 {
+		return &VerifyError{Problems: probs}
+	}
+	return nil
+}
+
+func verifyInstr(f *Function, blk *Block, i int, in *Instr, defs map[string]bool, bad func(string, ...any)) {
+	where := func() string { return fmt.Sprintf("%s/%s#%d", f.Name, blk.Name, i) }
+	checkUse := func(v Value) {
+		if r, ok := v.(Reg); ok && !defs[r.Name] {
+			bad("%s: use of undefined register %%%s", where(), r.Name)
+		}
+	}
+	wantArgs := func(lo, hi int) bool {
+		if len(in.Args) < lo || len(in.Args) > hi {
+			bad("%s: %s expects %d..%d operands, has %d", where(), in.Op, lo, hi, len(in.Args))
+			return false
+		}
+		return true
+	}
+	for _, a := range in.Args {
+		checkUse(a)
+	}
+	switch in.Op {
+	case OpConst:
+		wantArgs(1, 1)
+		if len(in.Args) == 1 {
+			if _, ok := in.Args[0].(Const); !ok {
+				bad("%s: const operand must be a literal", where())
+			}
+		}
+	case OpBin:
+		wantArgs(2, 2)
+		if !isBinMnemonic(in.Bin) {
+			bad("%s: invalid binary mnemonic %q", where(), in.Bin)
+		}
+	case OpAlloc:
+		if in.Type == nil {
+			bad("%s: alloc without a type", where())
+		}
+	case OpGEP:
+		if in.Field != "" {
+			wantArgs(1, 1)
+		} else {
+			wantArgs(2, 2)
+		}
+	case OpLoad:
+		wantArgs(1, 1)
+	case OpStore:
+		wantArgs(2, 2)
+	case OpFlush, OpTxAdd:
+		wantArgs(1, 2)
+	case OpFence, OpTxBegin, OpTxEnd, OpEpochBegin, OpEpochEnd:
+		wantArgs(0, 0)
+	case OpStrandBegin, OpStrandEnd:
+		wantArgs(1, 1)
+	case OpRet:
+		wantArgs(0, 1)
+	case OpBr:
+		if f.Block(in.Labels[0]) == nil {
+			bad("%s: branch to unknown block %q", where(), in.Labels[0])
+		}
+	case OpCondBr:
+		wantArgs(1, 1)
+		for _, l := range in.Labels {
+			if f.Block(l) == nil {
+				bad("%s: branch to unknown block %q", where(), l)
+			}
+		}
+	case OpMemCopy, OpMemSet:
+		wantArgs(3, 3)
+	}
+	if in.HasDst() {
+		switch in.Op {
+		case OpStore, OpFlush, OpFence, OpTxBegin, OpTxEnd, OpTxAdd,
+			OpEpochBegin, OpEpochEnd, OpStrandBegin, OpStrandEnd,
+			OpRet, OpBr, OpCondBr, OpMemCopy, OpMemSet:
+			bad("%s: %s cannot have a destination", where(), in.Op)
+		}
+	}
+}

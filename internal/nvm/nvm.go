@@ -1,0 +1,320 @@
+// Package nvm simulates byte-addressable non-volatile memory behind a
+// volatile cache hierarchy — the substrate the paper's evaluation machine
+// provides in hardware (§2.1).
+//
+// The model captures exactly the semantics the persistency bugs depend on:
+//
+//   - Stores land in volatile cachelines; they are NOT durable.
+//   - Flush (clwb) stages a cacheline for write-back.
+//   - Fence (sfence) makes all staged lines durable, in order.
+//   - A Crash discards everything not yet durable; Recover exposes the
+//     durable image.
+//   - Optional seeded random eviction spontaneously persists dirty lines,
+//     reproducing the "unpredictable cache evictions" that make unflushed
+//     writes intermittent in real hardware.
+//
+// The pool also keeps the accounting the performance experiments need:
+// flush/fence counts, write-back traffic, and a simulated time model
+// (flushes cost multiples of loads, per Izraelevitz et al. [21] as cited
+// in the paper's §3.3).
+package nvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// CachelineSize is the write-back granularity in bytes.
+const CachelineSize = 64
+
+// Config parameterizes a pool.
+type Config struct {
+	// Size is the pool capacity in bytes.
+	Size int
+	// EvictEvery spontaneously evicts one random dirty line every N
+	// stores (0 disables eviction).
+	EvictEvery int
+	// Seed drives the eviction RNG (deterministic tests).
+	Seed int64
+	// Latency model, in simulated nanoseconds.  Defaults follow the
+	// 2–4x flush-vs-store asymmetry the paper cites.
+	StoreNs, LoadNs, FlushNs, FenceNs int64
+}
+
+// DefaultConfig returns a 16 MiB pool with the default latency model and
+// no random eviction.
+func DefaultConfig() Config {
+	return Config{
+		Size:    16 << 20,
+		StoreNs: 10,
+		LoadNs:  10,
+		FlushNs: 30,
+		FenceNs: 20,
+	}
+}
+
+// Stats is the pool's operation accounting.
+type Stats struct {
+	Stores        uint64
+	Loads         uint64
+	Flushes       uint64 // flush calls
+	LinesFlushed  uint64 // cachelines staged
+	Fences        uint64
+	BytesWritten  uint64 // write-back traffic to the medium
+	Evictions     uint64
+	SimulatedNs   int64
+	AllocatedByte uint64
+}
+
+// Pool is one simulated NVM device.
+type Pool struct {
+	mu  sync.Mutex
+	cfg Config
+
+	current []byte       // volatile view (cache + medium merged)
+	durable []byte       // what survives a crash
+	dirty   map[int]bool // line index -> modified since last write-back
+	staged  map[int]bool // line index -> flushed, awaiting fence
+
+	next       int // bump allocator cursor
+	rng        *rand.Rand
+	stats      Stats
+	storeCount int
+}
+
+// NewPool creates a pool.
+func NewPool(cfg Config) *Pool {
+	if cfg.Size <= 0 {
+		cfg.Size = DefaultConfig().Size
+	}
+	d := DefaultConfig()
+	if cfg.StoreNs == 0 {
+		cfg.StoreNs = d.StoreNs
+	}
+	if cfg.LoadNs == 0 {
+		cfg.LoadNs = d.LoadNs
+	}
+	if cfg.FlushNs == 0 {
+		cfg.FlushNs = d.FlushNs
+	}
+	if cfg.FenceNs == 0 {
+		cfg.FenceNs = d.FenceNs
+	}
+	return &Pool{
+		cfg:     cfg,
+		current: make([]byte, cfg.Size),
+		durable: make([]byte, cfg.Size),
+		dirty:   make(map[int]bool),
+		staged:  make(map[int]bool),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Size returns the pool capacity.
+func (p *Pool) Size() int { return p.cfg.Size }
+
+// Stats returns a snapshot of the accounting counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters (between benchmark phases).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{AllocatedByte: p.stats.AllocatedByte}
+}
+
+// Alloc reserves size bytes, cacheline-aligned, and returns the offset.
+func (p *Pool) Alloc(size int) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	aligned := (p.next + CachelineSize - 1) &^ (CachelineSize - 1)
+	if aligned+size > p.cfg.Size {
+		return 0, fmt.Errorf("nvm: out of space (want %d at %d of %d)", size, aligned, p.cfg.Size)
+	}
+	p.next = aligned + size
+	p.stats.AllocatedByte += uint64(size)
+	return aligned, nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion.
+func (p *Pool) MustAlloc(size int) int {
+	a, err := p.Alloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (p *Pool) check(addr, size int) error {
+	if addr < 0 || size < 0 || addr+size > p.cfg.Size {
+		return fmt.Errorf("nvm: access [%d,%d) out of pool bounds %d", addr, addr+size, p.cfg.Size)
+	}
+	return nil
+}
+
+// Store writes bytes into the volatile view and marks the lines dirty.
+func (p *Pool) Store(addr int, data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(addr, len(data)); err != nil {
+		return err
+	}
+	copy(p.current[addr:], data)
+	for l := addr / CachelineSize; l <= (addr+len(data)-1)/CachelineSize; l++ {
+		p.dirty[l] = true
+	}
+	p.stats.Stores++
+	p.stats.SimulatedNs += p.cfg.StoreNs
+	p.maybeEvict()
+	return nil
+}
+
+// Store64 writes one little-endian 64-bit word.
+func (p *Pool) Store64(addr int, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return p.Store(addr, b[:])
+}
+
+// Load reads size bytes from the volatile view.
+func (p *Pool) Load(addr, size int) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(addr, size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, p.current[addr:addr+size])
+	p.stats.Loads++
+	p.stats.SimulatedNs += p.cfg.LoadNs
+	return out, nil
+}
+
+// Load64 reads one little-endian 64-bit word.
+func (p *Pool) Load64(addr int) (uint64, error) {
+	b, err := p.Load(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// Flush stages the cachelines covering [addr, addr+size) for write-back
+// (clwb semantics: durability only after the next Fence).
+func (p *Pool) Flush(addr, size int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(addr, size); err != nil {
+		return err
+	}
+	if size == 0 {
+		size = 1
+	}
+	p.stats.Flushes++
+	for l := addr / CachelineSize; l <= (addr+size-1)/CachelineSize; l++ {
+		if p.dirty[l] || p.staged[l] {
+			p.staged[l] = true
+			p.stats.LinesFlushed++
+		} else {
+			// Clean-line flush still costs a write-back on real hardware
+			// (clwb of a clean line is cheap but not free); account it.
+			p.stats.LinesFlushed++
+			p.staged[l] = true
+		}
+		p.stats.SimulatedNs += p.cfg.FlushNs
+	}
+	return nil
+}
+
+// Fence makes all staged lines durable (sfence + drain semantics).
+func (p *Pool) Fence() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for l := range p.staged {
+		p.writeBack(l)
+	}
+	p.staged = make(map[int]bool)
+	p.stats.Fences++
+	p.stats.SimulatedNs += p.cfg.FenceNs
+}
+
+// writeBack copies one line into the durable image.  Caller holds mu.
+func (p *Pool) writeBack(line int) {
+	start := line * CachelineSize
+	end := start + CachelineSize
+	if end > p.cfg.Size {
+		end = p.cfg.Size
+	}
+	copy(p.durable[start:end], p.current[start:end])
+	delete(p.dirty, line)
+	p.stats.BytesWritten += uint64(end - start)
+}
+
+// maybeEvict spontaneously persists a random dirty line.  Caller holds mu.
+func (p *Pool) maybeEvict() {
+	if p.cfg.EvictEvery <= 0 {
+		return
+	}
+	p.storeCount++
+	if p.storeCount%p.cfg.EvictEvery != 0 || len(p.dirty) == 0 {
+		return
+	}
+	// Pick a pseudo-random dirty line deterministically.
+	k := p.rng.Intn(len(p.dirty))
+	for l := range p.dirty {
+		if k == 0 {
+			p.writeBack(l)
+			p.stats.Evictions++
+			return
+		}
+		k--
+	}
+}
+
+// Crash discards all volatile state: dirty lines vanish; staged-but-not-
+// fenced lines vanish too (the strictest reading of clwb without sfence).
+func (p *Pool) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	copy(p.current, p.durable)
+	p.dirty = make(map[int]bool)
+	p.staged = make(map[int]bool)
+}
+
+// DurableLoad reads from the durable image without simulating a crash
+// (test inspection helper).
+func (p *Pool) DurableLoad(addr, size int) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.check(addr, size); err != nil {
+		return nil, err
+	}
+	out := make([]byte, size)
+	copy(out, p.durable[addr:addr+size])
+	return out, nil
+}
+
+// DurableLoad64 reads one durable 64-bit word.
+func (p *Pool) DurableLoad64(addr int) (uint64, error) {
+	b, err := p.DurableLoad(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// PersistAll flushes and fences every dirty line (pool shutdown helper).
+func (p *Pool) PersistAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for l := range p.dirty {
+		p.writeBack(l)
+	}
+	p.staged = make(map[int]bool)
+}

@@ -1,0 +1,281 @@
+// Package nvmdirect is a Go port of Oracle's NVM-Direct library at the
+// granularity the paper exercises: persistent regions
+// (nvm_create_region), a heap with persistent block headers
+// (nvm_alloc / nvm_free), persistent mutexes whose lock records are
+// persisted step by step (nvm_lock, Figure 9), and nvm_flush /
+// nvm_persist1 primitives.  NVM-Direct follows the strict persistency
+// model.
+package nvmdirect
+
+import (
+	"fmt"
+	"sync"
+
+	"deepmc/internal/nvm"
+	"deepmc/internal/pmem"
+)
+
+// Config configures a region, including Buggy* knobs reproducing the
+// NVM-Direct bugs of Tables 3 and 8.
+type Config struct {
+	NVM     nvm.Config
+	Tracker pmem.Tracker
+	// BuggyDoubleFreeFlush flushes freed block headers twice (the
+	// nvm_heap.c:1965 redundant-flush bug, Figure 6).
+	BuggyDoubleFreeFlush bool
+	// BuggyMissingRegionBarrier skips the persist barrier after the
+	// region-header flush (the nvm_region.c:614 bug, Figure 3).  With the
+	// knob set, a crash immediately after CreateRegion can lose the
+	// header.
+	BuggyMissingRegionBarrier bool
+	// BuggyFlushWholeLockRec persists the whole lock record on every
+	// state change (the nvm_locks.c:1411 "flush unmodified fields" bug).
+	BuggyFlushWholeLockRec bool
+}
+
+const (
+	regionHdrSize = 64
+	blockHdrSize  = 16
+	// The lock record spreads its fields across cachelines (state,
+	// new_level, owner each in their own line), as NVM-Direct's padded
+	// nvm_lkrec does — which is precisely why flushing the whole record
+	// instead of the changed field wastes write-back bandwidth.
+	lockRecSize  = 192
+	lockStateOff = 0
+	lockLevelOff = 64
+	lockOwnerOff = 128
+)
+
+// Region is one NVM-Direct region.
+type Region struct {
+	cfg Config
+	nv  *nvm.Pool
+
+	mu      sync.Mutex
+	hdrAddr int
+	txDepth int
+}
+
+// CreateRegion initializes a region: the header is written, flushed and —
+// unless the buggy knob is set — fenced before any transaction may begin.
+func CreateRegion(cfg Config) (*Region, error) {
+	r := &Region{cfg: cfg, nv: nvm.NewPool(cfg.NVM)}
+	a, err := r.nv.Alloc(regionHdrSize)
+	if err != nil {
+		return nil, err
+	}
+	r.hdrAddr = a
+	if err := r.nv.Store64(a, 0x4e564d44); err != nil { // "NVMD"
+		return nil, err
+	}
+	if err := r.nv.Flush(a, regionHdrSize); err != nil {
+		return nil, err
+	}
+	if !cfg.BuggyMissingRegionBarrier {
+		r.nv.Fence()
+	}
+	return r, nil
+}
+
+// NVM exposes the underlying device.
+func (r *Region) NVM() *nvm.Pool { return r.nv }
+
+// Flush is nvm_flush: clwb without a barrier.
+func (r *Region) Flush(addr, size int) error { return r.nv.Flush(addr, size) }
+
+// Persist1 is nvm_persist1: flush one word and fence.
+func (r *Region) Persist1(thread int64, addr int) error {
+	if err := r.nv.Flush(addr, 8); err != nil {
+		return err
+	}
+	r.nv.Fence()
+	if t := r.cfg.Tracker; t != nil {
+		t.Fence(thread)
+	}
+	return nil
+}
+
+// TxBegin / TxEnd are nvm_txbegin / nvm_txend markers; NVM-Direct
+// transactions persist their effects eagerly (strict model), so the
+// markers only track nesting here.
+func (r *Region) TxBegin() {
+	r.mu.Lock()
+	r.txDepth++
+	r.mu.Unlock()
+}
+
+// TxEnd closes the innermost transaction.
+func (r *Region) TxEnd() {
+	r.mu.Lock()
+	if r.txDepth > 0 {
+		r.txDepth--
+	}
+	r.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Heap
+
+// Block is an allocated heap block.
+type Block struct {
+	HdrAddr  int // persistent header
+	DataAddr int
+	Size     int
+}
+
+// AllocBlock allocates a block with a persisted header (nvm_alloc).
+func (r *Region) AllocBlock(thread int64, size int) (*Block, error) {
+	h, err := r.nv.Alloc(blockHdrSize)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.nv.Alloc(size)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.nv.Store64(h, uint64(size)); err != nil {
+		return nil, err
+	}
+	if err := r.nv.Store64(h+8, 1); err != nil { // allocated bit
+		return nil, err
+	}
+	if t := r.cfg.Tracker; t != nil {
+		t.Write(thread, uint64(h), "nvm_alloc")
+	}
+	if err := r.nv.Flush(h, blockHdrSize); err != nil {
+		return nil, err
+	}
+	r.nv.Fence()
+	return &Block{HdrAddr: h, DataAddr: d, Size: size}, nil
+}
+
+// FreeBlock frees a block: the header's allocated bit is cleared and
+// persisted (nvm_free_blk); the buggy build flushes it again afterwards
+// (nvm_free_callback, Figure 6).
+func (r *Region) FreeBlock(thread int64, b *Block) error {
+	if err := r.nv.Store64(b.HdrAddr+8, 0); err != nil {
+		return err
+	}
+	if t := r.cfg.Tracker; t != nil {
+		t.Write(thread, uint64(b.HdrAddr+8), "nvm_free")
+	}
+	if err := r.nv.Flush(b.HdrAddr, blockHdrSize); err != nil {
+		return err
+	}
+	if r.cfg.BuggyDoubleFreeFlush {
+		if err := r.nv.Flush(b.HdrAddr, blockHdrSize); err != nil {
+			return err
+		}
+	}
+	r.nv.Fence()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Persistent mutexes (nvm_lock)
+
+// Mutex is a persistent mutex with an on-NVM lock record.
+type Mutex struct {
+	r       *Region
+	recAddr int // persistent lock record: state, newLevel, owner
+	vol     sync.Mutex
+}
+
+// Lock-record states.
+const (
+	lockFree     = 0
+	lockAcquireS = 1
+	lockHeldS    = 2
+)
+
+// NewMutex allocates a persistent mutex.
+func (r *Region) NewMutex() (*Mutex, error) {
+	a, err := r.nv.Alloc(lockRecSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Mutex{r: r, recAddr: a}, nil
+}
+
+// Lock acquires the mutex, persisting the lock-record state transitions
+// as nvm_lock does (Figure 9): acquire-state, owner update, held-state.
+func (m *Mutex) Lock(thread int64) error {
+	m.vol.Lock()
+	r := m.r
+	if t := r.cfg.Tracker; t != nil {
+		t.Acquire(thread, m)
+	}
+	// lk->state = acquire; persist1.
+	if err := r.nv.Store64(m.recAddr+lockStateOff, lockAcquireS); err != nil {
+		return err
+	}
+	if err := m.persistLockField(thread, lockStateOff); err != nil {
+		return err
+	}
+	// owner update; persist1.
+	if err := r.nv.Store64(m.recAddr+lockOwnerOff, uint64(thread)); err != nil {
+		return err
+	}
+	if err := m.persistLockField(thread, lockOwnerOff); err != nil {
+		return err
+	}
+	// lk->state = held; persist1.
+	if err := r.nv.Store64(m.recAddr, lockHeldS); err != nil {
+		return err
+	}
+	return m.persistLockField(thread, 0)
+}
+
+// Unlock releases the mutex and persists the free state.
+func (m *Mutex) Unlock(thread int64) error {
+	r := m.r
+	if err := r.nv.Store64(m.recAddr, lockFree); err != nil {
+		return err
+	}
+	if err := m.persistLockField(thread, 0); err != nil {
+		return err
+	}
+	if t := r.cfg.Tracker; t != nil {
+		t.Release(thread, m)
+	}
+	m.vol.Unlock()
+	return nil
+}
+
+// persistLockField persists one lock-record field, or the entire record
+// under the BuggyFlushWholeLockRec knob.
+func (m *Mutex) persistLockField(thread int64, off int) error {
+	r := m.r
+	if r.cfg.BuggyFlushWholeLockRec {
+		if err := r.nv.Flush(m.recAddr, lockRecSize); err != nil {
+			return err
+		}
+		r.nv.Fence()
+		if t := r.cfg.Tracker; t != nil {
+			t.Fence(thread)
+		}
+		return nil
+	}
+	return r.Persist1(thread, m.recAddr+off)
+}
+
+// State reads the persistent lock state (test helper).
+func (m *Mutex) State() (uint64, error) { return m.r.nv.Load64(m.recAddr) }
+
+// Err helpers ---------------------------------------------------------------
+
+// ErrCorrupt reports a recovered region whose header is damaged.
+var ErrCorrupt = fmt.Errorf("nvmdirect: region header corrupt")
+
+// Reattach validates the region header after a crash, as nvm_attach_region
+// would.
+func (r *Region) Reattach() error {
+	v, err := r.nv.Load64(r.hdrAddr)
+	if err != nil {
+		return err
+	}
+	if v != 0x4e564d44 {
+		return ErrCorrupt
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package nvmdirect
+
+import (
+	"testing"
+
+	"deepmc/internal/nvm"
+)
+
+func testRegion(cfg Config) *Region {
+	if cfg.NVM.Size == 0 {
+		cfg.NVM = nvm.Config{Size: 4 << 20}
+	}
+	r, err := CreateRegion(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func TestRegionHeaderDurable(t *testing.T) {
+	r := testRegion(Config{})
+	r.NVM().Crash()
+	if err := r.Reattach(); err != nil {
+		t.Errorf("fixed region lost its header on crash: %v", err)
+	}
+}
+
+func TestBuggyRegionHeaderLostOnCrash(t *testing.T) {
+	// The Figure 3 bug: the region header flush has no barrier, so a
+	// crash right after creation loses it.
+	r := testRegion(Config{BuggyMissingRegionBarrier: true})
+	r.NVM().Crash()
+	if err := r.Reattach(); err == nil {
+		t.Error("buggy region survived the crash; the missing barrier should lose the header")
+	}
+}
+
+func TestAllocFreeBlock(t *testing.T) {
+	r := testRegion(Config{})
+	b, err := r.AllocBlock(0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header allocated bit durable.
+	r.NVM().Crash()
+	v, _ := r.NVM().Load64(b.HdrAddr + 8)
+	if v != 1 {
+		t.Errorf("allocated bit lost: %d", v)
+	}
+	if err := r.FreeBlock(0, b); err != nil {
+		t.Fatal(err)
+	}
+	r.NVM().Crash()
+	v, _ = r.NVM().Load64(b.HdrAddr + 8)
+	if v != 0 {
+		t.Errorf("free bit lost: %d", v)
+	}
+}
+
+func TestBuggyDoubleFreeFlushCostsMore(t *testing.T) {
+	count := func(buggy bool) uint64 {
+		r := testRegion(Config{BuggyDoubleFreeFlush: buggy})
+		r.NVM().ResetStats()
+		for i := 0; i < 50; i++ {
+			b, err := r.AllocBlock(0, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.FreeBlock(0, b)
+		}
+		return r.NVM().Stats().LinesFlushed
+	}
+	fixed, buggy := count(false), count(true)
+	if buggy <= fixed {
+		t.Errorf("double free-flush should cost more: fixed=%d buggy=%d", fixed, buggy)
+	}
+}
+
+func TestMutexLockUnlock(t *testing.T) {
+	r := testRegion(Config{})
+	m, err := r.NewMutex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := m.State()
+	if st != lockHeldS {
+		t.Errorf("state after lock = %d", st)
+	}
+	// Held state is durable.
+	r.NVM().Crash()
+	st, _ = m.State()
+	if st != lockHeldS {
+		t.Errorf("held state lost on crash: %d", st)
+	}
+	if err := m.Unlock(1); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = m.State()
+	if st != lockFree {
+		t.Errorf("state after unlock = %d", st)
+	}
+}
+
+func TestBuggyWholeLockRecFlushCostsMore(t *testing.T) {
+	count := func(buggy bool) uint64 {
+		r := testRegion(Config{BuggyFlushWholeLockRec: buggy})
+		m, _ := r.NewMutex()
+		r.NVM().ResetStats()
+		for i := 0; i < 50; i++ {
+			m.Lock(1)
+			m.Unlock(1)
+		}
+		return r.NVM().Stats().BytesWritten
+	}
+	fixed, buggy := count(false), count(true)
+	if buggy <= fixed {
+		t.Errorf("whole-record flush should write more: fixed=%d buggy=%d", fixed, buggy)
+	}
+}

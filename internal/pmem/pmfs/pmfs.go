@@ -1,0 +1,410 @@
+// Package pmfs is a Go port of the Persistent Memory File System (Dulloor
+// et al., EuroSys'14) at the granularity the paper exercises: a
+// superblock with a redundant copy, an inode table, a metadata journal
+// with epoch-persistency commit (pmfs_new_transaction /
+// pmfs_add_logentry / pmfs_commit_transaction), file create/write/read,
+// and symlinks.  PMFS follows the epoch persistency model: journal
+// entries of one transaction form an epoch, persisted with one barrier at
+// commit.
+package pmfs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"deepmc/internal/nvm"
+	"deepmc/internal/pmem"
+)
+
+const (
+	superMagic   = 0x504d4653 // "PMFS"
+	superSize    = 64
+	inodeSize    = 64
+	maxInodes    = 1024
+	maxNameBytes = 32
+	blockSize    = 512
+	journalBytes = 1 << 16
+)
+
+// Config configures a file system instance, including the Buggy* knobs
+// reproducing the PMFS performance bugs of Tables 3 and 8.
+type Config struct {
+	NVM     nvm.Config
+	Tracker pmem.Tracker
+	// BuggyAlwaysFlushSuper flushes the superblock during recovery even
+	// when the primary copy was intact (the super.c bug of Table 8).
+	BuggyAlwaysFlushSuper bool
+	// BuggyDoubleFlushBuffer flushes data buffers twice (the xips.c
+	// "flush the same buffer multiple times" bug).
+	BuggyDoubleFlushBuffer bool
+	// BuggyFlushWholeInode flushes the whole inode when only one field
+	// changed (the files.c "flush unmodified object" bug).
+	BuggyFlushWholeInode bool
+}
+
+// FS is one mounted file system.
+type FS struct {
+	cfg Config
+	nv  *nvm.Pool
+
+	mu         sync.Mutex
+	superAddr  int // primary superblock
+	super2Addr int // redundant copy
+	inodeBase  int
+	journal    int
+	journalOff int
+	dataBase   int
+}
+
+// inode layout (bytes): 0 name[32], 32 size, 40 blockAddr, 48 isSymlink,
+// 56 inUse.
+
+// Mkfs formats a fresh file system.
+func Mkfs(cfg Config) (*FS, error) {
+	fs := &FS{cfg: cfg, nv: nvm.NewPool(cfg.NVM)}
+	var err error
+	if fs.superAddr, err = fs.nv.Alloc(superSize); err != nil {
+		return nil, err
+	}
+	if fs.super2Addr, err = fs.nv.Alloc(superSize); err != nil {
+		return nil, err
+	}
+	if fs.inodeBase, err = fs.nv.Alloc(maxInodes * inodeSize); err != nil {
+		return nil, err
+	}
+	if fs.journal, err = fs.nv.Alloc(journalBytes); err != nil {
+		return nil, err
+	}
+	if fs.dataBase, err = fs.nv.Alloc(0); err != nil {
+		return nil, err
+	}
+	// Write both superblock copies and persist them.
+	for _, a := range []int{fs.superAddr, fs.super2Addr} {
+		if err := fs.nv.Store64(a, superMagic); err != nil {
+			return nil, err
+		}
+		if err := fs.nv.Store64(a+8, 1); err != nil { // version
+			return nil, err
+		}
+		if err := fs.nv.Flush(a, superSize); err != nil {
+			return nil, err
+		}
+	}
+	fs.nv.Fence()
+	return fs, nil
+}
+
+// NVM exposes the underlying device.
+func (fs *FS) NVM() *nvm.Pool { return fs.nv }
+
+// ---------------------------------------------------------------------------
+// Journal (epoch-persistency metadata transactions)
+
+// Transaction is an in-flight metadata transaction.
+type Transaction struct {
+	fs      *FS
+	thread  int64
+	pending []logEntry
+	closed  bool
+}
+
+type logEntry struct {
+	addr int
+	data []byte
+}
+
+// NewTransaction opens a metadata transaction (pmfs_new_transaction).
+func (fs *FS) NewTransaction(thread int64) *Transaction {
+	return &Transaction{fs: fs, thread: thread}
+}
+
+// AddLogEntry stages a metadata update (pmfs_add_logentry): the new bytes
+// for [addr, addr+len(data)).
+func (t *Transaction) AddLogEntry(addr int, data []byte) error {
+	if t.closed {
+		return fmt.Errorf("pmfs: transaction closed")
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.pending = append(t.pending, logEntry{addr: addr, data: cp})
+	return nil
+}
+
+// Commit writes the journal records, persists them with one epoch
+// barrier, then applies the updates in place and persists those
+// (pmfs_commit_transaction).
+func (t *Transaction) Commit() error {
+	if t.closed {
+		return fmt.Errorf("pmfs: transaction closed")
+	}
+	t.closed = true
+	if len(t.pending) == 0 {
+		return nil
+	}
+	fs := t.fs
+	fs.mu.Lock()
+	off := fs.journalOff
+	for _, e := range t.pending {
+		need := 16 + len(e.data)
+		if off+need > journalBytes {
+			off = 0 // wrap; a real journal checkpoints first
+		}
+		ja := fs.journal + off
+		var hdr [16]byte
+		binary.LittleEndian.PutUint64(hdr[0:], uint64(e.addr))
+		binary.LittleEndian.PutUint64(hdr[8:], uint64(len(e.data)))
+		if err := fs.nv.Store(ja, hdr[:]); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+		if err := fs.nv.Store(ja+16, e.data); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+		if err := fs.nv.Flush(ja, need); err != nil {
+			fs.mu.Unlock()
+			return err
+		}
+		off += need
+	}
+	fs.journalOff = off
+	fs.mu.Unlock()
+	// Epoch boundary: the journal is durable before in-place updates.
+	fs.nv.Fence()
+	if tr := fs.cfg.Tracker; tr != nil {
+		tr.Fence(t.thread)
+	}
+	for _, e := range t.pending {
+		if err := fs.nv.Store(e.addr, e.data); err != nil {
+			return err
+		}
+		if tr := fs.cfg.Tracker; tr != nil {
+			tr.Write(t.thread, uint64(e.addr), "pmfs_apply")
+		}
+		if err := fs.flushBuffer(e.addr, len(e.data)); err != nil {
+			return err
+		}
+	}
+	fs.nv.Fence()
+	return nil
+}
+
+// flushBuffer is pmfs_flush_buffer, honoring the double-flush bug knob.
+func (fs *FS) flushBuffer(addr, size int) error {
+	if err := fs.nv.Flush(addr, size); err != nil {
+		return err
+	}
+	if fs.cfg.BuggyDoubleFlushBuffer {
+		return fs.nv.Flush(addr, size)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Files
+
+func (fs *FS) inodeAddr(i int) int { return fs.inodeBase + i*inodeSize }
+
+// lookup returns the inode index for a name, or -1.  Caller holds mu.
+func (fs *FS) lookup(name string) int {
+	for i := 0; i < maxInodes; i++ {
+		a := fs.inodeAddr(i)
+		used, _ := fs.nv.Load64(a + 56)
+		if used == 0 {
+			continue
+		}
+		nb, _ := fs.nv.Load(a, maxNameBytes)
+		if cstr(nb) == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func cstr(b []byte) string {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}
+
+// Create makes an empty file and journals the inode initialization.
+func (fs *FS) Create(thread int64, name string) error {
+	if len(name) >= maxNameBytes {
+		return fmt.Errorf("pmfs: name too long")
+	}
+	fs.mu.Lock()
+	if fs.lookup(name) >= 0 {
+		fs.mu.Unlock()
+		return fmt.Errorf("pmfs: %q exists", name)
+	}
+	idx := -1
+	for i := 0; i < maxInodes; i++ {
+		used, _ := fs.nv.Load64(fs.inodeAddr(i) + 56)
+		if used == 0 {
+			idx = i
+			break
+		}
+	}
+	fs.mu.Unlock()
+	if idx < 0 {
+		return fmt.Errorf("pmfs: out of inodes")
+	}
+	ino := make([]byte, inodeSize)
+	copy(ino, name)
+	binary.LittleEndian.PutUint64(ino[56:], 1) // inUse
+	t := fs.NewTransaction(thread)
+	if err := t.AddLogEntry(fs.inodeAddr(idx), ino); err != nil {
+		return err
+	}
+	return t.Commit()
+}
+
+// Write replaces the file's contents: data blocks are written directly
+// and flushed; the inode metadata update is journaled.
+func (fs *FS) Write(thread int64, name string, data []byte) error {
+	fs.mu.Lock()
+	idx := fs.lookup(name)
+	fs.mu.Unlock()
+	if idx < 0 {
+		return fmt.Errorf("pmfs: %q not found", name)
+	}
+	blocks := (len(data) + blockSize - 1) / blockSize
+	if blocks == 0 {
+		blocks = 1
+	}
+	blockAddr, err := fs.nv.Alloc(blocks * blockSize)
+	if err != nil {
+		return err
+	}
+	if err := fs.nv.Store(blockAddr, data); err != nil {
+		return err
+	}
+	if tr := fs.cfg.Tracker; tr != nil {
+		tr.Write(thread, uint64(blockAddr), "pmfs_write")
+	}
+	if err := fs.flushBuffer(blockAddr, len(data)); err != nil {
+		return err
+	}
+	fs.nv.Fence()
+	// Journal the inode update (size + block pointer).
+	a := fs.inodeAddr(idx)
+	var meta [16]byte
+	binary.LittleEndian.PutUint64(meta[0:], uint64(len(data)))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(blockAddr))
+	t := fs.NewTransaction(thread)
+	if fs.cfg.BuggyFlushWholeInode {
+		// The buggy path journals (and therefore write-backs) the whole
+		// inode although only size+block changed.
+		ino, err := fs.nv.Load(a, inodeSize)
+		if err != nil {
+			return err
+		}
+		copy(ino[32:48], meta[:])
+		if err := t.AddLogEntry(a, ino); err != nil {
+			return err
+		}
+	} else {
+		if err := t.AddLogEntry(a+32, meta[:]); err != nil {
+			return err
+		}
+	}
+	return t.Commit()
+}
+
+// Read returns the file's contents.
+func (fs *FS) Read(thread int64, name string) ([]byte, error) {
+	fs.mu.Lock()
+	idx := fs.lookup(name)
+	fs.mu.Unlock()
+	if idx < 0 {
+		return nil, fmt.Errorf("pmfs: %q not found", name)
+	}
+	a := fs.inodeAddr(idx)
+	size, err := fs.nv.Load64(a + 32)
+	if err != nil {
+		return nil, err
+	}
+	blockAddr, err := fs.nv.Load64(a + 40)
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		return nil, nil
+	}
+	return fs.nv.Load(int(blockAddr), int(size))
+}
+
+// Symlink creates a symbolic link whose target is stored as block data
+// (pmfs_block_symlink inside pmfs_symlink).
+func (fs *FS) Symlink(thread int64, name, target string) error {
+	if err := fs.Create(thread, name); err != nil {
+		return err
+	}
+	if err := fs.Write(thread, name, []byte(target)); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	idx := fs.lookup(name)
+	fs.mu.Unlock()
+	a := fs.inodeAddr(idx)
+	var fl [8]byte
+	binary.LittleEndian.PutUint64(fl[:], 1)
+	t := fs.NewTransaction(thread)
+	if err := t.AddLogEntry(a+48, fl[:]); err != nil {
+		return err
+	}
+	return t.Commit()
+}
+
+// RecoverSuperblock validates the primary superblock after a crash.  If
+// it is corrupt, the redundant copy repairs it (flush required); if it is
+// intact, no write-back is needed — except under the
+// BuggyAlwaysFlushSuper knob, which reproduces the Table 8 bug of
+// flushing the superblock even on successful recovery.
+func (fs *FS) RecoverSuperblock() (repaired bool, err error) {
+	magic, err := fs.nv.Load64(fs.superAddr)
+	if err != nil {
+		return false, err
+	}
+	if magic == superMagic {
+		if fs.cfg.BuggyAlwaysFlushSuper {
+			if err := fs.nv.Flush(fs.superAddr, superSize); err != nil {
+				return false, err
+			}
+			fs.nv.Fence()
+		}
+		return false, nil
+	}
+	// Repair from the redundant copy.
+	cp, err := fs.nv.Load(fs.super2Addr, superSize)
+	if err != nil {
+		return false, err
+	}
+	if binary.LittleEndian.Uint64(cp) != superMagic {
+		return false, fmt.Errorf("pmfs: both superblocks corrupt")
+	}
+	if err := fs.nv.Store(fs.superAddr, cp); err != nil {
+		return false, err
+	}
+	if err := fs.nv.Flush(fs.superAddr, superSize); err != nil {
+		return false, err
+	}
+	fs.nv.Fence()
+	return true, nil
+}
+
+// CorruptSuperblock damages the primary copy (test/bench helper).
+func (fs *FS) CorruptSuperblock() error {
+	if err := fs.nv.Store64(fs.superAddr, 0xbad); err != nil {
+		return err
+	}
+	if err := fs.nv.Flush(fs.superAddr, 8); err != nil {
+		return err
+	}
+	fs.nv.Fence()
+	return nil
+}

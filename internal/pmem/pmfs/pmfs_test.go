@@ -1,0 +1,150 @@
+package pmfs
+
+import (
+	"bytes"
+	"testing"
+
+	"deepmc/internal/nvm"
+)
+
+func testFS(cfg Config) *FS {
+	if cfg.NVM.Size == 0 {
+		cfg.NVM = nvm.Config{Size: 8 << 20}
+	}
+	fs, err := Mkfs(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := testFS(Config{})
+	if err := fs.Create(0, "hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("persistent file content")
+	if err := fs.Write(0, "hello.txt", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read(0, "hello.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read %q, want %q", got, data)
+	}
+}
+
+func TestWriteSurvivesCrash(t *testing.T) {
+	fs := testFS(Config{})
+	fs.Create(0, "f")
+	fs.Write(0, "f", []byte("durable"))
+	fs.NVM().Crash()
+	got, err := fs.Read(0, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable" {
+		t.Errorf("post-crash read %q", got)
+	}
+}
+
+func TestDuplicateCreateFails(t *testing.T) {
+	fs := testFS(Config{})
+	fs.Create(0, "x")
+	if err := fs.Create(0, "x"); err == nil {
+		t.Error("duplicate create must fail")
+	}
+}
+
+func TestMissingFileRead(t *testing.T) {
+	fs := testFS(Config{})
+	if _, err := fs.Read(0, "nope"); err == nil {
+		t.Error("read of missing file must fail")
+	}
+}
+
+func TestSymlink(t *testing.T) {
+	fs := testFS(Config{})
+	if err := fs.Symlink(0, "link", "/target/path"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read(0, "link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "/target/path" {
+		t.Errorf("symlink target = %q", got)
+	}
+}
+
+func TestSuperblockRecovery(t *testing.T) {
+	fs := testFS(Config{})
+	repaired, err := fs.RecoverSuperblock()
+	if err != nil || repaired {
+		t.Errorf("intact superblock: repaired=%v err=%v", repaired, err)
+	}
+	if err := fs.CorruptSuperblock(); err != nil {
+		t.Fatal(err)
+	}
+	repaired, err = fs.RecoverSuperblock()
+	if err != nil || !repaired {
+		t.Fatalf("corrupt superblock: repaired=%v err=%v", repaired, err)
+	}
+	// After repair, recovery finds it intact again.
+	repaired, _ = fs.RecoverSuperblock()
+	if repaired {
+		t.Error("repaired superblock repaired twice")
+	}
+}
+
+func TestBuggySuperFlushCostsMore(t *testing.T) {
+	count := func(buggy bool) uint64 {
+		fs := testFS(Config{BuggyAlwaysFlushSuper: buggy})
+		fs.NVM().ResetStats()
+		for i := 0; i < 100; i++ {
+			fs.RecoverSuperblock()
+		}
+		return fs.NVM().Stats().LinesFlushed
+	}
+	fixed, buggy := count(false), count(true)
+	if fixed != 0 {
+		t.Errorf("fixed recovery flushed %d lines for intact superblock", fixed)
+	}
+	if buggy == 0 {
+		t.Error("buggy recovery should flush the superblock")
+	}
+}
+
+func TestBuggyDoubleFlushBufferCostsMore(t *testing.T) {
+	count := func(buggy bool) uint64 {
+		fs := testFS(Config{BuggyDoubleFlushBuffer: buggy})
+		fs.Create(0, "f")
+		fs.NVM().ResetStats()
+		for i := 0; i < 20; i++ {
+			fs.Write(0, "f", bytes.Repeat([]byte{byte(i)}, 256))
+		}
+		return fs.NVM().Stats().LinesFlushed
+	}
+	fixed, buggy := count(false), count(true)
+	if buggy <= fixed {
+		t.Errorf("double buffer flush should cost more: fixed=%d buggy=%d", fixed, buggy)
+	}
+}
+
+func TestBuggyWholeInodeFlushCostsMore(t *testing.T) {
+	count := func(buggy bool) uint64 {
+		fs := testFS(Config{BuggyFlushWholeInode: buggy})
+		fs.Create(0, "f")
+		fs.NVM().ResetStats()
+		for i := 0; i < 20; i++ {
+			fs.Write(0, "f", []byte("tiny"))
+		}
+		return fs.NVM().Stats().BytesWritten
+	}
+	fixed, buggy := count(false), count(true)
+	if buggy <= fixed {
+		t.Errorf("whole-inode journaling should write more: fixed=%d buggy=%d", fixed, buggy)
+	}
+}

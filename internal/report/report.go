@@ -1,0 +1,180 @@
+// Package report defines the warning model shared by DeepMC's static and
+// dynamic checkers, plus aggregation and formatting helpers used by the
+// CLI and the table-regeneration benches.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class separates the paper's two bug families.
+type Class uint8
+
+const (
+	// Violation is a persistency model violation (Table 4) — affects
+	// crash consistency.
+	Violation Class = iota
+	// Performance is a performance bug (Table 5) — unnecessary persistent
+	// operations.
+	Performance
+)
+
+// String renders the class as in the paper's tables.
+func (c Class) String() string {
+	if c == Violation {
+		return "Model Violation"
+	}
+	return "Perf. Overhead"
+}
+
+// Rule identifies a checking rule.
+type Rule string
+
+// The checking rules of Table 4 (model violations) and Table 5
+// (performance bugs).
+const (
+	// Strict/epoch: a persistent write never covered by a flush or an
+	// undo-log entry before its barrier/transaction end.
+	RuleUnflushedWrite Rule = "unflushed-write"
+	// Strict: one persist barrier made more than one write durable at
+	// once; epoch: writes of multiple epochs persisted by one barrier.
+	RuleMultipleWritesAtOnce Rule = "multiple-writes-at-once"
+	// Strict: a flush with no following persist barrier before the next
+	// persistent operation or transaction.
+	RuleMissingBarrier Rule = "missing-persist-barrier"
+	// Epoch: consecutive epochs not separated by a persist barrier.
+	RuleMissingBarrierBetweenEpochs Rule = "missing-barrier-between-epochs"
+	// Epoch: an inner (nested) transaction that does not end with a
+	// persist barrier.
+	RuleMissingBarrierNestedTx Rule = "missing-barrier-nested-tx"
+	// Consecutive epochs/transactions writing to fields of the same
+	// persistent object (the program meant them to be atomic).
+	RuleSemanticMismatch Rule = "semantic-mismatch"
+	// Strand: concurrent strands with WAW/RAW dependences.
+	RuleStrandDependence Rule = "strand-data-dependence"
+
+	// Performance rules (Table 5).
+	RuleFlushUnmodified  Rule = "flush-unmodified"
+	RuleRedundantFlush   Rule = "redundant-flush"
+	RuleDurableTxNoWrite Rule = "durable-tx-no-writes"
+	RuleMultiplePersist  Rule = "multiple-persist-same-object"
+)
+
+// ClassOf returns the bug family a rule belongs to.
+func ClassOf(r Rule) Class {
+	switch r {
+	case RuleFlushUnmodified, RuleRedundantFlush, RuleDurableTxNoWrite, RuleMultiplePersist:
+		return Performance
+	}
+	return Violation
+}
+
+// Warning is one checker finding.
+type Warning struct {
+	Rule    Rule
+	Class   Class
+	Message string
+	Func    string
+	File    string
+	Line    int
+	// Dynamic marks findings from the runtime checker.
+	Dynamic bool
+}
+
+// Key identifies a warning for deduplication: the same defect found along
+// several traces (or from several roots) reports once.
+func (w Warning) Key() string {
+	return fmt.Sprintf("%s|%s|%d", w.Rule, w.File, w.Line)
+}
+
+// String renders the warning in the CLI's one-line format.
+func (w Warning) String() string {
+	kind := "static"
+	if w.Dynamic {
+		kind = "dynamic"
+	}
+	return fmt.Sprintf("WARNING [%s/%s] %s:%d (%s): %s",
+		w.Class, kind, w.File, w.Line, w.Rule, w.Message)
+}
+
+// Report aggregates deduplicated warnings.
+type Report struct {
+	Warnings []Warning
+	seen     map[string]bool
+}
+
+// New creates an empty report.
+func New() *Report {
+	return &Report{seen: make(map[string]bool)}
+}
+
+// Add records a warning unless an identical one (same rule, file, line)
+// was already reported.
+func (r *Report) Add(w Warning) bool {
+	w.Class = ClassOf(w.Rule)
+	k := w.Key()
+	if r.seen[k] {
+		return false
+	}
+	r.seen[k] = true
+	r.Warnings = append(r.Warnings, w)
+	return true
+}
+
+// Merge folds another report in, deduplicating.
+func (r *Report) Merge(o *Report) {
+	for _, w := range o.Warnings {
+		r.Add(w)
+	}
+}
+
+// Sort orders warnings by file, line, rule for stable output.
+func (r *Report) Sort() {
+	sort.Slice(r.Warnings, func(i, j int) bool {
+		a, b := r.Warnings[i], r.Warnings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// CountByClass returns (violations, performance) counts.
+func (r *Report) CountByClass() (viol, perf int) {
+	for _, w := range r.Warnings {
+		if w.Class == Violation {
+			viol++
+		} else {
+			perf++
+		}
+	}
+	return
+}
+
+// ByRule groups warning counts per rule.
+func (r *Report) ByRule() map[Rule]int {
+	out := make(map[Rule]int)
+	for _, w := range r.Warnings {
+		out[w.Rule]++
+	}
+	return out
+}
+
+// String renders the sorted report.
+func (r *Report) String() string {
+	r.Sort()
+	var b strings.Builder
+	for _, w := range r.Warnings {
+		b.WriteString(w.String())
+		b.WriteString("\n")
+	}
+	viol, perf := r.CountByClass()
+	fmt.Fprintf(&b, "%d warnings (%d model violations, %d performance)\n",
+		len(r.Warnings), viol, perf)
+	return b.String()
+}

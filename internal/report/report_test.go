@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassOf(t *testing.T) {
+	viol := []Rule{
+		RuleUnflushedWrite, RuleMultipleWritesAtOnce, RuleMissingBarrier,
+		RuleMissingBarrierBetweenEpochs, RuleMissingBarrierNestedTx,
+		RuleSemanticMismatch, RuleStrandDependence,
+	}
+	perf := []Rule{
+		RuleFlushUnmodified, RuleRedundantFlush, RuleDurableTxNoWrite,
+		RuleMultiplePersist,
+	}
+	for _, r := range viol {
+		if ClassOf(r) != Violation {
+			t.Errorf("%s classified as %v", r, ClassOf(r))
+		}
+	}
+	for _, r := range perf {
+		if ClassOf(r) != Performance {
+			t.Errorf("%s classified as %v", r, ClassOf(r))
+		}
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	r := New()
+	w := Warning{Rule: RuleUnflushedWrite, File: "a.c", Line: 10, Message: "x"}
+	if !r.Add(w) {
+		t.Error("first add rejected")
+	}
+	if r.Add(w) {
+		t.Error("duplicate accepted")
+	}
+	// Same location, different rule: distinct finding.
+	w2 := w
+	w2.Rule = RuleRedundantFlush
+	if !r.Add(w2) {
+		t.Error("different rule at same location rejected")
+	}
+	if len(r.Warnings) != 2 {
+		t.Errorf("warnings = %d", len(r.Warnings))
+	}
+}
+
+func TestAddSetsClass(t *testing.T) {
+	r := New()
+	r.Add(Warning{Rule: RuleRedundantFlush, File: "a.c", Line: 1})
+	if r.Warnings[0].Class != Performance {
+		t.Error("Add did not derive the class from the rule")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add(Warning{Rule: RuleUnflushedWrite, File: "a.c", Line: 1})
+	b.Add(Warning{Rule: RuleUnflushedWrite, File: "a.c", Line: 1}) // dup
+	b.Add(Warning{Rule: RuleUnflushedWrite, File: "b.c", Line: 2})
+	a.Merge(b)
+	if len(a.Warnings) != 2 {
+		t.Errorf("merged warnings = %d, want 2", len(a.Warnings))
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	r := New()
+	r.Add(Warning{Rule: RuleRedundantFlush, File: "b.c", Line: 5})
+	r.Add(Warning{Rule: RuleUnflushedWrite, File: "a.c", Line: 9})
+	r.Add(Warning{Rule: RuleFlushUnmodified, File: "a.c", Line: 2})
+	r.Sort()
+	if r.Warnings[0].File != "a.c" || r.Warnings[0].Line != 2 {
+		t.Errorf("sort order wrong: %+v", r.Warnings[0])
+	}
+	if r.Warnings[2].File != "b.c" {
+		t.Errorf("sort order wrong: %+v", r.Warnings[2])
+	}
+}
+
+func TestCountsAndGrouping(t *testing.T) {
+	r := New()
+	r.Add(Warning{Rule: RuleUnflushedWrite, File: "a.c", Line: 1})
+	r.Add(Warning{Rule: RuleRedundantFlush, File: "a.c", Line: 2})
+	r.Add(Warning{Rule: RuleRedundantFlush, File: "a.c", Line: 3})
+	v, p := r.CountByClass()
+	if v != 1 || p != 2 {
+		t.Errorf("counts = %d/%d", v, p)
+	}
+	if got := r.ByRule()[RuleRedundantFlush]; got != 2 {
+		t.Errorf("ByRule = %d", got)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	r := New()
+	r.Add(Warning{Rule: RuleUnflushedWrite, File: "a.c", Line: 7, Message: "boom", Func: "f"})
+	s := r.String()
+	for _, want := range []string{"a.c:7", "unflushed-write", "boom", "1 warnings", "Model Violation"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report output missing %q:\n%s", want, s)
+		}
+	}
+	w := Warning{Rule: RuleStrandDependence, File: "x.c", Line: 3, Dynamic: true}
+	if !strings.Contains(w.String(), "dynamic") {
+		t.Error("dynamic warnings must be marked")
+	}
+}

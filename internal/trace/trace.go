@@ -1,0 +1,508 @@
+// Package trace implements DeepMC's trace collection (paper §4.3).
+//
+// A trace is the sequence of persistency-relevant operations — persistent
+// writes, cacheline flushes, persist barriers, transaction/epoch/strand
+// markers — along one control-flow path of a function, with callee traces
+// merged into call sites (Figure 11 of the paper).  The collector:
+//
+//   - walks each function's CFG depth-first, bounding loop iterations
+//     (default 10 visits per block, as in the paper) and the total number
+//     of explored paths;
+//   - prioritizes paths that contain persistent operations, using the
+//     DSG's knowledge of which blocks touch persistent objects;
+//   - keeps only operations whose target the DSA proved to live in NVM;
+//   - merges callee traces into caller traces in call-graph post-order,
+//     translating callee abstract locations into the caller's context
+//     through the per-call-site DSA clone mappings.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"deepmc/internal/cfg"
+	"deepmc/internal/dsa"
+	"deepmc/internal/ir"
+)
+
+// Kind classifies trace entries.
+type Kind uint8
+
+const (
+	// KWrite is a persistent store (store/memcopy/memset to NVM).
+	KWrite Kind = iota
+	// KFlush is a cacheline write-back of persistent storage.
+	KFlush
+	// KFence is a persist barrier.
+	KFence
+	// KTxBegin / KTxEnd / KTxAdd are transaction markers.
+	KTxBegin
+	KTxEnd
+	KTxAdd
+	// KEpochBegin / KEpochEnd are epoch boundaries.
+	KEpochBegin
+	KEpochEnd
+	// KStrandBegin / KStrandEnd are strand boundaries.
+	KStrandBegin
+	KStrandEnd
+)
+
+var kindNames = [...]string{
+	KWrite: "write", KFlush: "flush", KFence: "fence",
+	KTxBegin: "txbegin", KTxEnd: "txend", KTxAdd: "txadd",
+	KEpochBegin: "epochbegin", KEpochEnd: "epochend",
+	KStrandBegin: "strandbegin", KStrandEnd: "strandend",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// Entry is one persistency-relevant operation in a trace.
+type Entry struct {
+	Kind Kind
+	// Cell is the abstract location for write/flush/txadd entries,
+	// expressed in the root function's DSG context.
+	Cell dsa.Cell
+	// Size is the explicit byte count of a sized flush, or 0.
+	Size int
+	// Func / File / Line locate the operation in its defining function
+	// (callee locations survive merging).
+	Func string
+	File string
+	Line int
+	// Strand is the strand id for strand markers (-1 if dynamic).
+	Strand int64
+}
+
+// String renders the entry for diagnostics.
+func (e Entry) String() string {
+	switch e.Kind {
+	case KWrite, KFlush, KTxAdd:
+		return fmt.Sprintf("%s %s @%s:%d", e.Kind, e.Cell, e.File, e.Line)
+	case KStrandBegin, KStrandEnd:
+		return fmt.Sprintf("%s %d @%s:%d", e.Kind, e.Strand, e.File, e.Line)
+	default:
+		return fmt.Sprintf("%s @%s:%d", e.Kind, e.File, e.Line)
+	}
+}
+
+// Trace is one merged path through a function.
+type Trace struct {
+	Func    string
+	Entries []Entry
+}
+
+// String renders the whole trace, one entry per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace of %s:\n", t.Func)
+	for _, e := range t.Entries {
+		fmt.Fprintf(&b, "  %s\n", e.String())
+	}
+	return b.String()
+}
+
+// PersistentOps counts write/flush entries (used for prioritization).
+func (t *Trace) PersistentOps() int {
+	n := 0
+	for _, e := range t.Entries {
+		if e.Kind == KWrite || e.Kind == KFlush {
+			n++
+		}
+	}
+	return n
+}
+
+// Options bound the exploration.
+type Options struct {
+	// LoopIterations caps how many times one block may appear on a single
+	// path (the paper's "small number of paths for loop iterations",
+	// default 10).
+	LoopIterations int
+	// MaxPaths caps the number of distinct paths explored per function.
+	MaxPaths int
+	// MaxCalleeVariants caps how many callee trace variants are spliced
+	// into each call site (keeps the cross product bounded).
+	MaxCalleeVariants int
+	// PrioritizePersistent explores successors that reach persistent
+	// operations first, as the paper describes; the ablation bench turns
+	// it off.
+	PrioritizePersistent bool
+	// MaxTraceEntries caps one merged trace's length; longer paths are
+	// analyzed up to the cap (the bounded-exploration analogue of the
+	// paper's loop and recursion limits, keeping rule checking linear on
+	// interprocedurally merged code).
+	MaxTraceEntries int
+}
+
+// DefaultOptions mirrors the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		LoopIterations:       10,
+		MaxPaths:             64,
+		MaxCalleeVariants:    4,
+		PrioritizePersistent: true,
+		MaxTraceEntries:      4096,
+	}
+}
+
+// Collector memoizes merged traces per function over one DSA result.
+type Collector struct {
+	Analysis *dsa.Analysis
+	Opts     Options
+
+	memo     map[string][]*Trace
+	visiting map[string]bool
+	// reaches[fn][block] reports whether any persistent op is reachable
+	// from the block within fn (prioritization metric).
+	reaches map[string]map[string]bool
+}
+
+// NewCollector creates a collector over a finished DSA.
+func NewCollector(a *dsa.Analysis, opts Options) *Collector {
+	if opts.LoopIterations <= 0 {
+		opts.LoopIterations = 1
+	}
+	if opts.MaxPaths <= 0 {
+		opts.MaxPaths = 1
+	}
+	if opts.MaxCalleeVariants <= 0 {
+		opts.MaxCalleeVariants = 1
+	}
+	if opts.MaxTraceEntries <= 0 {
+		opts.MaxTraceEntries = 4096
+	}
+	return &Collector{
+		Analysis: a,
+		Opts:     opts,
+		memo:     make(map[string][]*Trace),
+		visiting: make(map[string]bool),
+		reaches:  make(map[string]map[string]bool),
+	}
+}
+
+// FunctionTraces returns the merged traces of the named function, most
+// persistent-heavy first.
+func (c *Collector) FunctionTraces(fn string) []*Trace {
+	if ts, ok := c.memo[fn]; ok {
+		return ts
+	}
+	f := c.Analysis.Module.Funcs[fn]
+	if f == nil {
+		return nil
+	}
+	if c.visiting[fn] {
+		// Recursion cycle: cut it off (the paper bounds recursion; a
+		// cycle member sees its callees-in-cycle as opaque).
+		return nil
+	}
+	c.visiting[fn] = true
+	defer delete(c.visiting, fn)
+
+	g := cfg.MustNew(f)
+	dsg := c.Analysis.Graph(fn)
+	e := &explorer{c: c, f: f, g: g, dsg: dsg}
+	e.computeReach()
+	var paths []*Trace
+	if entry := g.Entry(); entry != nil {
+		e.walk(entry, nil, make(map[string]int), &paths)
+	}
+	// Prioritize persistent-op-heavy traces (stable by construction order).
+	sortTraces(paths)
+	c.memo[fn] = paths
+	return paths
+}
+
+// sortTraces orders traces by descending persistent-op count, stable.
+func sortTraces(ts []*Trace) {
+	// Insertion sort keeps stability without importing sort.SliceStable
+	// gymnastics on a tiny slice.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].PersistentOps() > ts[j-1].PersistentOps(); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// explorer enumerates paths through one function.
+type explorer struct {
+	c   *Collector
+	f   *ir.Function
+	g   *cfg.Graph
+	dsg *dsa.Graph
+}
+
+// computeReach marks blocks from which a persistent operation is
+// reachable, used to order successor exploration.
+func (e *explorer) computeReach() {
+	r := make(map[string]bool, len(e.g.Nodes))
+	// A block "has" a persistent op if any store/flush/txadd in it touches
+	// a persistent cell, or it contains a call (callees may persist).
+	has := func(b *ir.Block) bool {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpStore, ir.OpFlush, ir.OpTxAdd, ir.OpMemCopy, ir.OpMemSet:
+				if cell := e.cellOf(in.Args[0]); cell.IsPtr() && cell.Obj.Persistent() {
+					return true
+				}
+			case ir.OpCall, ir.OpFence, ir.OpTxBegin, ir.OpTxEnd,
+				ir.OpEpochBegin, ir.OpEpochEnd, ir.OpStrandBegin, ir.OpStrandEnd:
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range e.g.Nodes {
+			if r[n.Block.Name] {
+				continue
+			}
+			if has(n.Block) {
+				r[n.Block.Name] = true
+				changed = true
+				continue
+			}
+			for _, s := range n.Succs {
+				if r[s.Block.Name] {
+					r[n.Block.Name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	e.c.reaches[e.f.Name] = r
+}
+
+func (e *explorer) cellOf(v ir.Value) dsa.Cell {
+	if r, ok := v.(ir.Reg); ok {
+		return e.dsg.RegCell(r.Name)
+	}
+	return dsa.Cell{}
+}
+
+// walk explores paths depth-first.  prefix holds entries accumulated so
+// far; visits counts block occurrences on the current path.
+func (e *explorer) walk(n *cfg.Node, prefix []Entry, visits map[string]int, out *[]*Trace) {
+	if len(*out) >= e.c.Opts.MaxPaths {
+		return
+	}
+	name := n.Block.Name
+	if visits[name] >= e.c.Opts.LoopIterations {
+		return
+	}
+	visits[name]++
+	defer func() { visits[name]-- }()
+
+	// Expanding the block may fork the path at call sites with several
+	// callee variants, so block expansion yields a list of continuations.
+	conts := e.expandBlock(n.Block, prefix)
+	succs := e.orderedSuccs(n)
+	for _, cont := range conts {
+		if len(succs) == 0 {
+			// Path ends here (ret).
+			t := &Trace{Func: e.f.Name, Entries: append([]Entry(nil), cont...)}
+			*out = append(*out, t)
+			if len(*out) >= e.c.Opts.MaxPaths {
+				return
+			}
+			continue
+		}
+		for _, s := range succs {
+			e.walk(s, cont, visits, out)
+			if len(*out) >= e.c.Opts.MaxPaths {
+				return
+			}
+		}
+	}
+}
+
+// orderedSuccs returns successors, persistent-reaching first when
+// prioritization is on.
+func (e *explorer) orderedSuccs(n *cfg.Node) []*cfg.Node {
+	succs := n.Succs
+	if !e.c.Opts.PrioritizePersistent || len(succs) < 2 {
+		return succs
+	}
+	r := e.c.reaches[e.f.Name]
+	ordered := make([]*cfg.Node, 0, len(succs))
+	for _, s := range succs {
+		if r[s.Block.Name] {
+			ordered = append(ordered, s)
+		}
+	}
+	for _, s := range succs {
+		if !r[s.Block.Name] {
+			ordered = append(ordered, s)
+		}
+	}
+	return ordered
+}
+
+// expandBlock appends the block's entries to prefix.  Call sites to
+// defined callees splice in callee traces (several variants fork the
+// path).  It returns all resulting continuations.
+func (e *explorer) expandBlock(b *ir.Block, prefix []Entry) [][]Entry {
+	conts := [][]Entry{append([]Entry(nil), prefix...)}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		switch in.Op {
+		case ir.OpCall:
+			ref := ir.InstrRef{Func: e.f.Name, Block: b.Name, Index: i}
+			variants := e.calleeVariants(in, ref)
+			if len(variants) == 0 {
+				continue
+			}
+			cap := e.c.Opts.MaxTraceEntries
+			var next [][]Entry
+			for _, cont := range conts {
+				for _, v := range variants {
+					if len(cont) >= cap {
+						// The path already hit the entry budget; keep it
+						// as-is instead of splicing further callees.
+						next = append(next, cont)
+						break
+					}
+					room := cap - len(cont)
+					if room > len(v) {
+						room = len(v)
+					}
+					merged := make([]Entry, 0, len(cont)+room)
+					merged = append(merged, cont...)
+					merged = append(merged, v[:room]...)
+					next = append(next, merged)
+					if len(next) >= e.c.Opts.MaxPaths {
+						break
+					}
+				}
+				if len(next) >= e.c.Opts.MaxPaths {
+					break
+				}
+			}
+			conts = next
+		default:
+			if entry, ok := e.entryFor(in); ok {
+				for ci := range conts {
+					if len(conts[ci]) < e.c.Opts.MaxTraceEntries {
+						conts[ci] = append(conts[ci], entry)
+					}
+				}
+			}
+		}
+	}
+	return conts
+}
+
+// calleeVariants returns the callee's merged trace entry lists translated
+// into this function's DSG context, capped at MaxCalleeVariants.
+func (e *explorer) calleeVariants(in *ir.Instr, ref ir.InstrRef) [][]Entry {
+	if _, defined := e.c.Analysis.Module.Funcs[in.Callee]; !defined {
+		return nil
+	}
+	calleeTraces := e.c.FunctionTraces(in.Callee)
+	if len(calleeTraces) == 0 {
+		return nil
+	}
+	mapping := e.dsg.CallMaps[ref]
+	limit := e.c.Opts.MaxCalleeVariants
+	if limit > len(calleeTraces) {
+		limit = len(calleeTraces)
+	}
+	out := make([][]Entry, 0, limit)
+	for _, t := range calleeTraces[:limit] {
+		entries := make([]Entry, 0, len(t.Entries))
+		for _, en := range t.Entries {
+			te := en
+			te.Cell = translateCell(en.Cell, mapping)
+			entries = append(entries, te)
+		}
+		out = append(out, entries)
+	}
+	return out
+}
+
+// translateCell maps a callee-context cell into the caller's context via
+// the DSA clone mapping; unmapped cells (recursion cut-offs) pass through.
+func translateCell(c dsa.Cell, mapping map[*dsa.Node]*dsa.Node) dsa.Cell {
+	if c.Obj == nil || mapping == nil {
+		return c
+	}
+	if t, ok := mapping[c.Obj.Find()]; ok {
+		return dsa.Cell{Obj: t.Find(), Field: c.Field}.Norm()
+	}
+	if t, ok := mapping[c.Obj]; ok {
+		return dsa.Cell{Obj: t.Find(), Field: c.Field}.Norm()
+	}
+	return c
+}
+
+// entryFor converts one instruction to a trace entry.  Writes, flushes
+// and txadds to non-persistent storage are dropped, as in the paper.
+func (e *explorer) entryFor(in *ir.Instr) (Entry, bool) {
+	base := Entry{Func: e.f.Name, File: e.f.File, Line: in.Line, Strand: -1}
+	persistentTarget := func(v ir.Value) (dsa.Cell, bool) {
+		cell := e.cellOf(v)
+		if !cell.IsPtr() || !cell.Obj.Persistent() {
+			return dsa.Cell{}, false
+		}
+		return cell, true
+	}
+	switch in.Op {
+	case ir.OpStore, ir.OpMemCopy, ir.OpMemSet:
+		cell, ok := persistentTarget(in.Args[0])
+		if !ok {
+			return Entry{}, false
+		}
+		base.Kind = KWrite
+		base.Cell = cell
+		return base, true
+	case ir.OpFlush:
+		cell, ok := persistentTarget(in.Args[0])
+		if !ok {
+			return Entry{}, false
+		}
+		base.Kind = KFlush
+		base.Cell = cell
+		if len(in.Args) > 1 {
+			if c, isC := in.Args[1].(ir.Const); isC {
+				base.Size = int(c.Val)
+			}
+		}
+		return base, true
+	case ir.OpTxAdd:
+		cell, ok := persistentTarget(in.Args[0])
+		if !ok {
+			return Entry{}, false
+		}
+		base.Kind = KTxAdd
+		base.Cell = cell
+		return base, true
+	case ir.OpFence:
+		base.Kind = KFence
+		return base, true
+	case ir.OpTxBegin:
+		base.Kind = KTxBegin
+		return base, true
+	case ir.OpTxEnd:
+		base.Kind = KTxEnd
+		return base, true
+	case ir.OpEpochBegin:
+		base.Kind = KEpochBegin
+		return base, true
+	case ir.OpEpochEnd:
+		base.Kind = KEpochEnd
+		return base, true
+	case ir.OpStrandBegin, ir.OpStrandEnd:
+		if in.Op == ir.OpStrandBegin {
+			base.Kind = KStrandBegin
+		} else {
+			base.Kind = KStrandEnd
+		}
+		if c, isC := in.Args[0].(ir.Const); isC {
+			base.Strand = c.Val
+		}
+		return base, true
+	}
+	return Entry{}, false
+}

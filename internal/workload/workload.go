@@ -1,0 +1,200 @@
+// Package workload provides the benchmark drivers of Table 6: memslap-
+// style operation mixes for Memcached, the redis-benchmark default suite,
+// and the YCSB core workloads A–F for NStore — with uniform and zipfian
+// key generators.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpKind is one abstract client operation.
+type OpKind uint8
+
+const (
+	// OpRead fetches an existing key.
+	OpRead OpKind = iota
+	// OpUpdate overwrites an existing key.
+	OpUpdate
+	// OpInsert adds a new key.
+	OpInsert
+	// OpRMW reads, modifies and writes back one key.
+	OpRMW
+	// OpScan reads a short range of keys.
+	OpScan
+)
+
+var opNames = [...]string{
+	OpRead: "read", OpUpdate: "update", OpInsert: "insert",
+	OpRMW: "rmw", OpScan: "scan",
+}
+
+// String names the op.
+func (k OpKind) String() string { return opNames[k] }
+
+// Op is one generated operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	// ScanLen is the range length for OpScan.
+	ScanLen int
+}
+
+// Mix describes an operation mix by percentage (must sum to 100).
+type Mix struct {
+	Name    string
+	Read    int
+	Update  int
+	Insert  int
+	RMW     int
+	Scan    int
+	Zipfian bool // zipfian key popularity (YCSB default); uniform otherwise
+}
+
+// MemslapMixes are the five Memcached workloads of Figure 12.
+func MemslapMixes() []Mix {
+	return []Mix{
+		{Name: "50u/50r", Update: 50, Read: 50},
+		{Name: "5u/95r", Update: 5, Read: 95},
+		{Name: "100r", Read: 100},
+		{Name: "5i/95r", Insert: 5, Read: 95},
+		{Name: "50rmw/50r", RMW: 50, Read: 50},
+	}
+}
+
+// YCSBMixes are the core YCSB workloads A–F (Cooper et al., SoCC'10),
+// which the paper runs against NStore.
+func YCSBMixes() []Mix {
+	return []Mix{
+		{Name: "YCSB-A", Update: 50, Read: 50, Zipfian: true},
+		{Name: "YCSB-B", Update: 5, Read: 95, Zipfian: true},
+		{Name: "YCSB-C", Read: 100, Zipfian: true},
+		{Name: "YCSB-D", Insert: 5, Read: 95},
+		{Name: "YCSB-E", Insert: 5, Scan: 95},
+		{Name: "YCSB-F", RMW: 50, Read: 50, Zipfian: true},
+	}
+}
+
+// RedisOps are the operation series of the redis-benchmark default suite
+// the paper runs (a subset exercising the persistent dict and list).
+var RedisOps = []string{"SET", "GET", "INCR", "LPUSH", "LPOP", "SADD"}
+
+// Generator produces a deterministic operation stream for one client.
+type Generator struct {
+	mix     Mix
+	rng     *rand.Rand
+	keys    uint64 // key-space size for reads/updates
+	nextIns uint64 // next fresh key for inserts
+	zipf    *Zipf
+}
+
+// NewGenerator creates a generator over a key space of n keys.
+func NewGenerator(mix Mix, n uint64, seed int64) *Generator {
+	g := &Generator{mix: mix, rng: rand.New(rand.NewSource(seed)), keys: n, nextIns: n}
+	if mix.Zipfian {
+		g.zipf = NewZipf(n, 0.99, seed^0x5eed)
+	}
+	return g
+}
+
+// key draws a key according to the mix's popularity distribution.
+func (g *Generator) key() uint64 {
+	if g.zipf != nil {
+		return g.zipf.Next()
+	}
+	return uint64(g.rng.Int63n(int64(g.keys)))
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	p := g.rng.Intn(100)
+	m := g.mix
+	switch {
+	case p < m.Read:
+		return Op{Kind: OpRead, Key: g.key()}
+	case p < m.Read+m.Update:
+		return Op{Kind: OpUpdate, Key: g.key()}
+	case p < m.Read+m.Update+m.Insert:
+		k := g.nextIns
+		g.nextIns++
+		return Op{Kind: OpInsert, Key: k}
+	case p < m.Read+m.Update+m.Insert+m.RMW:
+		return Op{Kind: OpRMW, Key: g.key()}
+	default:
+		return Op{Kind: OpScan, Key: g.key(), ScanLen: 1 + g.rng.Intn(16)}
+	}
+}
+
+// Value renders a deterministic payload for a key.
+func Value(key uint64, size int) []byte {
+	b := make([]byte, size)
+	x := key*0x9e3779b97f4a7c15 + 1
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
+// Zipf is a Zipfian generator over [0, n) with the YCSB scrambling, using
+// the Gray et al. rejection-inversion-free approximation.
+type Zipf struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	rng   *rand.Rand
+}
+
+// NewZipf creates a Zipfian generator with skew theta (0.99 = YCSB).
+func NewZipf(n uint64, theta float64, seed int64) *Zipf {
+	z := &Zipf{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// Exact for small n; sampled tail approximation for large n keeps
+	// construction O(10^4) instead of O(n).
+	const exact = 10000
+	sum := 0.0
+	limit := n
+	if limit > exact {
+		limit = exact
+	}
+	for i := uint64(1); i <= limit; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	if n > exact {
+		// Integral approximation of the remaining tail.
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(exact), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// Next draws the next key, scrambled so popular keys spread over the
+// space.
+func (z *Zipf) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1.0:
+		rank = 0
+	case uz < 1.0+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	}
+	if rank >= z.n {
+		rank = z.n - 1
+	}
+	// FNV-style scramble keeps determinism while spreading hot keys.
+	return (rank * 0x100000001b3) % z.n
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMixRatios(t *testing.T) {
+	for _, mix := range append(MemslapMixes(), YCSBMixes()...) {
+		sum := mix.Read + mix.Update + mix.Insert + mix.RMW + mix.Scan
+		if sum != 100 {
+			t.Errorf("%s: ratios sum to %d", mix.Name, sum)
+		}
+	}
+}
+
+func TestGeneratorRespectsMix(t *testing.T) {
+	mix := Mix{Name: "t", Read: 90, Update: 10}
+	g := NewGenerator(mix, 1000, 1)
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	readFrac := float64(counts[OpRead]) / n
+	if readFrac < 0.88 || readFrac > 0.92 {
+		t.Errorf("read fraction = %.3f, want ~0.90", readFrac)
+	}
+	if counts[OpInsert] != 0 || counts[OpScan] != 0 {
+		t.Errorf("unexpected ops: %v", counts)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(YCSBMixes()[0], 1000, 42)
+	g2 := NewGenerator(YCSBMixes()[0], 1000, 42)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestInsertsUseFreshKeys(t *testing.T) {
+	g := NewGenerator(Mix{Name: "i", Insert: 100}, 100, 3)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Key < 100 {
+			t.Fatalf("insert reused preloaded key %d", op.Key)
+		}
+		if seen[op.Key] {
+			t.Fatalf("insert key %d repeated", op.Key)
+		}
+		seen[op.Key] = true
+	}
+}
+
+func TestZipfInRangeAndSkewed(t *testing.T) {
+	const n = 1000
+	z := NewZipf(n, 0.99, 7)
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k >= n {
+			t.Fatalf("zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// Skew: the most popular key should absorb far more than uniform
+	// share (uniform = draws/n = 200).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 10*draws/n {
+		t.Errorf("zipf max popularity %d too uniform", max)
+	}
+}
+
+func TestValueDeterministic(t *testing.T) {
+	if err := quick.Check(func(key uint64) bool {
+		a := Value(key, 64)
+		b := Value(key, 64)
+		if len(a) != 64 {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+; A strict-persistency banking routine with two planted bugs:
+; an unflushed balance update and a useless audit flush.
+module bank
+
+type account struct {
+	balance: int
+	owner: int
+}
+
+type audit struct {
+	last_op: int
+}
+
+func deposit(acct: *account, log: *audit, amount) {
+	file "bank.c"
+	%b = load %acct.balance       @10
+	%nb = add %b, %amount         @11
+	store %acct.balance, %nb      @12
+	fence                         @14
+	flush %log.last_op            @16
+	fence                         @17
+	ret
+}
+
+func main() {
+	%a = palloc account
+	%l = palloc audit
+	call deposit(%a, %l, 100)
+	ret
+}

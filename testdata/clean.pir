@@ -1,0 +1,36 @@
+; A correctly implemented strict-persistency counter: every store is
+; flushed and fenced in program order; transactional updates are logged.
+module clean
+
+type counter struct {
+	value: int
+	epoch: int
+}
+
+func bump(c: *counter) {
+	file "counter.c"
+	%v = load %c.value   @5
+	%nv = add %v, 1      @6
+	store %c.value, %nv  @7
+	flush %c.value       @8
+	fence                @9
+	ret
+}
+
+func reset(c: *counter) {
+	file "counter.c"
+	txbegin              @20
+	txadd %c             @21
+	store %c.value, 0    @22
+	store %c.epoch, 0    @23
+	txend                @24
+	fence                @24
+	ret
+}
+
+func main() {
+	%c = palloc counter
+	call bump(%c)
+	call reset(%c)
+	ret
+}

@@ -1,0 +1,28 @@
+; A strand-persistency log writer whose two strands carry a WAW
+; dependence on the shared cursor: the dynamic checker reports it.
+module strands
+
+type logbuf struct {
+	cursor: int
+	data: [16]int
+}
+
+func append_two(l: *logbuf) {
+	file "logbuf.c"
+	strandbegin 1        @10
+	store %l.cursor, 1   @11
+	flush %l.cursor      @12
+	strandend 1          @13
+	strandbegin 2        @14
+	store %l.cursor, 2   @15
+	flush %l.cursor      @16
+	strandend 2          @17
+	fence                @18
+	ret
+}
+
+func main() {
+	%l = palloc logbuf
+	call append_two(%l)
+	ret
+}
