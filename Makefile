@@ -1,0 +1,38 @@
+# DeepMC reproduction — build & verification pipeline.
+#
+#   make build       compile everything
+#   make test        tier-1 gate: build + full test suite
+#   make race        test suite under the race detector
+#   make vet         go vet
+#   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze)
+#   make bench       speedup benchmark for the parallel checker
+#   make ci          everything above, in order
+
+GO ?= go
+FUZZTIME ?= 30s
+
+.PHONY: build test race vet fuzz-short bench ci clean
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ir
+	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) ./internal/core
+
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkAnalyzeParallel -benchtime 200x .
+
+ci: build vet test race fuzz-short
+
+clean:
+	$(GO) clean ./...

@@ -10,6 +10,8 @@
 //	deepmc-bench -fp                 # §5.4 false-positive analysis
 //	deepmc-bench -completeness       # §5.3 studied-bug re-detection
 //	deepmc-bench -figure 12 -ops 20000 -clients 4
+//	deepmc-bench -speedup -jobs 0       # serial vs. parallel corpus analysis
+//	deepmc-bench -all -jobs 8           # fan the checker out for every table
 package main
 
 import (
@@ -30,7 +32,11 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	ops := flag.Int("ops", 8000, "Figure 12: operations per client")
 	clients := flag.Int("clients", 4, "Figure 12: concurrent clients")
+	jobs := flag.Int("jobs", 1, "checker worker count for corpus runs (0 = GOMAXPROCS)")
+	speedup := flag.Bool("speedup", false, "time serial vs. parallel corpus analysis")
 	flag.Parse()
+
+	tables.Workers = *jobs
 
 	ran := false
 	emit := func(s string) {
@@ -69,6 +75,9 @@ func main() {
 	}
 	if *all || *ablations {
 		emit(tables.Ablations())
+	}
+	if *all || *speedup {
+		emit(tables.ParallelBench(*jobs))
 	}
 	if *all || *figure == 12 {
 		cfg := tables.DefaultFig12Config()

@@ -2,9 +2,9 @@
 //
 // Usage:
 //
-//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] prog.pir...
+//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] prog.pir...
 //	deepmc run    [-entry main] [-arg N]... prog.pir
-//	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne]
+//	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne] [-jobs N]
 //	deepmc traces [-model ...] -fn NAME prog.pir
 //	deepmc fix    [-model strict] [-o fixed.pir] prog.pir
 //	deepmc fmt    prog.pir
@@ -62,11 +62,12 @@ func usage() {
 	fmt.Fprint(os.Stderr, `deepmc - persistency-model aware bug checking for NVM programs
 
 commands:
-  check   [-model strict|epoch|strand] [-all] [-field=false] prog.pir...
-          run the static checker (Tables 4 and 5 rules)
+  check   [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] prog.pir...
+          run the static checker (Tables 4 and 5 rules); -jobs fans the
+          worker-pool checker out (0 = GOMAXPROCS) with byte-identical output
   run     [-entry main] [-arg N]... prog.pir
           execute under the instrumented runtime (dynamic analysis)
-  corpus  [-name NAME]
+  corpus  [-name NAME] [-jobs N]
           check the built-in buggy-framework corpus against ground truth
   traces  [-model ...] -fn NAME prog.pir
           dump the collected traces of one function
@@ -97,24 +98,32 @@ func cmdCheck(args []string) error {
 	model := fs.String("model", "strict", "persistency model the program implements")
 	all := fs.Bool("all", false, "check every function standalone, not just roots")
 	field := fs.Bool("field", true, "field-sensitive points-to analysis")
+	jobs := fs.Int("jobs", 0, "checker worker count (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("check: no input files")
 	}
-	exit := 0
-	for _, path := range fs.Args() {
+	cfg := core.Config{
+		Model: *model, AllFunctions: *all, FieldInsensitive: !*field, Workers: *jobs,
+	}
+	jobList := make([]core.Job, fs.NArg())
+	for i, path := range fs.Args() {
 		m, err := loadModule(path)
 		if err != nil {
 			return err
 		}
-		rep, err := core.Analyze(m, core.Config{
-			Model: *model, AllFunctions: *all, FieldInsensitive: !*field,
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("== %s (model: %s)\n%s", path, *model, rep)
-		if len(rep.Warnings) > 0 {
+		jobList[i] = core.Job{Module: m, Config: cfg}
+	}
+	// Modules are analyzed concurrently, each with its own worker-pool
+	// checker; reports come back in input order regardless.
+	reps, err := core.AnalyzeJobs(jobList, cfg.ResolvedWorkers())
+	if err != nil {
+		return err
+	}
+	exit := 0
+	for i, path := range fs.Args() {
+		fmt.Printf("== %s (model: %s)\n%s", path, *model, reps[i])
+		if len(reps[i].Warnings) > 0 {
 			exit = 1
 		}
 	}
@@ -151,12 +160,13 @@ func cmdRun(args []string) error {
 func cmdCorpus(args []string) error {
 	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
 	name := fs.String("name", "", "restrict to one framework")
+	jobs := fs.Int("jobs", 1, "checker worker count (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	for _, p := range corpus.All() {
 		if *name != "" && p.Name != *name {
 			continue
 		}
-		ev := corpus.Evaluate(p)
+		ev := corpus.EvaluateParallel(p, core.Config{Workers: *jobs}.ResolvedWorkers())
 		fmt.Printf("== %s (model: %s): %d warnings, %d expected\n",
 			p.Name, p.Model, len(ev.Report.Warnings), len(p.Truth))
 		fmt.Print(ev.Report)

@@ -152,6 +152,53 @@ func (g *Graph) PostOrder() []*ir.Function {
 	return out
 }
 
+// Waves groups the SCCs of the condensation into dependency levels for
+// parallel scheduling: every callee SCC of a wave-k member lies in a
+// wave strictly before k, so all SCCs of one wave can be processed
+// concurrently once the previous waves are done.  Wave membership and
+// the order of SCCs within a wave are deterministic: within each SCC,
+// functions appear in module declaration order, and SCCs within a wave
+// are ordered by the declaration index of their first function.
+func (g *Graph) Waves() [][][]*ir.Function {
+	declIdx := make(map[string]int, len(g.Nodes))
+	for i, name := range g.Module.FuncNames() {
+		declIdx[name] = i
+	}
+	level := make([]int, g.sccCount)
+	var waves [][][]*ir.Function
+	// sccOrder is reverse topological (callees first), so every callee
+	// SCC already has its level when its callers are visited.
+	for _, scc := range g.sccOrder {
+		id := scc[0].SCC
+		lv := 0
+		for _, n := range scc {
+			for _, o := range n.Outs {
+				if o.SCC == id {
+					continue // intra-SCC edge (recursion)
+				}
+				if l := level[o.SCC] + 1; l > lv {
+					lv = l
+				}
+			}
+		}
+		level[id] = lv
+		fs := make([]*ir.Function, 0, len(scc))
+		for _, n := range scc {
+			fs = append(fs, n.Func)
+		}
+		sort.Slice(fs, func(i, j int) bool { return declIdx[fs[i].Name] < declIdx[fs[j].Name] })
+		for len(waves) <= lv {
+			waves = append(waves, nil)
+		}
+		waves[lv] = append(waves[lv], fs)
+	}
+	for _, w := range waves {
+		w := w
+		sort.Slice(w, func(i, j int) bool { return declIdx[w[i][0].Name] < declIdx[w[j][0].Name] })
+	}
+	return waves
+}
+
 // SCCs returns the strongly connected components, callees first.
 func (g *Graph) SCCs() [][]*ir.Function {
 	out := make([][]*ir.Function, 0, len(g.sccOrder))

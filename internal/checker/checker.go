@@ -10,6 +10,7 @@ package checker
 
 import (
 	"fmt"
+	"sort"
 
 	"deepmc/internal/dsa"
 	"deepmc/internal/ir"
@@ -105,21 +106,26 @@ func Check(m *ir.Module, model Model) *report.Report {
 // warnings by (rule, file, line).
 func (c *Checker) CheckModule() *report.Report {
 	rep := report.New()
-	var fns []*ir.Function
-	if c.Opts.AllFunctions {
-		for _, name := range c.Analysis.Module.FuncNames() {
-			fns = append(fns, c.Analysis.Module.Funcs[name])
-		}
-	} else {
-		fns = c.Analysis.CG.Roots()
-	}
-	for _, f := range fns {
+	for _, f := range c.targetFunctions() {
 		for _, t := range c.Collector.FunctionTraces(f.Name) {
 			c.CheckTrace(t, rep)
 		}
 	}
 	rep.Sort()
 	return rep
+}
+
+// targetFunctions returns the functions whose traces the rule set is
+// applied to, in module declaration order.
+func (c *Checker) targetFunctions() []*ir.Function {
+	if !c.Opts.AllFunctions {
+		return c.Analysis.CG.Roots()
+	}
+	var fns []*ir.Function
+	for _, name := range c.Analysis.Module.FuncNames() {
+		fns = append(fns, c.Analysis.Module.Funcs[name])
+	}
+	return fns
 }
 
 // CheckTrace applies all enabled rules to one trace, adding findings to
@@ -647,7 +653,25 @@ func (s *scanner) endRegion() {
 	if !s.inRegion {
 		return
 	}
-	for obj, e := range s.curRegion {
+	// Iterate the region's objects in a deterministic order (first-write
+	// location, then node id): the emission order decides which message
+	// survives deduplication.
+	objs := make([]*dsa.Node, 0, len(s.curRegion))
+	for obj := range s.curRegion {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool {
+		a, b := s.curRegion[objs[i]], s.curRegion[objs[j]]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return objs[i].ID() < objs[j].ID()
+	})
+	for _, obj := range objs {
+		e := s.curRegion[obj]
 		if prev, ok := s.prevRegion[obj]; ok {
 			s.warn(report.RuleSemanticMismatch, e,
 				"consecutive transactions/epochs both write object %s (first written at %s:%d); the updates are not made durable atomically",
@@ -685,7 +709,10 @@ func (s *scanner) checkStrandOverlaps() {
 	for id := range s.strandWrites {
 		ids = append(ids, id)
 	}
-	// Deterministic order.
+	// Deterministic order: strand ids come from a map, so sort before
+	// pairing — the emission order decides which message survives
+	// deduplication.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for i := 0; i < len(ids); i++ {
 		for j := i + 1; j < len(ids); j++ {
 			a, b := ids[i], ids[j]

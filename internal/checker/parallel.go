@@ -1,0 +1,109 @@
+// Parallel checking: a worker-pool scheduler that collects traces in
+// call-graph post-order waves and applies the rule set to independent
+// functions concurrently, merging the per-function findings into a
+// report that is byte-identical to a serial run.
+//
+// Two properties make the fan-out sound:
+//
+//   - The DSA result is immutable once Analyze returns (union-find
+//     chains are flattened, so Find performs pure reads), and the trace
+//     collector's memo is mutex-guarded with deterministic per-function
+//     results, so workers share one cache and duplicate interprocedural
+//     work is computed once.
+//   - Warnings deduplicate by (rule, file, line), and the first-reported
+//     message wins.  Workers therefore accumulate findings into private
+//     reports, which are merged in module declaration order — exactly
+//     the order a serial scan encounters them — before the final sort.
+package checker
+
+import (
+	"runtime"
+	"sync"
+
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+// CheckModuleParallel is CheckModule fanned out over the given number of
+// worker goroutines (0 or less = runtime.GOMAXPROCS).  The resulting
+// report is identical to CheckModule's regardless of worker count or
+// interleaving.
+func (c *Checker) CheckModuleParallel(workers int) *report.Report {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c.precomputeTraces(workers)
+	fns := c.targetFunctions()
+	// Every function's traces are memoized now; scan them concurrently,
+	// each worker into a private report.
+	reports := make([]*report.Report, len(fns))
+	runParallel(workers, len(fns), func(i int) {
+		rep := report.New()
+		for _, t := range c.Collector.FunctionTraces(fns[i].Name) {
+			c.CheckTrace(t, rep)
+		}
+		reports[i] = rep
+	})
+	// Deterministic merge: fold the per-function reports in declaration
+	// order, so deduplication keeps the same winner a serial scan keeps.
+	merged := report.New()
+	for _, rep := range reports {
+		merged.Merge(rep)
+	}
+	merged.Sort()
+	return merged
+}
+
+// precomputeTraces fills the collector's memo for every function,
+// scheduling call-graph SCCs in post-order waves: all of a wave's
+// callees live in earlier waves, so the SCCs within one wave are
+// independent and can be collected concurrently.  Each SCC is entered
+// through its first-declared member, which fixes the trace content of
+// recursion cycles independently of worker count.
+func (c *Checker) precomputeTraces(workers int) {
+	for _, wave := range c.Analysis.CG.Waves() {
+		wave := wave
+		runParallel(workers, len(wave), func(i int) {
+			for _, f := range wave[i] {
+				c.Collector.FunctionTraces(f.Name)
+			}
+		})
+	}
+}
+
+// runParallel executes fn(0..n-1) across at most workers goroutines.
+// It degenerates to a plain loop when one worker suffices.
+func runParallel(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// CheckParallel is the convenience entry point mirroring Check: analyze
+// m under the given model with default options and the given worker
+// count.
+func CheckParallel(m *ir.Module, model Model, workers int) *report.Report {
+	return New(m, DefaultOptions(model)).CheckModuleParallel(workers)
+}

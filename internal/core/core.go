@@ -6,6 +6,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"deepmc/internal/checker"
 	"deepmc/internal/dsa"
@@ -35,6 +37,27 @@ type Config struct {
 	// PersistentAllocFns names external allocation functions returning
 	// persistent objects.
 	PersistentAllocFns []string
+	// Workers is the number of concurrent static-checker workers.
+	// 0 selects runtime.GOMAXPROCS(0); 1 runs serially.  Any worker
+	// count produces a byte-identical report: traces are collected in
+	// call-graph post-order waves into a shared memoized cache, and
+	// per-function findings merge in module declaration order.
+	Workers int
+}
+
+// ResolvedWorkers resolves the configured worker count: 0 becomes
+// runtime.GOMAXPROCS(0), negative values clamp to 1.
+func (c Config) ResolvedWorkers() int { return c.workers() }
+
+// workers resolves the configured worker count.
+func (c Config) workers() int {
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 0 {
+		return 1
+	}
+	return c.Workers
 }
 
 // checkerOptions lowers the configuration.
@@ -61,7 +84,8 @@ func orDefault(s, d string) string {
 	return s
 }
 
-// Analyze runs DeepMC's offline (static) analysis over a module.
+// Analyze runs DeepMC's offline (static) analysis over a module, using
+// cfg.Workers concurrent checker workers.
 func Analyze(m *ir.Module, cfg Config) (*report.Report, error) {
 	if err := ir.Verify(m); err != nil {
 		return nil, err
@@ -70,7 +94,68 @@ func Analyze(m *ir.Module, cfg Config) (*report.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return checker.New(m, opts).CheckModule(), nil
+	return checker.New(m, opts).CheckModuleParallel(cfg.workers()), nil
+}
+
+// Job pairs one module with its configuration for batch analysis.
+type Job struct {
+	Module *ir.Module
+	Config Config
+}
+
+// AnalyzeJobs runs the static analysis over a batch of modules with up
+// to workers (0 = runtime.GOMAXPROCS) modules in flight at once; each
+// module's own check additionally fans out per its Config.Workers.  The
+// returned reports align with jobs.  On failure the failing slots are
+// nil and the first error in input order is returned alongside the
+// partial results.
+func AnalyzeJobs(jobs []Job, workers int) ([]*report.Report, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	reports := make([]*report.Report, len(jobs))
+	errs := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			reports[i], errs[i] = Analyze(j.Module, j.Config)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					reports[i], errs[i] = Analyze(jobs[i].Module, jobs[i].Config)
+				}
+			}()
+		}
+		for i := range jobs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}
+
+// AnalyzeAll analyzes a whole corpus of modules under one shared
+// configuration, pipelining the per-module runs across cfg.Workers.
+func AnalyzeAll(ms []*ir.Module, cfg Config) ([]*report.Report, error) {
+	jobs := make([]Job, len(ms))
+	for i, m := range ms {
+		jobs[i] = Job{Module: m, Config: cfg}
+	}
+	return AnalyzeJobs(jobs, cfg.workers())
 }
 
 // AnalyzeSource parses PIR text and analyzes it.
@@ -135,7 +220,7 @@ func AnalyzeWithStats(m *ir.Module, cfg Config) (*report.Report, PipelineStats, 
 		return nil, st, err
 	}
 	ck := checker.New(m, opts)
-	rep := ck.CheckModule()
+	rep := ck.CheckModuleParallel(cfg.workers())
 	st.Funcs = len(m.Funcs)
 	st.Instrs = m.NumInstrs()
 	for _, fn := range m.FuncNames() {

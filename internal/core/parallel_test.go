@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"deepmc/internal/corpus"
+	"deepmc/internal/ir"
+)
+
+func modelName(p *corpus.Program) string {
+	return p.Model.String()
+}
+
+// TestParallelMatchesSerial is the determinism gate for the parallel
+// pipeline: the full corpus, analyzed at Workers=1, 2 and 8, must yield
+// byte-identical sorted warning sets.  Ten iterations (each with a
+// fresh parse, fresh DSA and fresh goroutine interleavings) shake out
+// scheduling- and map-order-dependent behavior.
+func TestParallelMatchesSerial(t *testing.T) {
+	progs := corpus.All()
+	baseline := make(map[string]string, len(progs))
+	for _, p := range progs {
+		rep, err := Analyze(p.Module(), Config{Model: modelName(p), Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: serial analysis failed: %v", p.Name, err)
+		}
+		var b strings.Builder
+		b.WriteString(rep.String())
+		baseline[p.Name] = b.String()
+		if len(rep.Warnings) == 0 {
+			t.Fatalf("%s: serial run found no warnings; comparison would be vacuous", p.Name)
+		}
+	}
+	for iter := 0; iter < 10; iter++ {
+		for _, p := range progs {
+			for _, workers := range []int{1, 2, 8} {
+				rep, err := Analyze(p.Module(), Config{Model: modelName(p), Workers: workers})
+				if err != nil {
+					t.Fatalf("iter %d %s workers=%d: %v", iter, p.Name, workers, err)
+				}
+				if got := rep.String(); got != baseline[p.Name] {
+					t.Fatalf("iter %d %s workers=%d: report diverged from serial\n--- serial:\n%s--- parallel:\n%s",
+						iter, p.Name, workers, baseline[p.Name], got)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeJobsMatchesSequential pins the batch entry point: reports
+// align with the job order and equal per-module Analyze results.
+func TestAnalyzeJobsMatchesSequential(t *testing.T) {
+	progs := corpus.All()
+	jobs := make([]Job, len(progs))
+	want := make([]string, len(progs))
+	for i, p := range progs {
+		jobs[i] = Job{Module: p.Module(), Config: Config{Model: modelName(p), Workers: 2}}
+		rep, err := Analyze(p.Module(), Config{Model: modelName(p), Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep.String()
+	}
+	for _, workers := range []int{1, 4} {
+		reps, err := AnalyzeJobs(jobs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(reps) != len(jobs) {
+			t.Fatalf("workers=%d: got %d reports for %d jobs", workers, len(reps), len(jobs))
+		}
+		for i, rep := range reps {
+			if rep.String() != want[i] {
+				t.Errorf("workers=%d: job %d (%s) report differs from sequential run", workers, i, progs[i].Name)
+			}
+		}
+	}
+}
+
+// TestAnalyzeAllSharedConfig covers the single-config batch wrapper.
+func TestAnalyzeAllSharedConfig(t *testing.T) {
+	var ms []*ir.Module
+	for _, p := range corpus.All() {
+		ms = append(ms, p.Module())
+	}
+	reps, err := AnalyzeAll(ms, Config{Model: "strict", Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != len(ms) {
+		t.Fatalf("got %d reports for %d modules", len(reps), len(ms))
+	}
+	for i, rep := range reps {
+		if rep == nil {
+			t.Fatalf("module %d: nil report without error", i)
+		}
+	}
+}
+
+// TestAnalyzeJobsFirstErrorWins pins the error contract: the first
+// failing job (in input order) supplies the returned error, healthy
+// slots still carry their reports.
+func TestAnalyzeJobsFirstErrorWins(t *testing.T) {
+	good := corpus.PMDK().Module()
+	jobs := []Job{
+		{Module: good, Config: Config{Model: "strict"}},
+		{Module: good, Config: Config{Model: "bogus-a"}},
+		{Module: good, Config: Config{Model: "bogus-b"}},
+	}
+	reps, err := AnalyzeJobs(jobs, 4)
+	if err == nil {
+		t.Fatal("expected an error from the bogus-model jobs")
+	}
+	if !strings.Contains(err.Error(), "bogus-a") {
+		t.Errorf("error is not the first failing job's: %v", err)
+	}
+	if reps[0] == nil {
+		t.Error("healthy job lost its report")
+	}
+	if reps[1] != nil || reps[2] != nil {
+		t.Error("failing jobs should have nil reports")
+	}
+}
+
+// TestWorkersConfigResolution pins the Workers defaulting rules.
+func TestWorkersConfigResolution(t *testing.T) {
+	if got := (Config{}).workers(); got < 1 {
+		t.Errorf("default workers = %d, want >= 1 (GOMAXPROCS)", got)
+	}
+	if got := (Config{Workers: -3}).workers(); got != 1 {
+		t.Errorf("negative workers resolved to %d, want 1", got)
+	}
+	if got := (Config{Workers: 7}).workers(); got != 7 {
+		t.Errorf("explicit workers resolved to %d, want 7", got)
+	}
+}

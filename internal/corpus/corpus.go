@@ -106,6 +106,17 @@ func Evaluate(p *Program) *Evaluation {
 	return Score(p, rep)
 }
 
+// EvaluateParallel is Evaluate with the checker fanned out over the
+// given worker count.  The deterministic-merge guarantee makes the
+// score identical to Evaluate's for any worker count.
+func EvaluateParallel(p *Program, workers int) *Evaluation {
+	if workers == 1 {
+		return Evaluate(p)
+	}
+	rep := checker.CheckParallel(p.Module(), p.Model, workers)
+	return Score(p, rep)
+}
+
 // Score matches an existing report against the program's ground truth.
 func Score(p *Program, rep *report.Report) *Evaluation {
 	ev := &Evaluation{Program: p, Report: rep, Matched: make(map[string]bool)}

@@ -64,7 +64,25 @@ func Analyze(m *ir.Module, opts Options) *Analysis {
 	for _, name := range m.FuncNames() {
 		propagatePersistence(a.Graphs[name])
 	}
+	// The finished analysis is read concurrently by the parallel checker:
+	// flatten every union-find chain to depth one so that Find never
+	// path-compresses (writes) again.
+	a.flatten()
 	return a
+}
+
+// flatten fully compresses every node's union-find chain.  No
+// unifications happen after Analyze returns, so once every parent
+// pointer references its representative directly, Find performs pure
+// reads and the whole Analysis is safe for concurrent use.
+func (a *Analysis) flatten() {
+	for _, g := range a.Graphs {
+		for _, n := range g.nodes {
+			if r := n.Find(); n.parent != nil {
+				n.parent = r
+			}
+		}
+	}
 }
 
 // propagatePersistence closes the FlagPersistent property over points-to
@@ -362,7 +380,16 @@ func (a *Analysis) topDown(f *ir.Function) {
 		if mapping == nil {
 			continue
 		}
-		for orig, clone := range mapping {
+		// Iterate the mapping in node-id order: when several clones offer
+		// a type name for the same callee node, the winner must not depend
+		// on map iteration order.
+		origs := make([]*Node, 0, len(mapping))
+		for orig := range mapping {
+			origs = append(origs, orig)
+		}
+		sortNodesByID(origs)
+		for _, orig := range origs {
+			clone := mapping[orig]
 			or, cr := orig.Find(), clone.Find()
 			if cr.Flags&FlagPersistent != 0 && or.Flags&FlagPersistent == 0 {
 				or.Flags |= FlagPersistent

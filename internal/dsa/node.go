@@ -128,6 +128,13 @@ func (n *Node) ModFields() []string { return sortedKeys(n.Find().Mod) }
 // RefFields returns the sorted read field paths.
 func (n *Node) RefFields() []string { return sortedKeys(n.Find().Ref) }
 
+// sortNodesByID orders nodes by their raw allocation id.  Ids are
+// assigned in deterministic allocation order, so this gives a stable
+// iteration order for node sets collected from maps.
+func sortNodesByID(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].id < ns[j].id })
+}
+
 func sortedKeys(m map[string]bool) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {

@@ -43,6 +43,22 @@ func table1Rows() []ruleRow {
 	}
 }
 
+// Workers is the checker fan-out used by every corpus run in this
+// package (the -jobs flag of deepmc-bench).  0 means GOMAXPROCS, 1
+// means the serial checker.  The deterministic-merge guarantee makes
+// every table byte-identical under any setting.
+var Workers = 1
+
+func resolvedWorkers() int {
+	if Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if Workers < 1 {
+		return 1
+	}
+	return Workers
+}
+
 // CorpusRun holds one checker run over one corpus program, cross-scored
 // against ground truth.
 type CorpusRun struct {
@@ -54,9 +70,52 @@ type CorpusRun struct {
 func RunCorpus() []CorpusRun {
 	var out []CorpusRun
 	for _, p := range corpus.All() {
-		out = append(out, CorpusRun{Program: p, Eval: corpus.Evaluate(p)})
+		out = append(out, CorpusRun{Program: p, Eval: corpus.EvaluateParallel(p, resolvedWorkers())})
 	}
 	return out
+}
+
+// ParallelBench times the full-corpus analysis serially and with the
+// parallel scheduler at the given worker count, reporting wall time and
+// speedup.  It parses once up front so both passes measure only the
+// static pipeline (DSA + trace collection + rule checking).
+func ParallelBench(workers int) string {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	progs := corpus.All()
+	mods := make([]*ir.Module, len(progs))
+	models := make([]string, len(progs))
+	for i, p := range progs {
+		mods[i] = p.Module()
+		models[i] = ModelFor(p)
+	}
+	const rounds = 50
+	measure := func(w int) time.Duration {
+		best := time.Duration(0)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for i, m := range mods {
+				if _, err := core.Analyze(m, core.Config{Model: models[i], Workers: w}); err != nil {
+					panic(err)
+				}
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(1)
+	par := measure(workers)
+	var b strings.Builder
+	b.WriteString("Parallel analysis: full corpus, serial vs. worker-pool checker\n\n")
+	fmt.Fprintf(&b, "%-24s %14s\n", "Configuration", "Wall time")
+	fmt.Fprintf(&b, "%-24s %14s\n", "serial (workers=1)", serial.Round(time.Microsecond))
+	fmt.Fprintf(&b, "%-24s %14s\n", fmt.Sprintf("parallel (workers=%d)", workers), par.Round(time.Microsecond))
+	fmt.Fprintf(&b, "\nSpeedup %.2fx on %d logical CPUs (best of %d rounds; reports byte-identical by the deterministic merge)\n",
+		float64(serial)/float64(par), runtime.NumCPU(), rounds)
+	return b.String()
 }
 
 // cellFor counts validated/warnings for one rule in one program, using

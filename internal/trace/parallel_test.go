@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"deepmc/internal/dsa"
+	"deepmc/internal/ir"
+)
+
+// TestConcurrentCollection hammers one shared Collector from many
+// goroutines asking for overlapping functions (roots and callees alike).
+// Under -race this pins the mutex discipline of the memo; the result
+// checks pin first-writer-wins canonicalization: every goroutine must
+// observe the same trace slices.
+func TestConcurrentCollection(t *testing.T) {
+	src := `
+module conc
+
+type cell struct {
+	v: int
+	w: int
+}
+
+func store_one(p: *cell) {
+	store %p.v, 1 @10
+	flush %p.v    @11
+	fence         @12
+	ret
+}
+
+func store_two(p: *cell) {
+	call store_one(%p)
+	store %p.w, 2 @20
+	flush %p.w    @21
+	fence         @22
+	ret
+}
+
+func rec(p: *cell, n) {
+	%c = lt %n, 1
+	condbr %c, done, more
+more:
+	%m = add %n, -1
+	call rec(%p, %m)
+	br done
+done:
+	call store_two(%p)
+	ret
+}
+
+func rootX() {
+	%p = palloc cell
+	call store_two(%p)
+	ret
+}
+
+func rootY() {
+	%p = palloc cell
+	call rec(%p, 2)
+	ret
+}
+`
+	m := ir.MustParse(src)
+	a := dsa.Analyze(m, dsa.DefaultOptions())
+	c := NewCollector(a, DefaultOptions())
+	fns := m.FuncNames()
+
+	const goroutines = 16
+	results := make([][][]*Trace, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Vary the request order per goroutine so memo writes and
+			// reads interleave in different patterns.
+			out := make([][]*Trace, len(fns))
+			for i := range fns {
+				idx := (i + g) % len(fns)
+				out[idx] = c.FunctionTraces(fns[idx])
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for i, fn := range fns {
+			a, b := results[0][i], results[g][i]
+			if len(a) != len(b) {
+				t.Fatalf("goroutine %d: %s trace count %d != %d", g, fn, len(b), len(a))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("goroutine %d: %s trace %d is a different object — memo not canonical", g, fn, j)
+				}
+			}
+		}
+	}
+}

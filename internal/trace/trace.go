@@ -19,6 +19,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"deepmc/internal/cfg"
 	"deepmc/internal/dsa"
@@ -146,15 +147,16 @@ func DefaultOptions() Options {
 }
 
 // Collector memoizes merged traces per function over one DSA result.
+// It is safe for concurrent use: the memo is mutex-guarded, the
+// computation itself works on chain-local state, and the per-function
+// result is deterministic, so racing chains that duplicate a
+// computation converge on identical traces (first writer wins).
 type Collector struct {
 	Analysis *dsa.Analysis
 	Opts     Options
 
-	memo     map[string][]*Trace
-	visiting map[string]bool
-	// reaches[fn][block] reports whether any persistent op is reachable
-	// from the block within fn (prioritization metric).
-	reaches map[string]map[string]bool
+	mu   sync.Mutex
+	memo map[string][]*Trace
 }
 
 // NewCollector creates a collector over a finished DSA.
@@ -175,40 +177,58 @@ func NewCollector(a *dsa.Analysis, opts Options) *Collector {
 		Analysis: a,
 		Opts:     opts,
 		memo:     make(map[string][]*Trace),
-		visiting: make(map[string]bool),
-		reaches:  make(map[string]map[string]bool),
 	}
 }
 
 // FunctionTraces returns the merged traces of the named function, most
 // persistent-heavy first.
 func (c *Collector) FunctionTraces(fn string) []*Trace {
-	if ts, ok := c.memo[fn]; ok {
+	return c.collect(fn, make(map[string]bool))
+}
+
+// collect computes (or recalls) one function's traces.  visiting tracks
+// the functions on the current recursive descent — one chain of calls
+// within a single goroutine — so recursion cycles are cut off without
+// mistaking another goroutine's in-flight computation for a cycle.
+func (c *Collector) collect(fn string, visiting map[string]bool) []*Trace {
+	c.mu.Lock()
+	ts, ok := c.memo[fn]
+	c.mu.Unlock()
+	if ok {
 		return ts
 	}
 	f := c.Analysis.Module.Funcs[fn]
 	if f == nil {
 		return nil
 	}
-	if c.visiting[fn] {
+	if visiting[fn] {
 		// Recursion cycle: cut it off (the paper bounds recursion; a
 		// cycle member sees its callees-in-cycle as opaque).
 		return nil
 	}
-	c.visiting[fn] = true
-	defer delete(c.visiting, fn)
+	visiting[fn] = true
+	defer delete(visiting, fn)
 
 	g := cfg.MustNew(f)
 	dsg := c.Analysis.Graph(fn)
-	e := &explorer{c: c, f: f, g: g, dsg: dsg}
-	e.computeReach()
+	e := &explorer{c: c, f: f, g: g, dsg: dsg, visiting: visiting}
+	e.reach = e.computeReach()
 	var paths []*Trace
 	if entry := g.Entry(); entry != nil {
 		e.walk(entry, nil, make(map[string]int), &paths)
 	}
 	// Prioritize persistent-op-heavy traces (stable by construction order).
 	sortTraces(paths)
-	c.memo[fn] = paths
+	c.mu.Lock()
+	if existing, done := c.memo[fn]; done {
+		// Another chain published first.  The computation is a pure
+		// function of (module, DSA, options), so both results are
+		// identical; keep the canonical copy.
+		paths = existing
+	} else {
+		c.memo[fn] = paths
+	}
+	c.mu.Unlock()
 	return paths
 }
 
@@ -229,11 +249,17 @@ type explorer struct {
 	f   *ir.Function
 	g   *cfg.Graph
 	dsg *dsa.Graph
+	// visiting is the enclosing chain's recursion guard, threaded through
+	// to callee collections.
+	visiting map[string]bool
+	// reach[block] reports whether any persistent op is reachable from
+	// the block within this function (prioritization metric).
+	reach map[string]bool
 }
 
 // computeReach marks blocks from which a persistent operation is
 // reachable, used to order successor exploration.
-func (e *explorer) computeReach() {
+func (e *explorer) computeReach() map[string]bool {
 	r := make(map[string]bool, len(e.g.Nodes))
 	// A block "has" a persistent op if any store/flush/txadd in it touches
 	// a persistent cell, or it contains a call (callees may persist).
@@ -272,7 +298,7 @@ func (e *explorer) computeReach() {
 			}
 		}
 	}
-	e.c.reaches[e.f.Name] = r
+	return r
 }
 
 func (e *explorer) cellOf(v ir.Value) dsa.Cell {
@@ -325,7 +351,7 @@ func (e *explorer) orderedSuccs(n *cfg.Node) []*cfg.Node {
 	if !e.c.Opts.PrioritizePersistent || len(succs) < 2 {
 		return succs
 	}
-	r := e.c.reaches[e.f.Name]
+	r := e.reach
 	ordered := make([]*cfg.Node, 0, len(succs))
 	for _, s := range succs {
 		if r[s.Block.Name] {
@@ -400,7 +426,7 @@ func (e *explorer) calleeVariants(in *ir.Instr, ref ir.InstrRef) [][]Entry {
 	if _, defined := e.c.Analysis.Module.Funcs[in.Callee]; !defined {
 		return nil
 	}
-	calleeTraces := e.c.FunctionTraces(in.Callee)
+	calleeTraces := e.c.collect(in.Callee, e.visiting)
 	if len(calleeTraces) == 0 {
 		return nil
 	}
