@@ -4,14 +4,15 @@
 #   make test        tier-1 gate: build + full test suite
 #   make race        test suite under the race detector
 #   make vet         go vet
-#   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze)
+#   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze, FuzzEnumerate)
 #   make bench       speedup benchmark for the parallel checker
+#   make crashsim    cross-validate the static checker against crash enumeration
 #   make ci          everything above, in order
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: build test race vet fuzz-short bench ci clean
+.PHONY: build test race vet fuzz-short bench crashsim ci clean
 
 build:
 	$(GO) build ./...
@@ -28,11 +29,15 @@ vet:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ir
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzEnumerate -fuzztime $(FUZZTIME) ./internal/crashsim
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkAnalyzeParallel -benchtime 200x .
 
-ci: build vet test race fuzz-short
+crashsim: build
+	$(GO) run ./cmd/deepmc crashsim -jobs 0
+
+ci: build vet test race fuzz-short crashsim
 
 clean:
 	$(GO) clean ./...

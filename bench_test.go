@@ -36,7 +36,7 @@ func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		warnings, valid = 0, 0
 		for _, p := range corpus.All() {
-			ev := corpus.Evaluate(p)
+			ev := mustEval(b, p)
 			warnings += len(ev.Report.Warnings)
 			truthValid := map[string]bool{}
 			for _, g := range p.Truth {
@@ -73,7 +73,7 @@ func BenchmarkTable3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		found = 0
 		for _, p := range corpus.All() {
-			ev := corpus.Evaluate(p)
+			ev := mustEval(b, p)
 			for _, g := range p.Truth {
 				if g.Studied && ev.Matched[g.Key()] {
 					found++
@@ -90,7 +90,7 @@ func BenchmarkTable8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		newBugs = 0
 		for _, p := range corpus.All() {
-			ev := corpus.Evaluate(p)
+			ev := mustEval(b, p)
 			for _, g := range p.Truth {
 				if !g.Studied && g.Valid && ev.Matched[g.Key()] {
 					newBugs++
@@ -258,7 +258,7 @@ func BenchmarkAblationFieldSensitivity(b *testing.B) {
 				for _, p := range corpus.All() {
 					opts := checker.DefaultOptions(p.Model)
 					opts.DSA.FieldSensitive = sensitive
-					rep := checker.New(p.Module(), opts).CheckModule()
+					rep := checker.New(mustModule(b, p), opts).CheckModule()
 					ev := corpus.Score(p, rep)
 					for _, g := range p.Truth {
 						if g.Valid && ev.Matched[g.Key()] {
@@ -374,7 +374,7 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	mods := make([]*ir.Module, len(progs))
 	models := make([]string, len(progs))
 	for i, p := range progs {
-		mods[i] = p.Module()
+		mods[i] = mustModule(b, p)
 		models[i] = tables.ModelFor(p)
 	}
 	analyzeAll := func(b *testing.B, workers int) {
@@ -408,7 +408,7 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 // BenchmarkDSA isolates the points-to analysis cost on the largest
 // corpus module.
 func BenchmarkDSA(b *testing.B) {
-	m := corpus.PMDK().Module()
+	m := mustModule(b, corpus.PMDK())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dsa.Analyze(m, dsa.DefaultOptions())
@@ -417,7 +417,7 @@ func BenchmarkDSA(b *testing.B) {
 
 // BenchmarkTraceCollection isolates trace collection on the PMDK corpus.
 func BenchmarkTraceCollection(b *testing.B) {
-	m := corpus.PMDK().Module()
+	m := mustModule(b, corpus.PMDK())
 	a := dsa.Analyze(m, dsa.DefaultOptions())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

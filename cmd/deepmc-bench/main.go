@@ -11,6 +11,7 @@
 //	deepmc-bench -completeness       # §5.3 studied-bug re-detection
 //	deepmc-bench -figure 12 -ops 20000 -clients 4
 //	deepmc-bench -speedup -jobs 0       # serial vs. parallel corpus analysis
+//	deepmc-bench -crashsim -jobs 4      # legacy vs. pruned-parallel crash enumeration
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
 package main
 
@@ -34,6 +35,7 @@ func main() {
 	clients := flag.Int("clients", 4, "Figure 12: concurrent clients")
 	jobs := flag.Int("jobs", 1, "checker worker count for corpus runs (0 = GOMAXPROCS)")
 	speedup := flag.Bool("speedup", false, "time serial vs. parallel corpus analysis")
+	crashsim := flag.Bool("crashsim", false, "time legacy vs. pruned-parallel crash enumeration")
 	flag.Parse()
 
 	tables.Workers = *jobs
@@ -78,6 +80,9 @@ func main() {
 	}
 	if *all || *speedup {
 		emit(tables.ParallelBench(*jobs))
+	}
+	if *all || *crashsim {
+		emit(tables.CrashsimBench(*jobs))
 	}
 	if *all || *figure == 12 {
 		cfg := tables.DefaultFig12Config()

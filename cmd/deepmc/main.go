@@ -8,6 +8,7 @@
 //	deepmc traces [-model ...] -fn NAME prog.pir
 //	deepmc fix    [-model strict] [-o fixed.pir] prog.pir
 //	deepmc fmt    prog.pir
+//	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [prog.pir]
 //
 // As in the paper (§4.5), the only required configuration is the
 // persistency model the program intends to implement; everything else is
@@ -22,6 +23,7 @@ import (
 
 	"deepmc/internal/core"
 	"deepmc/internal/corpus"
+	"deepmc/internal/crashsim"
 	"deepmc/internal/fixer"
 	"deepmc/internal/ir"
 )
@@ -45,6 +47,8 @@ func main() {
 		err = cmdFix(os.Args[2:])
 	case "fmt":
 		err = cmdFmt(os.Args[2:])
+	case "crashsim":
+		err = cmdCrashsim(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -75,6 +79,10 @@ commands:
           check, auto-repair the mechanical bug classes, write the result
   fmt     prog.pir
           parse and pretty-print a PIR module
+  crashsim [-jobs N] [-stride N] [-prune] [-entry main] [prog.pir]
+          with a file: enumerate its crash points and report pruning
+          statistics; without one: cross-validate the static checker
+          against crash enumeration over the built-in bug corpus
 `)
 }
 
@@ -166,7 +174,10 @@ func cmdCorpus(args []string) error {
 		if *name != "" && p.Name != *name {
 			continue
 		}
-		ev := corpus.EvaluateParallel(p, core.Config{Workers: *jobs}.ResolvedWorkers())
+		ev, err := corpus.EvaluateParallel(p, core.Config{Workers: *jobs}.ResolvedWorkers())
+		if err != nil {
+			return err
+		}
 		fmt.Printf("== %s (model: %s): %d warnings, %d expected\n",
 			p.Name, p.Model, len(ev.Report.Warnings), len(p.Truth))
 		fmt.Print(ev.Report)
@@ -240,6 +251,46 @@ func cmdFmt(args []string) error {
 		return err
 	}
 	fmt.Print(ir.Print(m))
+	return nil
+}
+
+func cmdCrashsim(args []string) error {
+	fs := flag.NewFlagSet("crashsim", flag.ExitOnError)
+	jobs := fs.Int("jobs", 0, "enumeration worker count (0 = GOMAXPROCS)")
+	stride := fs.Int("stride", 1, "check every Nth crash point")
+	prune := fs.Bool("prune", true, "restrict crash points to persist-relevant boundaries")
+	entry := fs.String("entry", "main", "entry function (file mode)")
+	fs.Parse(args)
+	o := crashsim.Options{Stride: *stride, Workers: *jobs, Prune: *prune}
+
+	if fs.NArg() == 0 {
+		// Corpus mode: the differential harness — every model-violation
+		// bug must be flagged statically, reproduced by a crash point,
+		// and silenced by its fix.
+		rep, err := corpus.CrossValidate(o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		if !rep.Agree() {
+			os.Exit(1)
+		}
+		return nil
+	}
+
+	// File mode: enumerate with a vacuous invariant to map the crash
+	// surface — how many crash points survive pruning and deduping.
+	for _, path := range fs.Args() {
+		m, err := loadModule(path)
+		if err != nil {
+			return err
+		}
+		res, err := crashsim.EnumerateOpts(m, *entry, func(*crashsim.Image) error { return nil }, o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %s\n%s\n", path, res)
+	}
 	return nil
 }
 

@@ -64,7 +64,12 @@ func demonstrateCrash() {
 // shows the hashmap warnings of hash_map.c.
 func demonstrateDetection() {
 	p := corpus.PMDK()
-	rep := checker.Check(p.Module(), checker.Strict)
+	m, err := p.Module()
+	if err != nil {
+		fmt.Println("corpus error:", err)
+		return
+	}
+	rep := checker.Check(m, checker.Strict)
 	fmt.Println("DeepMC detects the same defect statically (rule: semantic-mismatch):")
 	for _, w := range rep.Warnings {
 		if w.Rule == report.RuleSemanticMismatch && w.File == "hash_map.c" {

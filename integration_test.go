@@ -102,7 +102,7 @@ func TestCorpusWithSuppressionDB(t *testing.T) {
 	db := checker.NewFilterDB()
 	totalBefore, totalAfter := 0, 0
 	for _, p := range corpus.All() {
-		ev := corpus.Evaluate(p)
+		ev := mustEval(t, p)
 		truthValid := map[string]bool{}
 		for _, g := range p.Truth {
 			truthValid[g.Key()] = g.Valid
@@ -118,7 +118,7 @@ func TestCorpusWithSuppressionDB(t *testing.T) {
 		t.Fatalf("learned %d suppressions, want 7", db.Len())
 	}
 	for _, p := range corpus.All() {
-		rep := checker.Check(p.Module(), p.Model)
+		rep := checker.Check(mustModule(t, p), p.Model)
 		filteredRep, _ := db.Apply(rep)
 		totalAfter += len(filteredRep.Warnings)
 	}
@@ -132,7 +132,7 @@ func TestCorpusWithSuppressionDB(t *testing.T) {
 // faithful interchange format).
 func TestCorpusRoundTripsThroughText(t *testing.T) {
 	for _, p := range corpus.All() {
-		m := p.Module()
+		m := mustModule(t, p)
 		reparsed, err := ir.Parse(ir.Print(m))
 		if err != nil {
 			t.Fatalf("%s: reparse: %v", p.Name, err)

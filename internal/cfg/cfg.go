@@ -50,15 +50,6 @@ func New(f *ir.Function) (*Graph, error) {
 	return g, nil
 }
 
-// MustNew is New that panics on error, for inputs already verified.
-func MustNew(f *ir.Function) *Graph {
-	g, err := New(f)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 // Entry returns the entry node, or nil for an empty function.
 func (g *Graph) Entry() *Node {
 	if len(g.Nodes) == 0 {

@@ -120,7 +120,7 @@ func main() {
 
 func TestAnalyzeWithStats(t *testing.T) {
 	p := corpus.PMDK()
-	rep, st, err := AnalyzeWithStats(p.Module(), Config{Model: "strict"})
+	rep, st, err := AnalyzeWithStats(mustModule(t, p), Config{Model: "strict"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestGenerateAppDeterministic(t *testing.T) {
 
 func TestInstrumentationPlanOnCorpus(t *testing.T) {
 	p := corpus.Mnemosyne()
-	plan, err := InstrumentationPlan(p.Module(), Config{Model: "epoch"}, true)
+	plan, err := InstrumentationPlan(mustModule(t, p), Config{Model: "epoch"}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestInstrumentationPlanOnCorpus(t *testing.T) {
 }
 
 func TestTracesAccessor(t *testing.T) {
-	m := corpus.PMDK().Module()
+	m := mustModule(t, corpus.PMDK())
 	ts, err := Traces(m, Config{Model: "strict"}, "demo_btree")
 	if err != nil {
 		t.Fatal(err)

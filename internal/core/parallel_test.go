@@ -21,7 +21,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	progs := corpus.All()
 	baseline := make(map[string]string, len(progs))
 	for _, p := range progs {
-		rep, err := Analyze(p.Module(), Config{Model: modelName(p), Workers: 1})
+		rep, err := Analyze(mustModule(t, p), Config{Model: modelName(p), Workers: 1})
 		if err != nil {
 			t.Fatalf("%s: serial analysis failed: %v", p.Name, err)
 		}
@@ -35,7 +35,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	for iter := 0; iter < 10; iter++ {
 		for _, p := range progs {
 			for _, workers := range []int{1, 2, 8} {
-				rep, err := Analyze(p.Module(), Config{Model: modelName(p), Workers: workers})
+				rep, err := Analyze(mustModule(t, p), Config{Model: modelName(p), Workers: workers})
 				if err != nil {
 					t.Fatalf("iter %d %s workers=%d: %v", iter, p.Name, workers, err)
 				}
@@ -55,8 +55,8 @@ func TestAnalyzeJobsMatchesSequential(t *testing.T) {
 	jobs := make([]Job, len(progs))
 	want := make([]string, len(progs))
 	for i, p := range progs {
-		jobs[i] = Job{Module: p.Module(), Config: Config{Model: modelName(p), Workers: 2}}
-		rep, err := Analyze(p.Module(), Config{Model: modelName(p), Workers: 1})
+		jobs[i] = Job{Module: mustModule(t, p), Config: Config{Model: modelName(p), Workers: 2}}
+		rep, err := Analyze(mustModule(t, p), Config{Model: modelName(p), Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +82,7 @@ func TestAnalyzeJobsMatchesSequential(t *testing.T) {
 func TestAnalyzeAllSharedConfig(t *testing.T) {
 	var ms []*ir.Module
 	for _, p := range corpus.All() {
-		ms = append(ms, p.Module())
+		ms = append(ms, mustModule(t, p))
 	}
 	reps, err := AnalyzeAll(ms, Config{Model: "strict", Workers: 4})
 	if err != nil {
@@ -102,7 +102,7 @@ func TestAnalyzeAllSharedConfig(t *testing.T) {
 // failing job (in input order) supplies the returned error, healthy
 // slots still carry their reports.
 func TestAnalyzeJobsFirstErrorWins(t *testing.T) {
-	good := corpus.PMDK().Module()
+	good := mustModule(t, corpus.PMDK())
 	jobs := []Job{
 		{Module: good, Config: Config{Model: "strict"}},
 		{Module: good, Config: Config{Model: "bogus-a"}},

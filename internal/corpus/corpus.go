@@ -64,13 +64,18 @@ type Program struct {
 	Truth  []GroundTruth
 }
 
-// Module parses and verifies the program's PIR source.
-func (p *Program) Module() *ir.Module {
-	m := ir.MustParse(p.Source)
-	if err := ir.Verify(m); err != nil {
-		panic(fmt.Sprintf("corpus %s: %v", p.Name, err))
+// Module parses and verifies the program's PIR source.  A malformed
+// program is a diagnostic, not a panic, so one bad corpus entry
+// degrades gracefully inside a batch AnalyzeAll run.
+func (p *Program) Module() (*ir.Module, error) {
+	m, err := ir.Parse(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", p.Name, err)
 	}
-	return m
+	if err := ir.Verify(m); err != nil {
+		return nil, fmt.Errorf("corpus %s: %w", p.Name, err)
+	}
+	return m, nil
 }
 
 // ValidBugs counts ground-truth entries that are real bugs.
@@ -101,20 +106,26 @@ type Evaluation struct {
 
 // Evaluate runs the static checker over the program and scores the
 // result.
-func Evaluate(p *Program) *Evaluation {
-	rep := checker.Check(p.Module(), p.Model)
-	return Score(p, rep)
+func Evaluate(p *Program) (*Evaluation, error) {
+	m, err := p.Module()
+	if err != nil {
+		return nil, err
+	}
+	return Score(p, checker.Check(m, p.Model)), nil
 }
 
 // EvaluateParallel is Evaluate with the checker fanned out over the
 // given worker count.  The deterministic-merge guarantee makes the
 // score identical to Evaluate's for any worker count.
-func EvaluateParallel(p *Program, workers int) *Evaluation {
+func EvaluateParallel(p *Program, workers int) (*Evaluation, error) {
 	if workers == 1 {
 		return Evaluate(p)
 	}
-	rep := checker.CheckParallel(p.Module(), p.Model, workers)
-	return Score(p, rep)
+	m, err := p.Module()
+	if err != nil {
+		return nil, err
+	}
+	return Score(p, checker.CheckParallel(m, p.Model, workers)), nil
 }
 
 // Score matches an existing report against the program's ground truth.

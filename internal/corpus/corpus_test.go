@@ -12,7 +12,11 @@ import (
 // TestCorpusParsesAndVerifies ensures all four programs are well-formed.
 func TestCorpusParsesAndVerifies(t *testing.T) {
 	for _, p := range All() {
-		m := p.Module()
+		m, err := p.Module()
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+			continue
+		}
 		if err := ir.Verify(m); err != nil {
 			t.Errorf("%s: %v", p.Name, err)
 		}
@@ -29,7 +33,7 @@ func TestExactReproduction(t *testing.T) {
 	for _, p := range All() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			ev := Evaluate(p)
+			ev := mustEval(t, p)
 			for _, g := range ev.Missing() {
 				t.Errorf("missing expected warning: %s %s:%d (%s)", g.Rule, g.File, g.Line, g.Description)
 			}
@@ -198,7 +202,7 @@ func TestFalsePositiveRate(t *testing.T) {
 // re-detected by the checker.
 func TestCompleteness(t *testing.T) {
 	for _, p := range All() {
-		ev := Evaluate(p)
+		ev := mustEval(t, p)
 		for _, g := range p.Truth {
 			if g.Studied && !ev.Matched[g.Key()] {
 				t.Errorf("%s: studied bug not detected: %s %s:%d", p.Name, g.Rule, g.File, g.Line)
@@ -228,11 +232,22 @@ func TestWarningInventory(t *testing.T) {
 	var b strings.Builder
 	total := 0
 	for _, p := range All() {
-		ev := Evaluate(p)
+		ev := mustEval(t, p)
 		fmt.Fprintf(&b, "%s: %d warnings\n", p.Name, len(ev.Report.Warnings))
 		total += len(ev.Report.Warnings)
 	}
 	if total != 50 {
 		t.Errorf("checker produced %d warnings over the corpus, want 50\n%s", total, b.String())
 	}
+}
+
+// mustEval runs the checker over a program, failing the test on a
+// corpus error.
+func mustEval(t *testing.T, p *Program) *Evaluation {
+	t.Helper()
+	ev, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
 }

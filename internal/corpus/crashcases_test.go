@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+
+	"deepmc/internal/crashsim"
+)
+
+// TestCrashCasesBuild ensures every harness pair parses, verifies, and
+// (for mechanical rules) is repaired by the fixer.
+func TestCrashCasesBuild(t *testing.T) {
+	cases, err := CrashCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) != 15 {
+		t.Fatalf("built %d harness cases, want 15", len(cases))
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		key := fmt.Sprintf("%s|%s|%d", c.Rule, c.File, c.Line)
+		if seen[key] {
+			t.Errorf("duplicate harness for %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestCrossValidateAgreement is the differential acceptance gate: for
+// every model-violation bug in the corpus, the static checker flags it,
+// the crash enumerator reproduces it with a concrete crash point, and
+// the repaired harness enumerates clean.
+func TestCrossValidateAgreement(t *testing.T) {
+	rep, err := CrossValidate(crashsim.Options{Prune: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Outcomes {
+		o := &rep.Outcomes[i]
+		if o.Agree() {
+			continue
+		}
+		t.Errorf("%s %s:%d %s: flagged=%v reproduced=%v fixed-clean=%v",
+			o.Program, o.File, o.Line, o.Rule, o.Flagged, o.Reproduced, o.FixedClean)
+		if !o.Reproduced {
+			t.Logf("buggy result:\n%s", o.Buggy.Detail())
+		}
+		if !o.FixedClean {
+			t.Logf("fixed result:\n%s", o.Fixed.Detail())
+		}
+	}
+	if t.Failed() {
+		t.Logf("report:\n%s", rep)
+	}
+}
+
+// TestEnumerateDeterministicOverCorpus is the corpus-wide determinism
+// gate: for every harness program, the rendered enumeration result must
+// be byte-identical across worker counts 1/2/8 at every stride.
+func TestEnumerateDeterministicOverCorpus(t *testing.T) {
+	cases, err := CrashCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		for _, stride := range []int{1, 3} {
+			var want string
+			for _, workers := range []int{1, 2, 8} {
+				res, err := crashsim.EnumerateOpts(c.Buggy, c.Entry, c.Invariant, crashsim.Options{
+					Stride: stride, Workers: workers, Prune: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := res.Detail()
+				if workers == 1 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Errorf("%s %s:%d stride=%d workers=%d: result differs from workers=1",
+						c.Program, c.File, c.Line, stride, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestCrossValidateDeterministic checks the report renders identically
+// across worker counts and pruning modes (reproduction verdicts must
+// not depend on scheduling).
+func TestCrossValidateDeterministic(t *testing.T) {
+	base, err := CrossValidate(crashsim.Options{Prune: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 8} {
+		rep, err := CrossValidate(crashsim.Options{Prune: true, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.String() != base.String() {
+			t.Errorf("workers=%d: report differs from workers=1:\n%s\nvs\n%s", w, rep, base)
+		}
+	}
+}

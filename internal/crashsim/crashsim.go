@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
@@ -49,17 +50,18 @@ func (im *Image) LoadField(objID int, field string) (int64, bool) {
 	return im.Load(objID, off), true
 }
 
-// Objects lists the persistent objects allocated before the crash, in
-// allocation order (ids ascend).
+// Objects lists the persistent objects the crashed execution touched, in
+// allocation order (ids ascend).  Ids are not contiguous here: volatile
+// allocations consume ids too, and only objects reached by a persistent
+// write or undo-log registration are recorded — so the listing iterates
+// the recorded set rather than probing ids from 1 until the first gap
+// (which silently truncated the list).
 func (im *Image) Objects() []*interp.Object {
-	var out []*interp.Object
-	for id := 1; ; id++ {
-		o, ok := im.objects[id]
-		if !ok {
-			break
-		}
+	out := make([]*interp.Object, 0, len(im.objects))
+	for _, o := range im.objects {
 		out = append(out, o)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -205,6 +207,16 @@ type Violation struct {
 type Result struct {
 	TotalSteps int
 	CrashesRun int
+	// Pruned counts steps skipped because no persist-relevant event
+	// (write/flush/fence/tx-add/tx-end on persistent memory) fired during
+	// them: crashing there yields the same durable image as the previous
+	// crash point.  Zero when pruning is off.
+	Pruned int
+	// Deduped counts persist-relevant steps dropped because their
+	// recovered durable state (durable words + in-flight words + open-tx
+	// undo log) was identical to an earlier crash point's.  Zero when
+	// pruning is off.
+	Deduped    int
 	Violations []Violation
 }
 
@@ -213,13 +225,30 @@ func (r *Result) Clean() bool { return len(r.Violations) == 0 }
 
 // String summarizes the result.
 func (r *Result) String() string {
+	extra := ""
+	if r.Pruned > 0 || r.Deduped > 0 {
+		extra = fmt.Sprintf(" (pruned %d quiet steps, %d duplicate images)", r.Pruned, r.Deduped)
+	}
 	if r.Clean() {
-		return fmt.Sprintf("crashsim: %d crash points over %d steps, invariant holds everywhere",
-			r.CrashesRun, r.TotalSteps)
+		return fmt.Sprintf("crashsim: %d crash points over %d steps%s, invariant holds everywhere",
+			r.CrashesRun, r.TotalSteps, extra)
 	}
 	v := r.Violations[0]
-	return fmt.Sprintf("crashsim: %d/%d crash points violate the invariant (first at step %d: %v)",
-		len(r.Violations), r.CrashesRun, v.Step, v.Err)
+	return fmt.Sprintf("crashsim: %d/%d crash points violate the invariant%s (first at step %d: %v)",
+		len(r.Violations), r.CrashesRun, extra, v.Step, v.Err)
+}
+
+// Detail renders the summary plus one line per violated crash point, in
+// crash-step order.  Because violations are merged deterministically,
+// Detail output is byte-identical for any worker count — the
+// determinism gate and the differential harness compare it directly.
+func (r *Result) Detail() string {
+	var b strings.Builder
+	b.WriteString(r.String())
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "\n  step %4d: %v", v.Step, v.Err)
+	}
+	return b.String()
 }
 
 // Invariant inspects a durable image; returning an error marks the
@@ -246,38 +275,11 @@ const sampledOutcomes = 256
 //
 // Stride > 1 samples every Nth crash point (for long programs);
 // stride <= 1 checks all of them.
+//
+// Enumerate is the legacy single-threaded, unpruned entry point; it is
+// equivalent to EnumerateOpts with Options{Stride: stride, Workers: 1}.
 func Enumerate(m *ir.Module, entry string, inv Invariant, stride int) (*Result, error) {
-	if err := ir.Verify(m); err != nil {
-		return nil, err
-	}
-	if stride < 1 {
-		stride = 1
-	}
-	// Full run: count steps.
-	full := interp.New(m, interp.NopHooks{})
-	if _, err := full.Run(entry); err != nil {
-		return nil, fmt.Errorf("crashsim: full run: %w", err)
-	}
-	total := full.Steps()
-
-	res := &Result{TotalSteps: total}
-	for k := 1; k <= total; k += stride {
-		st := newNVMState()
-		ip := interp.New(m, st)
-		ip.MaxSteps = k
-		_, err := ip.Run(entry)
-		// A step-budget stop is the simulated crash; err == nil means the
-		// program completed (the final crash point); any other error is a
-		// real failure.
-		if err != nil && !ip.BudgetExhausted() {
-			return nil, fmt.Errorf("crashsim: run to step %d: %w", k, err)
-		}
-		res.CrashesRun++
-		if ierr := st.checkOutcomes(inv, int64(k)); ierr != nil {
-			res.Violations = append(res.Violations, Violation{Step: k, Err: ierr})
-		}
-	}
-	return res, nil
+	return EnumerateOpts(m, entry, inv, Options{Stride: stride, Workers: 1})
 }
 
 // inFlight returns the words that may or may not have persisted at the

@@ -1,0 +1,112 @@
+package crashsim
+
+import (
+	"fmt"
+
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+)
+
+// Options configures EnumerateOpts.
+type Options struct {
+	// Stride checks every Nth surviving crash point; values < 1 mean 1.
+	Stride int
+	// Workers follows core.Config.Workers semantics: 0 means one worker
+	// per GOMAXPROCS, negative means 1, positive is taken literally.
+	// Violations are merged in crash-step order, so the Result is
+	// byte-identical for any worker count.
+	Workers int
+	// Prune restricts crash points to persist-relevant boundaries (steps
+	// during which a persistent write/flush/fence/tx-add/tx-end fired)
+	// and drops points whose recovered durable state duplicates an
+	// earlier one.  Pruning never changes whether the enumeration is
+	// clean: a crash between two persist-quiet instructions yields an
+	// image identical to the previous crash point's.
+	Prune bool
+	// MaxSteps bounds the planning/step-counting run (0 uses the
+	// interpreter default).  When set, a program that exhausts the budget
+	// is enumerated over its truncated prefix instead of failing — the
+	// fuzz harness uses this to tame pathological loops.
+	MaxSteps int
+}
+
+// EnumerateOpts is Enumerate with pruning and a worker pool.  See
+// Enumerate for the crash-simulation model; this variant first executes
+// the program once to discover crash points (all steps, or only the
+// persist-relevant deduped ones when o.Prune is set), then shards the
+// surviving points across o.Workers re-execution workers.
+func EnumerateOpts(m *ir.Module, entry string, inv Invariant, o Options) (*Result, error) {
+	if err := ir.Verify(m); err != nil {
+		return nil, err
+	}
+	stride := o.Stride
+	if stride < 1 {
+		stride = 1
+	}
+
+	res := &Result{}
+	if o.Prune {
+		p := &planner{nvmState: newNVMState()}
+		ip := interp.New(m, p)
+		if o.MaxSteps > 0 {
+			ip.MaxSteps = o.MaxSteps
+		}
+		if _, err := ip.Run(entry); err != nil {
+			if !ip.BudgetExhausted() || o.MaxSteps <= 0 {
+				return nil, fmt.Errorf("crashsim: planning run: %w", err)
+			}
+		}
+		res.TotalSteps = completedSteps(ip, o)
+		var points []planPoint
+		seen := make(map[string]bool, len(p.points))
+		for _, pt := range p.points {
+			if seen[pt.key] {
+				res.Deduped++
+				continue
+			}
+			seen[pt.key] = true
+			points = append(points, pt)
+		}
+		res.Pruned = res.TotalSteps - len(p.points)
+		var sel []planPoint
+		for i := 0; i < len(points); i += stride {
+			sel = append(sel, points[i])
+		}
+		res.CrashesRun = len(sel)
+		res.Violations = checkSnapshots(inv, sel, resolveWorkers(o.Workers))
+		return res, nil
+	}
+
+	ip := interp.New(m, interp.NopHooks{})
+	if o.MaxSteps > 0 {
+		ip.MaxSteps = o.MaxSteps
+	}
+	if _, err := ip.Run(entry); err != nil {
+		if !ip.BudgetExhausted() || o.MaxSteps <= 0 {
+			return nil, fmt.Errorf("crashsim: full run: %w", err)
+		}
+	}
+	res.TotalSteps = completedSteps(ip, o)
+	var sel []int
+	for k := 1; k <= res.TotalSteps; k += stride {
+		sel = append(sel, k)
+	}
+	res.CrashesRun = len(sel)
+	viols, err := checkPoints(m, entry, inv, sel, resolveWorkers(o.Workers))
+	if err != nil {
+		return nil, err
+	}
+	res.Violations = viols
+	return res, nil
+}
+
+// completedSteps returns how many instructions fully executed: on a
+// budget abort the interpreter's counter includes the instruction it
+// refused to run.
+func completedSteps(ip *interp.Interp, o Options) int {
+	n := ip.Steps()
+	if ip.BudgetExhausted() && o.MaxSteps > 0 && n > o.MaxSteps {
+		n = o.MaxSteps
+	}
+	return n
+}

@@ -1,0 +1,144 @@
+package crashsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+)
+
+// resolveWorkers maps core.Config.Workers semantics to a concrete pool
+// size: 0 means one worker per GOMAXPROCS, negative means 1.
+func resolveWorkers(n int) int {
+	switch {
+	case n == 0:
+		return runtime.GOMAXPROCS(0)
+	case n < 1:
+		return 1
+	default:
+		return n
+	}
+}
+
+// checkPoints re-executes the program to each selected crash point and
+// applies the invariant, fanning the points out across a worker pool.
+// Results land in per-point slots and are merged in input (crash-step)
+// order, so the returned violations — and any run error, which is
+// reported for the earliest failing point — are independent of the
+// worker count.  Each crash point seeds its own sampled-outcome RNG
+// (checkOutcomes), so workers share no random state.
+func checkPoints(m *ir.Module, entry string, inv Invariant, points []int, workers int) ([]Violation, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	viols := make([]*Violation, len(points))
+	errs := make([]error, len(points))
+	if workers <= 1 {
+		for i, k := range points {
+			viols[i], errs[i] = checkOne(m, entry, inv, k)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					viols[i], errs[i] = checkOne(m, entry, inv, points[i])
+				}
+			}()
+		}
+		for i := range points {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("crashsim: run to step %d: %w", points[i], err)
+		}
+	}
+	var out []Violation
+	for _, v := range viols {
+		if v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out, nil
+}
+
+// checkSnapshots applies the invariant to pre-captured crash-point
+// state snapshots, sharded across a worker pool.  No re-execution
+// happens: each point's persist-outcome enumeration runs directly on
+// its snapshot (the planning run already proved the state equals a
+// re-execution's).  Violations land in per-point slots and merge in
+// crash-step order, identical to checkPoints.
+func checkSnapshots(inv Invariant, points []planPoint, workers int) []Violation {
+	if len(points) == 0 {
+		return nil
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	viols := make([]*Violation, len(points))
+	check := func(i int) {
+		p := points[i]
+		if ierr := p.snap.checkOutcomes(inv, int64(p.step)); ierr != nil {
+			viols[i] = &Violation{Step: p.step, Err: ierr}
+		}
+	}
+	if workers <= 1 {
+		for i := range points {
+			check(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					check(i)
+				}
+			}()
+		}
+		for i := range points {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	var out []Violation
+	for _, v := range viols {
+		if v != nil {
+			out = append(out, *v)
+		}
+	}
+	return out
+}
+
+// checkOne simulates a crash after step k: re-execute with that step
+// budget, then test the invariant over every persist outcome of the
+// in-flight words.  A step-budget stop is the simulated crash; a nil
+// run error means the program completed (the final crash point); any
+// other error is a real failure.
+func checkOne(m *ir.Module, entry string, inv Invariant, k int) (*Violation, error) {
+	st := newNVMState()
+	ip := interp.New(m, st)
+	ip.MaxSteps = k
+	if _, err := ip.Run(entry); err != nil && !ip.BudgetExhausted() {
+		return nil, err
+	}
+	if ierr := st.checkOutcomes(inv, int64(k)); ierr != nil {
+		return &Violation{Step: k, Err: ierr}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,173 @@
+package crashsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+)
+
+// planPoint is one surviving crash candidate from the planning run: the
+// step to crash after, the canonical key of the state an invariant
+// would observe there, and a snapshot of that state.  The snapshot is
+// what makes pruned enumeration O(n) instead of O(points x steps): the
+// invariant is checked directly against it, with no per-point
+// re-execution.
+type planPoint struct {
+	step int
+	key  string
+	snap *nvmState
+}
+
+// planner executes the program once with full nvmState tracking and
+// records a crash candidate after every step during which a
+// persist-relevant hook fired.  Crashing after any other step yields a
+// state with an identical key — nothing that feeds checkOutcomes
+// (durable words, in-flight words, undo log, touched objects) can
+// change without one of these hooks firing — so those steps are pruned
+// without running them.
+//
+// Step 1 is always recorded, relevant or not: it represents the whole
+// persist-quiet prefix (the empty pre-event image), which the legacy
+// enumerator also checks.
+type planner struct {
+	*nvmState
+	relevant bool
+	points   []planPoint
+}
+
+func (p *planner) OnWrite(obj *interp.Object, off, size int, fn, file string, line int) {
+	if obj.Persistent {
+		p.relevant = true
+	}
+	p.nvmState.OnWrite(obj, off, size, fn, file, line)
+}
+
+func (p *planner) OnFlush(obj *interp.Object, off, size int, fn, file string, line int) {
+	if obj.Persistent {
+		p.relevant = true
+	}
+	p.nvmState.OnFlush(obj, off, size, fn, file, line)
+}
+
+func (p *planner) OnFence(fn, file string, line int) {
+	p.relevant = true
+	p.nvmState.OnFence(fn, file, line)
+}
+
+func (p *planner) OnTxAdd(obj *interp.Object, off, size int, fn, file string, line int) {
+	if obj.Persistent {
+		p.relevant = true
+	}
+	p.nvmState.OnTxAdd(obj, off, size, fn, file, line)
+}
+
+func (p *planner) OnTxEnd(fn, file string, line int) {
+	p.relevant = true
+	p.nvmState.OnTxEnd(fn, file, line)
+}
+
+// OnStep implements interp.StepObserver: the interpreter calls it after
+// the instruction at the given step has fully executed, so the state
+// key snapshotted here is exactly what a re-execution with MaxSteps =
+// step observes.
+func (p *planner) OnStep(step int, _ ir.Op) {
+	if !p.relevant && step != 1 {
+		return
+	}
+	p.relevant = false
+	p.points = append(p.points, planPoint{step: step, key: p.stateKey(), snap: p.nvmState.snapshot()})
+}
+
+// snapshot deep-copies the mutable tracking state.  Object pointers are
+// shared: the interpreter mutates only their volatile Slots, which the
+// crash model never reads — the durable image is reconstructed from the
+// tracked word maps, and objects contribute only their immutable
+// ID/Type/Persistent metadata.
+func (s *nvmState) snapshot() *nvmState {
+	c := &nvmState{
+		current: make(map[Word]int64, len(s.current)),
+		durable: make(map[Word]int64, len(s.durable)),
+		dirty:   make(map[Word]bool, len(s.dirty)),
+		staged:  make(map[Word]bool, len(s.staged)),
+		objects: make(map[int]*interp.Object, len(s.objects)),
+		txDepth: s.txDepth,
+		undo:    append([]undoRec(nil), s.undo...),
+		logged:  make(map[Word]bool, len(s.logged)),
+	}
+	for w, v := range s.current {
+		c.current[w] = v
+	}
+	for w, v := range s.durable {
+		c.durable[w] = v
+	}
+	for w := range s.dirty {
+		c.dirty[w] = true
+	}
+	for w := range s.staged {
+		c.staged[w] = true
+	}
+	for id, o := range s.objects {
+		c.objects[id] = o
+	}
+	for w := range s.logged {
+		c.logged[w] = true
+	}
+	return c
+}
+
+// stateKey canonically encodes everything checkOutcomes consumes:
+// durable words with values, in-flight words with their would-persist
+// values, the open transaction's undo pre-images (recovery rolls these
+// back whatever the cache did), and the set of touched objects.  Two
+// crash points with equal keys produce identical invariant verdicts, so
+// the second is safely deduped.
+func (s *nvmState) stateKey() string {
+	var b strings.Builder
+	words := make([]Word, 0, len(s.durable))
+	for w := range s.durable {
+		words = append(words, w)
+	}
+	sortWords(words)
+	for _, w := range words {
+		fmt.Fprintf(&b, "d%d.%d=%d;", w.Obj, w.Off, s.durable[w])
+	}
+	b.WriteByte('|')
+	for _, w := range s.inFlight() {
+		fmt.Fprintf(&b, "f%d.%d=%d;", w.Obj, w.Off, s.current[w])
+	}
+	b.WriteByte('|')
+	if s.txDepth > 0 {
+		u := append([]undoRec(nil), s.undo...)
+		sort.Slice(u, func(i, j int) bool {
+			if u[i].w.Obj != u[j].w.Obj {
+				return u[i].w.Obj < u[j].w.Obj
+			}
+			return u[i].w.Off < u[j].w.Off
+		})
+		for _, r := range u {
+			fmt.Fprintf(&b, "u%d.%d=%d;", r.w.Obj, r.w.Off, r.val)
+		}
+	}
+	b.WriteByte('|')
+	ids := make([]int, 0, len(s.objects))
+	for id := range s.objects {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "o%d;", id)
+	}
+	return b.String()
+}
+
+func sortWords(ws []Word) {
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].Obj != ws[j].Obj {
+			return ws[i].Obj < ws[j].Obj
+		}
+		return ws[i].Off < ws[j].Off
+	})
+}

@@ -19,17 +19,66 @@ type Runtime struct {
 	curStrand   int64
 	strandDepth int
 	epochDepth  int
+
+	shadowBase map[int]uint64
+	shadowSize map[int]uint64
+	overflow   map[shadowKey]uint64
+	nextShadow uint64
+}
+
+// shadowKey interns shadow cells for offsets outside an object's
+// contiguous region (negative, or past the slot array).
+type shadowKey struct {
+	obj int
+	off int
 }
 
 // NewRuntime wires a fresh checker to an interpreter hook set.
 func NewRuntime(onlyAnnotated bool) *Runtime {
-	return &Runtime{Checker: NewChecker(), OnlyAnnotated: onlyAnnotated, curStrand: 0}
+	return &Runtime{
+		Checker:       NewChecker(),
+		OnlyAnnotated: onlyAnnotated,
+		curStrand:     0,
+		shadowBase:    make(map[int]uint64),
+		shadowSize:    make(map[int]uint64),
+		overflow:      make(map[shadowKey]uint64),
+		nextShadow:    1 << 12, // keep address 0 unused
+	}
 }
 
 var _ interp.Hooks = (*Runtime)(nil)
 
-func addrOf(obj *interp.Object, off int) uint64 {
-	return uint64(obj.ID)<<32 | uint64(uint32(off))
+// addrOf maps an (object, byte offset) pair to a shadow address for the
+// happens-before checker.  Each object gets a contiguous region sized to
+// its slot array on first touch, allocated from a bump pointer;
+// out-of-range and negative offsets intern a fresh 8-byte cell.  The
+// mapping is injective for every offset — the previous encoding
+// (id<<32 | uint32(off)) truncated offsets to 32 bits, so two offsets
+// 4 GiB apart (or a negative one) aliased to one shadow address and
+// produced false happens-before conflicts.
+func (r *Runtime) addrOf(obj *interp.Object, off int) uint64 {
+	base, ok := r.shadowBase[obj.ID]
+	if !ok {
+		size := uint64(len(obj.Slots)) * 8
+		if size == 0 {
+			size = 8
+		}
+		base = r.nextShadow
+		r.nextShadow += size
+		r.shadowBase[obj.ID] = base
+		r.shadowSize[obj.ID] = size
+	}
+	if off >= 0 && uint64(off) < r.shadowSize[obj.ID] {
+		return base + uint64(off)
+	}
+	k := shadowKey{obj: obj.ID, off: off}
+	a, ok := r.overflow[k]
+	if !ok {
+		a = r.nextShadow
+		r.nextShadow += 8
+		r.overflow[k] = a
+	}
+	return a
 }
 
 func (r *Runtime) tracked() bool {
@@ -42,7 +91,7 @@ func (r *Runtime) OnWrite(obj *interp.Object, off, size int, fn, file string, li
 		return
 	}
 	for g := 0; g < size; g += 8 {
-		r.Checker.Write(r.curStrand, addrOf(obj, off+g), obj.Persistent, fn, file, line)
+		r.Checker.Write(r.curStrand, r.addrOf(obj, off+g), obj.Persistent, fn, file, line)
 	}
 }
 
@@ -52,7 +101,7 @@ func (r *Runtime) OnRead(obj *interp.Object, off, size int, fn, file string, lin
 		return
 	}
 	for g := 0; g < size; g += 8 {
-		r.Checker.Read(r.curStrand, addrOf(obj, off+g), obj.Persistent, fn, file, line)
+		r.Checker.Read(r.curStrand, r.addrOf(obj, off+g), obj.Persistent, fn, file, line)
 	}
 }
 

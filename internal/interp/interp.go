@@ -71,6 +71,23 @@ type Hooks interface {
 	OnStrandEnd(id int64, fn, file string, line int)
 }
 
+// StepObserver is an optional Hooks extension.  When the installed
+// Hooks value also implements StepObserver, the interpreter calls
+// OnStep after the instruction at the given 1-based step index has
+// fully executed, with the instruction's opcode.  Memory and
+// persistency hooks fire while their instruction executes, so an
+// observer sees: hooks of step k, then OnStep(k).  For a call
+// instruction OnStep fires after the callee has returned; the callee's
+// own instructions report their own (larger) step indices first.
+//
+// The crash simulator uses this to attribute persistency events to
+// crash points: "crash after step k" (a run under MaxSteps = k) stops
+// exactly at the state OnStep(k) observed, so steps whose OnStep saw no
+// persistency event can be pruned from crash enumeration.
+type StepObserver interface {
+	OnStep(step int, op ir.Op)
+}
+
 // NopHooks is an embeddable no-op Hooks implementation.
 type NopHooks struct{}
 
@@ -96,6 +113,7 @@ type Interp struct {
 	steps          int
 	nextObj        int
 	budgetExceeded bool
+	obs            StepObserver
 }
 
 // New creates an interpreter; hooks may be nil.
@@ -103,7 +121,9 @@ func New(m *ir.Module, hooks Hooks) *Interp {
 	if hooks == nil {
 		hooks = NopHooks{}
 	}
-	return &Interp{Module: m, Hooks: hooks, MaxSteps: 1 << 22}
+	ip := &Interp{Module: m, Hooks: hooks, MaxSteps: 1 << 22}
+	ip.obs, _ = hooks.(StepObserver)
+	return ip
 }
 
 // Steps returns the number of instructions executed so far.
@@ -158,16 +178,23 @@ func (ip *Interp) exec(fr *frame) (Val, error) {
 		for i := range blk.Instrs {
 			in := &blk.Instrs[i]
 			ip.steps++
+			// The step index belongs to this instruction; nested calls
+			// advance ip.steps further before OnStep fires for the call.
+			stepIdx := ip.steps
 			if ip.MaxSteps > 0 && ip.steps > ip.MaxSteps {
 				ip.budgetExceeded = true
 				return Val{}, fmt.Errorf("interp: step budget exhausted in %s", f.Name)
 			}
 			switch in.Op {
 			case ir.OpRet:
+				var rv Val
 				if len(in.Args) == 1 {
-					return fr.val(in.Args[0]), nil
+					rv = fr.val(in.Args[0])
 				}
-				return Val{}, nil
+				if ip.obs != nil {
+					ip.obs.OnStep(stepIdx, in.Op)
+				}
+				return rv, nil
 			case ir.OpBr:
 				next = in.Labels[0]
 			case ir.OpCondBr:
@@ -180,6 +207,9 @@ func (ip *Interp) exec(fr *frame) (Val, error) {
 				if err := ip.step(fr, in); err != nil {
 					return Val{}, fmt.Errorf("%s/%s#%d: %w", f.Name, blk.Name, i, err)
 				}
+			}
+			if in.Op != ir.OpRet && ip.obs != nil {
+				ip.obs.OnStep(stepIdx, in.Op)
 			}
 		}
 		if next == "" {

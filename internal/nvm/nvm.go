@@ -142,15 +142,6 @@ func (p *Pool) Alloc(size int) (int, error) {
 	return aligned, nil
 }
 
-// MustAlloc is Alloc that panics on exhaustion.
-func (p *Pool) MustAlloc(size int) int {
-	a, err := p.Alloc(size)
-	if err != nil {
-		panic(err)
-	}
-	return a
-}
-
 func (p *Pool) check(addr, size int) error {
 	if addr < 0 || size < 0 || addr+size > p.cfg.Size {
 		return fmt.Errorf("nvm: access [%d,%d) out of pool bounds %d", addr, addr+size, p.cfg.Size)

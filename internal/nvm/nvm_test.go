@@ -15,7 +15,7 @@ func newTestPool() *Pool {
 
 func TestStoreLoadRoundTrip(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(64)
+	a := mustAlloc(p, 64)
 	if err := p.Store64(a, 0xdeadbeef); err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestStoreLoadRoundTrip(t *testing.T) {
 
 func TestUnflushedStoreLostOnCrash(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(8)
+	a := mustAlloc(p, 8)
 	p.Store64(a, 42)
 	p.Crash()
 	v, _ := p.Load64(a)
@@ -41,7 +41,7 @@ func TestUnflushedStoreLostOnCrash(t *testing.T) {
 
 func TestFlushWithoutFenceLostOnCrash(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(8)
+	a := mustAlloc(p, 8)
 	p.Store64(a, 42)
 	p.Flush(a, 8)
 	p.Crash()
@@ -53,7 +53,7 @@ func TestFlushWithoutFenceLostOnCrash(t *testing.T) {
 
 func TestFlushedFencedStoreSurvivesCrash(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(8)
+	a := mustAlloc(p, 8)
 	p.Store64(a, 42)
 	p.Flush(a, 8)
 	p.Fence()
@@ -66,8 +66,8 @@ func TestFlushedFencedStoreSurvivesCrash(t *testing.T) {
 
 func TestFenceOnlyCoversStagedLines(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(64)
-	b := p.MustAlloc(64)
+	a := mustAlloc(p, 64)
+	b := mustAlloc(p, 64)
 	p.Store64(a, 1)
 	p.Store64(b, 2)
 	p.Flush(a, 8)
@@ -85,8 +85,8 @@ func TestFenceOnlyCoversStagedLines(t *testing.T) {
 
 func TestAllocBoundsAndAlignment(t *testing.T) {
 	p := NewPool(Config{Size: 256})
-	a1 := p.MustAlloc(10)
-	a2 := p.MustAlloc(10)
+	a1 := mustAlloc(p, 10)
+	a2 := mustAlloc(p, 10)
 	if a1%CachelineSize != 0 || a2%CachelineSize != 0 {
 		t.Errorf("allocations not aligned: %d %d", a1, a2)
 	}
@@ -103,7 +103,7 @@ func TestAllocBoundsAndAlignment(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(128)
+	a := mustAlloc(p, 128)
 	p.Store64(a, 1)
 	p.Store64(a+64, 2)
 	p.Flush(a, 128) // two lines
@@ -126,7 +126,7 @@ func TestEvictionPersistsSpontaneously(t *testing.T) {
 	cfg.EvictEvery = 1
 	cfg.Seed = 7
 	p := NewPool(cfg)
-	a := p.MustAlloc(8)
+	a := mustAlloc(p, 8)
 	p.Store64(a, 99) // with EvictEvery=1 the single dirty line evicts
 	p.Crash()
 	v, _ := p.Load64(a)
@@ -140,7 +140,7 @@ func TestEvictionPersistsSpontaneously(t *testing.T) {
 
 func TestPersistAll(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(8)
+	a := mustAlloc(p, 8)
 	p.Store64(a, 5)
 	p.PersistAll()
 	p.Crash()
@@ -160,7 +160,7 @@ func TestCrashConsistencyProperty(t *testing.T) {
 		cfg.Size = 1 << 12
 		p := NewPool(cfg)
 		const slots = 32
-		base := p.MustAlloc(slots * 8)
+		base := mustAlloc(p, slots * 8)
 		// The reference model works at cacheline granularity: flushing
 		// one slot stages its whole line, and a staged line writes back
 		// its *current* contents at the fence.
@@ -206,7 +206,7 @@ func TestCrashConsistencyProperty(t *testing.T) {
 
 func TestCrashIdempotent(t *testing.T) {
 	p := newTestPool()
-	a := p.MustAlloc(16)
+	a := mustAlloc(p, 16)
 	p.Store(a, []byte("hello wo"))
 	p.Flush(a, 8)
 	p.Fence()
@@ -216,4 +216,14 @@ func TestCrashIdempotent(t *testing.T) {
 	if !bytes.Equal(b, []byte("hello wo")) {
 		t.Errorf("double crash corrupted data: %q", b)
 	}
+}
+
+// mustAlloc is a test helper: allocation failure on these fixed-size
+// test pools is a test bug.
+func mustAlloc(p *Pool, size int) int {
+	a, err := p.Alloc(size)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }

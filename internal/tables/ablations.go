@@ -28,9 +28,13 @@ func ablationFieldSensitivity() string {
 	recall := func(sensitive bool) int {
 		found := 0
 		for _, p := range corpus.All() {
+			m, err := p.Module()
+			if err != nil {
+				continue // malformed program contributes no recall
+			}
 			opts := checker.DefaultOptions(p.Model)
 			opts.DSA.FieldSensitive = sensitive
-			rep := checker.New(p.Module(), opts).CheckModule()
+			rep := checker.New(m, opts).CheckModule()
 			ev := corpus.Score(p, rep)
 			for _, g := range p.Truth {
 				if g.Valid && ev.Matched[g.Key()] {

@@ -60,19 +60,35 @@ func resolvedWorkers() int {
 }
 
 // CorpusRun holds one checker run over one corpus program, cross-scored
-// against ground truth.
+// against ground truth.  Err is set (and Eval nil) when the program's
+// PIR source failed to parse or verify.
 type CorpusRun struct {
 	Program *corpus.Program
 	Eval    *corpus.Evaluation
+	Err     error
 }
 
-// RunCorpus checks all four programs.
+// RunCorpus checks all four programs.  A malformed program yields a run
+// with Err set rather than aborting the batch.
 func RunCorpus() []CorpusRun {
 	var out []CorpusRun
 	for _, p := range corpus.All() {
-		out = append(out, CorpusRun{Program: p, Eval: corpus.EvaluateParallel(p, resolvedWorkers())})
+		ev, err := corpus.EvaluateParallel(p, resolvedWorkers())
+		out = append(out, CorpusRun{Program: p, Eval: ev, Err: err})
 	}
 	return out
+}
+
+// corpusErr renders the first corpus failure in runs, or "" if none.
+// Table renderers return it as their whole output: a diagnostic beats a
+// panic, and beats a silently incomplete table.
+func corpusErr(runs []CorpusRun) string {
+	for _, r := range runs {
+		if r.Err != nil {
+			return fmt.Sprintf("corpus error: %v\n", r.Err)
+		}
+	}
+	return ""
 }
 
 // ParallelBench times the full-corpus analysis serially and with the
@@ -87,7 +103,11 @@ func ParallelBench(workers int) string {
 	mods := make([]*ir.Module, len(progs))
 	models := make([]string, len(progs))
 	for i, p := range progs {
-		mods[i] = p.Module()
+		m, err := p.Module()
+		if err != nil {
+			return fmt.Sprintf("corpus error: %v\n", err)
+		}
+		mods[i] = m
 		models[i] = ModelFor(p)
 	}
 	const rounds = 50
@@ -141,6 +161,9 @@ func cellFor(run CorpusRun, rule report.Rule) (valid, warnings int) {
 // Table1 renders the headline detection table.
 func Table1() string {
 	runs := RunCorpus()
+	if msg := corpusErr(runs); msg != "" {
+		return msg
+	}
 	var b strings.Builder
 	b.WriteString("Table 1: validated-bugs/warnings reported by DeepMC\n\n")
 	fmt.Fprintf(&b, "%-56s", "Bug Description")
@@ -352,10 +375,14 @@ func Table9() string {
 
 // FalsePositives renders the §5.4 analysis.
 func FalsePositives() string {
+	runs := RunCorpus()
+	if msg := corpusErr(runs); msg != "" {
+		return msg
+	}
 	var b strings.Builder
 	b.WriteString("False positives (§5.4)\n\n")
 	fps, total := 0, 0
-	for _, run := range RunCorpus() {
+	for _, run := range runs {
 		truthValid := make(map[string]bool)
 		for _, g := range run.Program.Truth {
 			truthValid[g.Key()] = g.Valid
@@ -375,10 +402,14 @@ func FalsePositives() string {
 
 // Completeness renders the §5.3 check: all studied bugs re-detected.
 func Completeness() string {
+	runs := RunCorpus()
+	if msg := corpusErr(runs); msg != "" {
+		return msg
+	}
 	var b strings.Builder
 	b.WriteString("Completeness (§5.3): re-detection of the 19 studied bugs\n\n")
 	found, total := 0, 0
-	for _, run := range RunCorpus() {
+	for _, run := range runs {
 		for _, g := range run.Program.Truth {
 			if !g.Studied || !g.Valid {
 				continue

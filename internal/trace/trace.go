@@ -209,7 +209,13 @@ func (c *Collector) collect(fn string, visiting map[string]bool) []*Trace {
 	visiting[fn] = true
 	defer delete(visiting, fn)
 
-	g := cfg.MustNew(f)
+	// A function whose CFG cannot be built (malformed branch targets in
+	// hand-written PIR) is treated as opaque — no traces — rather than
+	// panicking out of a batch analysis.
+	g, err := cfg.New(f)
+	if err != nil {
+		return nil
+	}
 	dsg := c.Analysis.Graph(fn)
 	e := &explorer{c: c, f: f, g: g, dsg: dsg, visiting: visiting}
 	e.reach = e.computeReach()
