@@ -1,0 +1,73 @@
+package crashsim
+
+import (
+	"fmt"
+	"testing"
+
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+)
+
+// Review scratch: main's FIRST instruction is a call; the callee does
+// persist work. Compare exhaustive vs pruned.
+func TestReviewScratchFirstStepIsCall(t *testing.T) {
+	src := `
+module callfirst
+
+type rec struct {
+	data: int
+	flag: int
+}
+
+func helper() {
+	%r = palloc rec
+	store %r.data, 7
+	flush %r.data
+	fence
+	store %r.flag, 1
+	flush %r.flag
+	fence
+	ret
+}
+
+func main() {
+	call helper
+	ret
+}
+`
+	// Invariant violated ONLY by the pre-event (empty) image: no objects.
+	inv := func(im *Image) error {
+		if len(im.Objects()) == 0 {
+			return fmt.Errorf("empty image: no objects touched")
+		}
+		return nil
+	}
+	m := ir.MustParse(src)
+	full, err := EnumerateOpts(m, "main", inv, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := EnumerateOpts(m, "main", inv, Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("full:   clean=%v\n%s", full.Clean(), full.Detail())
+	t.Logf("pruned: clean=%v\n%s", pruned.Clean(), pruned.Detail())
+	if full.Clean() != pruned.Clean() {
+		t.Errorf("VERDICT DIVERGES: full clean=%v pruned clean=%v", full.Clean(), pruned.Clean())
+	}
+	// Also check step ordering of recorded points in pruned mode.
+	p := &planner{nvmState: newNVMState()}
+	ip := interp.New(m, p)
+	if _, err := ip.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	last := 0
+	for _, pt := range p.points {
+		t.Logf("planned point at step %d", pt.step)
+		if pt.step < last {
+			t.Errorf("points out of step order: %d after %d", pt.step, last)
+		}
+		last = pt.step
+	}
+}
