@@ -7,12 +7,15 @@
 #   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze, FuzzEnumerate)
 #   make bench       speedup benchmark for the parallel checker
 #   make crashsim    cross-validate the static checker against crash enumeration
+#   make faults      per-class fault-injection differential gate
+#   make stress      cancellation / timeout / partial-report stress tests
 #   make ci          everything above, in order
 
 GO ?= go
 FUZZTIME ?= 30s
+FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench crashsim ci clean
+.PHONY: build test race vet fuzz-short bench crashsim faults stress ci clean
 
 build:
 	$(GO) build ./...
@@ -37,7 +40,17 @@ bench:
 crashsim: build
 	$(GO) run ./cmd/deepmc crashsim -jobs 0
 
-ci: build vet test race fuzz-short crashsim
+# The fault gate: every class must keep detecting every corpus bug,
+# keep every fix clean, fire at least once, and replay from its seed.
+faults: build
+	$(GO) run ./cmd/deepmc crashsim -faults all -fault-seed $(FAULTSEED) -jobs 0
+
+# A short robustness run: the cancellation, deadline, partial-report and
+# panic-isolation tests across every hardened package.
+stress:
+	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
+
+ci: build vet test race fuzz-short crashsim faults stress
 
 clean:
 	$(GO) clean ./...

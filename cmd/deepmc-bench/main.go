@@ -12,6 +12,7 @@
 //	deepmc-bench -figure 12 -ops 20000 -clients 4
 //	deepmc-bench -speedup -jobs 0       # serial vs. parallel corpus analysis
 //	deepmc-bench -crashsim -jobs 4      # legacy vs. pruned-parallel crash enumeration
+//	deepmc-bench -faultinj -fault-seed 42  # per-class fault-injection differential
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
 package main
 
@@ -36,6 +37,8 @@ func main() {
 	jobs := flag.Int("jobs", 1, "checker worker count for corpus runs (0 = GOMAXPROCS)")
 	speedup := flag.Bool("speedup", false, "time serial vs. parallel corpus analysis")
 	crashsim := flag.Bool("crashsim", false, "time legacy vs. pruned-parallel crash enumeration")
+	faultinj := flag.Bool("faultinj", false, "run the per-class fault-injection differential")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
 
 	tables.Workers = *jobs
@@ -83,6 +86,9 @@ func main() {
 	}
 	if *all || *crashsim {
 		emit(tables.CrashsimBench(*jobs))
+	}
+	if *all || *faultinj {
+		emit(tables.FaultDifferential(*faultSeed))
 	}
 	if *all || *figure == 12 {
 		cfg := tables.DefaultFig12Config()

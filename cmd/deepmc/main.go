@@ -2,13 +2,18 @@
 //
 // Usage:
 //
-//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] prog.pir...
-//	deepmc run    [-entry main] [-arg N]... prog.pir
-//	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne] [-jobs N]
+//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D] prog.pir...
+//	deepmc run    [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] prog.pir
+//	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne] [-jobs N] [-timeout D]
 //	deepmc traces [-model ...] -fn NAME prog.pir
 //	deepmc fix    [-model strict] [-o fixed.pir] prog.pir
 //	deepmc fmt    prog.pir
-//	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [prog.pir]
+//	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [prog.pir]
+//
+// Exit codes: 0 = clean, 1 = violations found (or a differential gate
+// disagreed), 2 = the analysis itself failed, timed out, or produced
+// only a partial report with nothing found — absence of warnings from a
+// partial run proves nothing, so it must not exit 0.
 //
 // As in the paper (§4.5), the only required configuration is the
 // persistency model the program intends to implement; everything else is
@@ -16,22 +21,30 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"time"
 
 	"deepmc/internal/core"
 	"deepmc/internal/corpus"
 	"deepmc/internal/crashsim"
+	"deepmc/internal/faultinj"
 	"deepmc/internal/fixer"
 	"deepmc/internal/ir"
+)
+
+const (
+	exitViolations = 1
+	exitFailed     = 2
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitFailed)
 	}
 	var err error
 	switch os.Args[1] {
@@ -54,11 +67,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "deepmc: unknown command %q\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		os.Exit(exitFailed)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deepmc: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitFailed)
 	}
 }
 
@@ -66,12 +79,16 @@ func usage() {
 	fmt.Fprint(os.Stderr, `deepmc - persistency-model aware bug checking for NVM programs
 
 commands:
-  check   [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] prog.pir...
+  check   [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D] prog.pir...
           run the static checker (Tables 4 and 5 rules); -jobs fans the
-          worker-pool checker out (0 = GOMAXPROCS) with byte-identical output
-  run     [-entry main] [-arg N]... prog.pir
-          execute under the instrumented runtime (dynamic analysis)
-  corpus  [-name NAME] [-jobs N]
+          worker-pool checker out (0 = GOMAXPROCS) with byte-identical
+          output; -timeout bounds each module's analysis (partial
+          reports annotate what was skipped)
+  run     [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] prog.pir
+          execute under the instrumented runtime (dynamic analysis);
+          -faults injects legal persistency faults (torn, dropped,
+          reordered, delayed, or "all") from -fault-seed
+  corpus  [-name NAME] [-jobs N] [-timeout D]
           check the built-in buggy-framework corpus against ground truth
   traces  [-model ...] -fn NAME prog.pir
           dump the collected traces of one function
@@ -79,11 +96,38 @@ commands:
           check, auto-repair the mechanical bug classes, write the result
   fmt     prog.pir
           parse and pretty-print a PIR module
-  crashsim [-jobs N] [-stride N] [-prune] [-entry main] [prog.pir]
+  crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [prog.pir]
           with a file: enumerate its crash points and report pruning
           statistics; without one: cross-validate the static checker
-          against crash enumeration over the built-in bug corpus
+          against crash enumeration over the built-in bug corpus, or —
+          with -faults — run the per-class fault-injection differential
+          gate over the same corpus
+
+exit codes: 0 clean, 1 violations/gate failure, 2 analysis failed or
+timed out (partial report)
 `)
+}
+
+// runContext builds the command's root context from a -timeout value
+// (0 = no deadline).
+func runContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+// parseFaults turns the -faults/-fault-seed/-fault-rate flags into a
+// config (nil when no classes are selected).
+func parseFaults(classes string, seed int64, rate float64) (*faultinj.Config, error) {
+	cls, err := faultinj.ParseClasses(classes)
+	if err != nil {
+		return nil, err
+	}
+	if len(cls) == 0 {
+		return nil, nil
+	}
+	return &faultinj.Config{Classes: cls, Rate: rate, Seed: seed}, nil
 }
 
 func loadModule(path string) (*ir.Module, error) {
@@ -107,12 +151,14 @@ func cmdCheck(args []string) error {
 	all := fs.Bool("all", false, "check every function standalone, not just roots")
 	field := fs.Bool("field", true, "field-sensitive points-to analysis")
 	jobs := fs.Int("jobs", 0, "checker worker count (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-module analysis deadline (0 = none)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("check: no input files")
 	}
 	cfg := core.Config{
-		Model: *model, AllFunctions: *all, FieldInsensitive: !*field, Workers: *jobs,
+		Model: *model, AllFunctions: *all, FieldInsensitive: !*field,
+		Workers: *jobs, ModuleTimeout: *timeout,
 	}
 	jobList := make([]core.Job, fs.NArg())
 	for i, path := range fs.Args() {
@@ -123,20 +169,31 @@ func cmdCheck(args []string) error {
 		jobList[i] = core.Job{Module: m, Config: cfg}
 	}
 	// Modules are analyzed concurrently, each with its own worker-pool
-	// checker; reports come back in input order regardless.
-	reps, err := core.AnalyzeJobs(jobList, cfg.ResolvedWorkers())
-	if err != nil {
-		return err
-	}
-	exit := 0
+	// checker and deadline; reports come back in input order regardless.
+	// A failed module yields a nil report slot, not a batch abort.
+	reps, errs := core.AnalyzeJobsCtx(context.Background(), jobList, cfg.ResolvedWorkers())
+	sawViol, sawFail := false, false
 	for i, path := range fs.Args() {
+		if reps[i] == nil {
+			fmt.Printf("== %s (model: %s)\nFAILED: %v\n", path, *model, errs[i])
+			sawFail = true
+			continue
+		}
 		fmt.Printf("== %s (model: %s)\n%s", path, *model, reps[i])
 		if len(reps[i].Warnings) > 0 {
-			exit = 1
+			sawViol = true
+		}
+		if errs[i] != nil || reps[i].Partial() {
+			sawFail = true
 		}
 	}
-	if exit != 0 {
-		os.Exit(1)
+	// Violations outrank degradation: a partial report that already
+	// found something actionable exits 1.
+	if sawViol {
+		os.Exit(exitViolations)
+	}
+	if sawFail {
+		os.Exit(exitFailed)
 	}
 	return nil
 }
@@ -144,6 +201,10 @@ func cmdCheck(args []string) error {
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	entry := fs.String("entry", "main", "entry function")
+	timeout := fs.Duration("timeout", 0, "run deadline (0 = none)")
+	faults := fs.String("faults", "", "fault classes to inject (torn,dropped,reordered,delayed or \"all\")")
+	faultSeed := fs.Int64("fault-seed", 1, "fault-injection schedule seed")
+	faultRate := fs.Float64("fault-rate", 1, "per-opportunity injection probability (0,1]")
 	var runArgs intList
 	fs.Var(&runArgs, "arg", "integer argument (repeatable)")
 	fs.Parse(args)
@@ -154,13 +215,26 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := core.RunDynamic(m, *entry, runArgs...)
+	fc, err := parseFaults(*faults, *faultSeed, *faultRate)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+	rep, sched, err := core.RunDynamicFaulted(ctx, m, *entry, fc, runArgs...)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep)
+	if sched != nil {
+		fmt.Printf("%d faults injected (seed %d); schedule:\n%s",
+			sched.Injections(), *faultSeed, sched.Log())
+	}
 	if len(rep.Warnings) > 0 {
-		os.Exit(1)
+		os.Exit(exitViolations)
+	}
+	if rep.Partial() {
+		os.Exit(exitFailed)
 	}
 	return nil
 }
@@ -169,18 +243,25 @@ func cmdCorpus(args []string) error {
 	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
 	name := fs.String("name", "", "restrict to one framework")
 	jobs := fs.Int("jobs", 1, "checker worker count (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "whole-corpus deadline (0 = none)")
 	fs.Parse(args)
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+	partial := false
 	for _, p := range corpus.All() {
 		if *name != "" && p.Name != *name {
 			continue
 		}
-		ev, err := corpus.EvaluateParallel(p, core.Config{Workers: *jobs}.ResolvedWorkers())
+		ev, err := corpus.EvaluateParallelCtx(ctx, p, core.Config{Workers: *jobs}.ResolvedWorkers())
 		if err != nil {
 			return err
 		}
 		fmt.Printf("== %s (model: %s): %d warnings, %d expected\n",
 			p.Name, p.Model, len(ev.Report.Warnings), len(p.Truth))
 		fmt.Print(ev.Report)
+		if ev.Report.Partial() {
+			partial = true
+		}
 		if miss := ev.Missing(); len(miss) > 0 {
 			fmt.Printf("MISSING %d expected warnings\n", len(miss))
 		}
@@ -188,6 +269,10 @@ func cmdCorpus(args []string) error {
 			fmt.Printf("UNEXPECTED %d warnings\n", len(ev.Unexpected))
 		}
 		fmt.Println()
+	}
+	if partial {
+		fmt.Println("corpus run incomplete: deadline expired; scores above are partial")
+		os.Exit(exitFailed)
 	}
 	return nil
 }
@@ -260,36 +345,78 @@ func cmdCrashsim(args []string) error {
 	stride := fs.Int("stride", 1, "check every Nth crash point")
 	prune := fs.Bool("prune", true, "restrict crash points to persist-relevant boundaries")
 	entry := fs.String("entry", "main", "entry function (file mode)")
+	timeout := fs.Duration("timeout", 0, "enumeration deadline (0 = none)")
+	faults := fs.String("faults", "", "fault classes to inject (torn,dropped,reordered,delayed or \"all\")")
+	faultSeed := fs.Int64("fault-seed", 1, "fault-injection schedule seed")
+	faultRate := fs.Float64("fault-rate", 1, "per-opportunity injection probability (0,1]")
 	fs.Parse(args)
-	o := crashsim.Options{Stride: *stride, Workers: *jobs, Prune: *prune}
+	fc, err := parseFaults(*faults, *faultSeed, *faultRate)
+	if err != nil {
+		return err
+	}
+	o := crashsim.Options{Stride: *stride, Workers: *jobs, Prune: *prune, Faults: fc}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
 
 	if fs.NArg() == 0 {
+		if fc != nil {
+			// Fault-gate mode: per selected class, every bug must still
+			// be detected under injection and every fix stay clean, with
+			// a byte-replayable schedule.
+			rs, err := corpus.FaultDifferential(ctx, *faultSeed, o, fc.Classes...)
+			if err != nil {
+				return err
+			}
+			fmt.Print(corpus.FormatFaultDiff(rs))
+			if ctx.Err() != nil {
+				fmt.Println("fault differential incomplete: deadline expired")
+				os.Exit(exitFailed)
+			}
+			if !corpus.FaultDiffOK(rs) {
+				os.Exit(exitViolations)
+			}
+			return nil
+		}
 		// Corpus mode: the differential harness — every model-violation
 		// bug must be flagged statically, reproduced by a crash point,
 		// and silenced by its fix.
-		rep, err := corpus.CrossValidate(o)
+		rep, err := corpus.CrossValidateCtx(ctx, o)
 		if err != nil {
 			return err
 		}
 		fmt.Print(rep)
+		if ctx.Err() != nil {
+			fmt.Println("cross-validation incomplete: deadline expired")
+			os.Exit(exitFailed)
+		}
 		if !rep.Agree() {
-			os.Exit(1)
+			os.Exit(exitViolations)
 		}
 		return nil
 	}
 
 	// File mode: enumerate with a vacuous invariant to map the crash
 	// surface — how many crash points survive pruning and deduping.
+	partial := false
 	for _, path := range fs.Args() {
 		m, err := loadModule(path)
 		if err != nil {
 			return err
 		}
-		res, err := crashsim.EnumerateOpts(m, *entry, func(*crashsim.Image) error { return nil }, o)
+		res, err := crashsim.EnumerateCtx(ctx, m, *entry, func(*crashsim.Image) error { return nil }, o)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("== %s\n%s\n", path, res)
+		if res.FaultLog != "" {
+			fmt.Print(res.FaultLog)
+		}
+		if res.Partial {
+			partial = true
+		}
+	}
+	if partial {
+		os.Exit(exitFailed)
 	}
 	return nil
 }

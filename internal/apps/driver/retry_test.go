@@ -1,0 +1,114 @@
+package driver
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"deepmc/internal/workload"
+)
+
+var errTransient = errors.New("transient wire error")
+var errFatal = errors.New("fatal: store corrupted")
+
+// flakyKV fails every failEvery-th operation with the configured error,
+// succeeding on retry (the failure is counted per attempt, so the next
+// attempt of the same op passes).
+type flakyKV struct {
+	mu        sync.Mutex
+	attempts  int
+	failEvery int
+	err       error
+}
+
+func (f *flakyKV) Do(thread int64, op workload.Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.attempts++
+	if f.failEvery > 0 && f.attempts%f.failEvery == 0 {
+		return f.err
+	}
+	return nil
+}
+
+func TestRunRetryRecoversTransientFailures(t *testing.T) {
+	kv := &flakyKV{failEvery: 5, err: errTransient}
+	pol := RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Transient:   func(err error) bool { return errors.Is(err, errTransient) },
+		Seed:        1,
+	}
+	res, err := RunRetry(kv, workload.Mix{Read: 100}, 4, 50, 64, pol)
+	if err != nil {
+		t.Fatalf("transient failures not absorbed: %v", err)
+	}
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d, want 200", res.Ops)
+	}
+	if res.Retries == 0 {
+		t.Fatal("every 5th attempt failed but no retries were counted")
+	}
+}
+
+func TestRunRetryNonTransientFailsImmediately(t *testing.T) {
+	kv := &flakyKV{failEvery: 1, err: errFatal} // every attempt fails
+	pol := RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Microsecond,
+		Transient:   func(err error) bool { return errors.Is(err, errTransient) },
+		Seed:        1,
+	}
+	res, err := RunRetry(kv, workload.Mix{Read: 100}, 1, 10, 64, pol)
+	if !errors.Is(err, errFatal) {
+		t.Fatalf("err = %v, want %v", err, errFatal)
+	}
+	// Non-transient: the op must not have been retried.
+	if res.Retries != 0 {
+		t.Fatalf("non-transient error was retried %d times", res.Retries)
+	}
+}
+
+func TestRunRetryBudgetExhaustion(t *testing.T) {
+	kv := &flakyKV{failEvery: 1, err: errTransient} // never succeeds
+	pol := RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		Transient:   func(err error) bool { return true },
+		Seed:        1,
+	}
+	res, err := RunRetry(kv, workload.Mix{Read: 100}, 1, 5, 64, pol)
+	if !errors.Is(err, errTransient) {
+		t.Fatalf("exhausted budget surfaced %v", err)
+	}
+	// The first op burned its full budget: MaxAttempts-1 retries, then
+	// its client stopped.
+	if res.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", res.Retries)
+	}
+}
+
+func TestRunIsRetryWithOneAttempt(t *testing.T) {
+	kv := &flakyKV{failEvery: 20, err: errTransient}
+	if _, err := Run(kv, workload.Mix{Read: 100}, 2, 20, 64); err == nil {
+		t.Fatal("Run absorbed a failure despite its no-retry contract")
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: 8 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 6; attempt++ {
+		d := pol.backoff(attempt, rng)
+		nominal := pol.BaseDelay << uint(attempt)
+		if nominal > pol.MaxDelay {
+			nominal = pol.MaxDelay
+		}
+		if d < nominal/2 || d >= nominal {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, d, nominal/2, nominal)
+		}
+	}
+}

@@ -17,6 +17,8 @@
 package checker
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -29,18 +31,45 @@ import (
 // report is identical to CheckModule's regardless of worker count or
 // interleaving.
 func (c *Checker) CheckModuleParallel(workers int) *report.Report {
+	return c.CheckModuleParallelCtx(context.Background(), workers)
+}
+
+// CheckModuleParallelCtx is CheckModuleParallel with cancellation and
+// panic isolation.  It never returns an error: when ctx is done, trace
+// exploration stops forking, unscanned functions are skipped, and every
+// affected function gets a skip annotation on the (partial) report; a
+// panic while scanning one function is recovered into a skip annotation
+// without aborting sibling workers.  With a background context and no
+// panics the report is byte-identical to CheckModule's.
+func (c *Checker) CheckModuleParallelCtx(ctx context.Context, workers int) *report.Report {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	c.precomputeTraces(workers)
+	c.Collector.SetCancelled(func() bool { return ctx.Err() != nil })
+	c.precomputeTraces(ctx, workers)
 	fns := c.targetFunctions()
 	// Every function's traces are memoized now; scan them concurrently,
 	// each worker into a private report.
 	reports := make([]*report.Report, len(fns))
+	skips := make([]string, len(fns))
 	runParallel(workers, len(fns), func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				skips[i] = fmt.Sprintf("scan panic recovered: %v", r)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			skips[i] = fmt.Sprintf("not scanned: %v", err)
+			return
+		}
 		rep := report.New()
 		for _, t := range c.Collector.FunctionTraces(fns[i].Name) {
 			c.CheckTrace(t, rep)
+		}
+		if err := ctx.Err(); err != nil {
+			// The walk may have stopped forking mid-function: findings
+			// are real but possibly incomplete.
+			skips[i] = fmt.Sprintf("scan incomplete: %v", err)
 		}
 		reports[i] = rep
 	})
@@ -48,7 +77,14 @@ func (c *Checker) CheckModuleParallel(workers int) *report.Report {
 	// order, so deduplication keeps the same winner a serial scan keeps.
 	merged := report.New()
 	for _, rep := range reports {
-		merged.Merge(rep)
+		if rep != nil {
+			merged.Merge(rep)
+		}
+	}
+	for i, s := range skips {
+		if s != "" {
+			merged.AddSkip(fns[i].Name, s)
+		}
 	}
 	merged.Sort()
 	return merged
@@ -59,11 +95,18 @@ func (c *Checker) CheckModuleParallel(workers int) *report.Report {
 // callees live in earlier waves, so the SCCs within one wave are
 // independent and can be collected concurrently.  Each SCC is entered
 // through its first-declared member, which fixes the trace content of
-// recursion cycles independently of worker count.
-func (c *Checker) precomputeTraces(workers int) {
+// recursion cycles independently of worker count.  A done context stops
+// scheduling further waves; a panic during collection is swallowed here
+// and resurfaces (and is annotated) when the scan phase touches the
+// same function.
+func (c *Checker) precomputeTraces(ctx context.Context, workers int) {
 	for _, wave := range c.Analysis.CG.Waves() {
+		if ctx.Err() != nil {
+			return
+		}
 		wave := wave
 		runParallel(workers, len(wave), func(i int) {
+			defer func() { recover() }()
 			for _, f := range wave[i] {
 				c.Collector.FunctionTraces(f.Name)
 			}

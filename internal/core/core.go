@@ -5,13 +5,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"deepmc/internal/checker"
 	"deepmc/internal/dsa"
 	"deepmc/internal/dynamic"
+	"deepmc/internal/faultinj"
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
 	"deepmc/internal/report"
@@ -43,6 +46,11 @@ type Config struct {
 	// call-graph post-order waves into a shared memoized cache, and
 	// per-function findings merge in module declaration order.
 	Workers int
+	// ModuleTimeout bounds each module's analysis in batch runs
+	// (AnalyzeJobs/AnalyzeAll); 0 means no per-module deadline.  A
+	// module that exceeds it comes back as a partial report annotated
+	// with the skipped functions, not as an error.
+	ModuleTimeout time.Duration
 }
 
 // ResolvedWorkers resolves the configured worker count: 0 becomes
@@ -87,6 +95,15 @@ func orDefault(s, d string) string {
 // Analyze runs DeepMC's offline (static) analysis over a module, using
 // cfg.Workers concurrent checker workers.
 func Analyze(m *ir.Module, cfg Config) (*report.Report, error) {
+	return AnalyzeCtx(context.Background(), m, cfg)
+}
+
+// AnalyzeCtx is Analyze with cancellation and graceful degradation.
+// Setup failures (verify, bad model) are errors; once checking starts a
+// done context yields a partial report whose Skipped annotations name
+// the functions not (fully) scanned — nil error, so completed findings
+// are never discarded.
+func AnalyzeCtx(ctx context.Context, m *ir.Module, cfg Config) (*report.Report, error) {
 	if err := ir.Verify(m); err != nil {
 		return nil, err
 	}
@@ -94,7 +111,7 @@ func Analyze(m *ir.Module, cfg Config) (*report.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return checker.New(m, opts).CheckModuleParallel(cfg.workers()), nil
+	return checker.New(m, opts).CheckModuleParallelCtx(ctx, cfg.workers()), nil
 }
 
 // Job pairs one module with its configuration for batch analysis.
@@ -106,10 +123,34 @@ type Job struct {
 // AnalyzeJobs runs the static analysis over a batch of modules with up
 // to workers (0 = runtime.GOMAXPROCS) modules in flight at once; each
 // module's own check additionally fans out per its Config.Workers.  The
-// returned reports align with jobs.  On failure the failing slots are
-// nil and the first error in input order is returned alongside the
-// partial results.
+// returned reports align with jobs.  Partial-results semantics: every
+// completed report is returned even when sibling jobs fail — failing
+// slots are nil and the first error in input order is returned
+// alongside them.
 func AnalyzeJobs(jobs []Job, workers int) ([]*report.Report, error) {
+	reports, errs := AnalyzeJobsCtx(context.Background(), jobs, workers)
+	for _, err := range errs {
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}
+
+// AnalyzeJobsCtx is AnalyzeJobs with cancellation, per-module
+// deadlines, and panic isolation; it returns every job's outcome
+// individually (slices align with jobs; a slot has a report, an error,
+// or — for a module canceled mid-analysis — a partial report with skip
+// annotations and no error).
+//
+//   - A job whose Config.ModuleTimeout is set runs under its own
+//     deadline nested in ctx; exceeding it degrades that module to a
+//     partial report without touching siblings.
+//   - Once ctx itself is done, jobs not yet started fail fast with
+//     ctx.Err().
+//   - A panic inside one job (malformed module, rule bug) is recovered
+//     into that job's error slot; sibling jobs keep running.
+func AnalyzeJobsCtx(ctx context.Context, jobs []Job, workers int) ([]*report.Report, []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -118,9 +159,27 @@ func AnalyzeJobs(jobs []Job, workers int) ([]*report.Report, error) {
 	}
 	reports := make([]*report.Report, len(jobs))
 	errs := make([]error, len(jobs))
+	one := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				reports[i], errs[i] = nil, fmt.Errorf("core: job %d panicked: %v", i, r)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		jctx := ctx
+		if t := jobs[i].Config.ModuleTimeout; t > 0 {
+			var cancel context.CancelFunc
+			jctx, cancel = context.WithTimeout(ctx, t)
+			defer cancel()
+		}
+		reports[i], errs[i] = AnalyzeCtx(jctx, jobs[i].Module, jobs[i].Config)
+	}
 	if workers <= 1 {
-		for i, j := range jobs {
-			reports[i], errs[i] = Analyze(j.Module, j.Config)
+		for i := range jobs {
+			one(i)
 		}
 	} else {
 		next := make(chan int)
@@ -130,7 +189,7 @@ func AnalyzeJobs(jobs []Job, workers int) ([]*report.Report, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					reports[i], errs[i] = Analyze(jobs[i].Module, jobs[i].Config)
+					one(i)
 				}
 			}()
 		}
@@ -140,6 +199,13 @@ func AnalyzeJobs(jobs []Job, workers int) ([]*report.Report, error) {
 		close(next)
 		wg.Wait()
 	}
+	return reports, errs
+}
+
+// AnalyzeAll analyzes a whole corpus of modules under one shared
+// configuration, pipelining the per-module runs across cfg.Workers.
+func AnalyzeAll(ms []*ir.Module, cfg Config) ([]*report.Report, error) {
+	reports, errs := AnalyzeAllCtx(context.Background(), ms, cfg)
 	for _, err := range errs {
 		if err != nil {
 			return reports, err
@@ -148,14 +214,14 @@ func AnalyzeJobs(jobs []Job, workers int) ([]*report.Report, error) {
 	return reports, nil
 }
 
-// AnalyzeAll analyzes a whole corpus of modules under one shared
-// configuration, pipelining the per-module runs across cfg.Workers.
-func AnalyzeAll(ms []*ir.Module, cfg Config) ([]*report.Report, error) {
+// AnalyzeAllCtx is AnalyzeAll with AnalyzeJobsCtx's per-job outcome
+// semantics.
+func AnalyzeAllCtx(ctx context.Context, ms []*ir.Module, cfg Config) ([]*report.Report, []error) {
 	jobs := make([]Job, len(ms))
 	for i, m := range ms {
 		jobs[i] = Job{Module: m, Config: cfg}
 	}
-	return AnalyzeJobs(jobs, cfg.workers())
+	return AnalyzeJobsCtx(ctx, jobs, cfg.workers())
 }
 
 // AnalyzeSource parses PIR text and analyzes it.
@@ -170,15 +236,52 @@ func AnalyzeSource(src string, cfg Config) (*report.Report, error) {
 // RunDynamic executes an entry function under the instrumented runtime
 // (online analysis) and returns the dynamic report.
 func RunDynamic(m *ir.Module, entry string, args ...int64) (*report.Report, error) {
-	if err := ir.Verify(m); err != nil {
-		return nil, err
+	rep, _, err := RunDynamicFaulted(context.Background(), m, entry, nil, args...)
+	return rep, err
+}
+
+// RunDynamicCtx is RunDynamic with cancellation: a run canceled
+// mid-execution returns the findings accumulated so far as a partial
+// report (annotated, nil error) rather than discarding them.
+func RunDynamicCtx(ctx context.Context, m *ir.Module, entry string, args ...int64) (*report.Report, error) {
+	rep, _, err := RunDynamicFaulted(ctx, m, entry, nil, args...)
+	return rep, err
+}
+
+// RunDynamicFaulted is RunDynamicCtx with deterministic fault injection
+// (package faultinj) wrapped around the instrumented runtime; the
+// returned schedule carries the injection log (nil when faults is nil).
+// The happens-before detector sees the same event stream plus injected
+// legal perturbations — dropped flushes retried at fences keep the
+// GlobalFence epoch advancing, so strand-race detection converges to
+// the same verdicts.
+func RunDynamicFaulted(ctx context.Context, m *ir.Module, entry string, faults *faultinj.Config, args ...int64) (rep *report.Report, sched *faultinj.Schedule, err error) {
+	if verr := ir.Verify(m); verr != nil {
+		return nil, nil, verr
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("core: dynamic run of %s panicked: %v", entry, r)
+		}
+	}()
 	rt := dynamic.NewRuntime(true)
-	ip := interp.New(m, rt)
-	if _, err := ip.Run(entry, args...); err != nil {
-		return nil, fmt.Errorf("core: dynamic run of %s: %w", entry, err)
+	var hooks interp.Hooks = rt
+	if faults != nil {
+		sched = faultinj.New(*faults)
+		hooks = faultinj.Wrap(rt, sched)
 	}
-	return rt.Checker.Report(), nil
+	ip := interp.New(m, hooks)
+	ip.SetContext(ctx)
+	if _, rerr := ip.Run(entry, args...); rerr != nil {
+		if ip.Canceled() {
+			rep := rt.Checker.Report()
+			rep.AddSkip(entry, fmt.Sprintf("dynamic run canceled after %d steps: %v", ip.Steps()-1, ctx.Err()))
+			rep.Sort()
+			return rep, sched, nil
+		}
+		return nil, sched, fmt.Errorf("core: dynamic run of %s: %w", entry, rerr)
+	}
+	return rt.Checker.Report(), sched, nil
 }
 
 // Check runs both analyses: static over the whole module, dynamic over

@@ -18,6 +18,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -126,6 +127,18 @@ func EvaluateParallel(p *Program, workers int) (*Evaluation, error) {
 		return nil, err
 	}
 	return Score(p, checker.CheckParallel(m, p.Model, workers)), nil
+}
+
+// EvaluateParallelCtx is EvaluateParallel with cancellation: when ctx
+// expires mid-analysis the score is computed over a partial report whose
+// skip annotations name the unscanned functions, instead of an error.
+func EvaluateParallelCtx(ctx context.Context, p *Program, workers int) (*Evaluation, error) {
+	m, err := p.Module()
+	if err != nil {
+		return nil, err
+	}
+	rep := checker.New(m, checker.DefaultOptions(p.Model)).CheckModuleParallelCtx(ctx, workers)
+	return Score(p, rep), nil
 }
 
 // Score matches an existing report against the program's ground truth.

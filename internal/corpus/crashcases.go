@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 
 	"deepmc/internal/crashsim"
@@ -115,6 +116,12 @@ func parseHarness(s crashCaseSpec, variant, src string) (*ir.Module, error) {
 // enumerator (with the given options) supplies reproduction and
 // fixed-clean verdicts.
 func CrossValidate(o crashsim.Options) (*crashsim.CrossReport, error) {
+	return CrossValidateCtx(context.Background(), o)
+}
+
+// CrossValidateCtx is CrossValidate under a deadline; see
+// crashsim.CrossValidateCtx for the partial-result caveat.
+func CrossValidateCtx(ctx context.Context, o crashsim.Options) (*crashsim.CrossReport, error) {
 	cases, err := CrashCases()
 	if err != nil {
 		return nil, err
@@ -133,7 +140,7 @@ func CrossValidate(o crashsim.Options) (*crashsim.CrossReport, error) {
 		c := &cases[i]
 		c.Flagged = flagged[fmt.Sprintf("%s|%s|%d", c.Rule, c.File, c.Line)]
 	}
-	return crashsim.CrossValidate(cases, o)
+	return crashsim.CrossValidateCtx(ctx, cases, o)
 }
 
 func crashCaseSpecs() []crashCaseSpec {

@@ -1,0 +1,147 @@
+package corpus
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"deepmc/internal/crashsim"
+	"deepmc/internal/faultinj"
+)
+
+// This file runs the fault-injection differential gate: the 15-case
+// crash-validation corpus re-enumerated once per fault class, with that
+// class injected at rate 1.  The gate holds when, for every class,
+//
+//   - every buggy harness is still detected (injection adds crash
+//     surfaces, it must never mask a bug),
+//   - every fixed harness still enumerates clean (the injected faults
+//     are legal under the clwb/sfence contract, so a correct program
+//     must not alarm),
+//   - the class actually fired at least once across the corpus (a gate
+//     over zero injections proves nothing), and
+//   - a second run with the same seed is byte-identical (schedules are
+//     replayable, so a failure can be handed over as a seed).
+
+// FaultDiffResult summarizes one fault class's differential run over
+// the crash-case corpus.
+type FaultDiffResult struct {
+	Class faultinj.Class
+	// Cases is the number of buggy/fixed harness pairs enumerated.
+	Cases int
+	// BuggyDetected counts buggy harnesses with a violating crash point.
+	BuggyDetected int
+	// FixedClean counts fixed harnesses that enumerated clean.
+	FixedClean int
+	// Injections totals the faults injected across all runs (buggy and
+	// fixed, one replay run excluded).
+	Injections int
+	// Replayable is true when re-running every buggy case with the same
+	// seed reproduced a byte-identical verdict and fault log.
+	Replayable bool
+}
+
+// OK reports whether this class passes the gate.
+func (r FaultDiffResult) OK() bool {
+	return r.Cases > 0 &&
+		r.BuggyDetected == r.Cases &&
+		r.FixedClean == r.Cases &&
+		r.Injections > 0 &&
+		r.Replayable
+}
+
+// String renders the one-line verdict used by the CLI gate and the
+// bench table.
+func (r FaultDiffResult) String() string {
+	verdict := "PASS"
+	if !r.OK() {
+		verdict = "FAIL"
+	}
+	replay := "replayable"
+	if !r.Replayable {
+		replay = "NOT REPLAYABLE"
+	}
+	return fmt.Sprintf("%-9s detected %d/%d  fixed-clean %d/%d  %4d injections  %s  %s",
+		r.Class, r.BuggyDetected, r.Cases, r.FixedClean, r.Cases,
+		r.Injections, replay, verdict)
+}
+
+// FaultDiffOK reports whether every class passed.
+func FaultDiffOK(rs []FaultDiffResult) bool {
+	for _, r := range rs {
+		if !r.OK() {
+			return false
+		}
+	}
+	return len(rs) > 0
+}
+
+// FormatFaultDiff renders the gate's multi-line report.
+func FormatFaultDiff(rs []FaultDiffResult) string {
+	var b strings.Builder
+	b.WriteString("fault-injection differential: per-class over the crash-case corpus\n")
+	for _, r := range rs {
+		b.WriteString("  " + r.String() + "\n")
+	}
+	verdict := "PASS"
+	if !FaultDiffOK(rs) {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "fault differential: %s\n", verdict)
+	return b.String()
+}
+
+// FaultDifferential enumerates every crash case once per fault class
+// with that class injected deterministically from seed (no classes
+// given = all four).  Pruning is forced on: the mid-drain classes
+// (reordered persists, delayed drains) only produce extra crash
+// surfaces through the planner's snapshot path, so an unpruned run
+// would under-test them.  A ctx deadline degrades the gate to partial
+// enumerations, which read as FAIL — check ctx.Err() before trusting
+// a timed-out verdict.
+func FaultDifferential(ctx context.Context, seed int64, o crashsim.Options, classes ...faultinj.Class) ([]FaultDiffResult, error) {
+	cases, err := CrashCases()
+	if err != nil {
+		return nil, err
+	}
+	if len(classes) == 0 {
+		classes = faultinj.AllClasses()
+	}
+	o.Prune = true
+	var out []FaultDiffResult
+	for _, cl := range classes {
+		fo := o
+		fo.Faults = &faultinj.Config{Classes: []faultinj.Class{cl}, Rate: 1, Seed: seed}
+		res := FaultDiffResult{Class: cl, Replayable: true}
+		for i := range cases {
+			c := &cases[i]
+			br, err := crashsim.EnumerateCtx(ctx, c.Buggy, c.Entry, c.Invariant, fo)
+			if err != nil {
+				return nil, fmt.Errorf("faultdiff %s %s %s:%d buggy: %w", cl, c.Program, c.File, c.Line, err)
+			}
+			// Replay with a fresh schedule from the same config: verdict
+			// and fault log must be byte-identical.
+			br2, err := crashsim.EnumerateCtx(ctx, c.Buggy, c.Entry, c.Invariant, fo)
+			if err != nil {
+				return nil, fmt.Errorf("faultdiff %s %s %s:%d replay: %w", cl, c.Program, c.File, c.Line, err)
+			}
+			if br.Detail() != br2.Detail() || br.FaultLog != br2.FaultLog {
+				res.Replayable = false
+			}
+			fr, err := crashsim.EnumerateCtx(ctx, c.Fixed, c.Entry, c.Invariant, fo)
+			if err != nil {
+				return nil, fmt.Errorf("faultdiff %s %s %s:%d fixed: %w", cl, c.Program, c.File, c.Line, err)
+			}
+			res.Cases++
+			if !br.Clean() {
+				res.BuggyDetected++
+			}
+			if fr.Clean() {
+				res.FixedClean++
+			}
+			res.Injections += br.Injections + fr.Injections
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package corpus
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"deepmc/internal/crashsim"
+	"deepmc/internal/faultinj"
+)
+
+// TestFaultDifferentialGate is the acceptance gate: with each class
+// injected at rate 1, every buggy harness is still detected, every
+// fixed harness stays clean, the class fires at least once across the
+// corpus, and the schedule replays byte-identically.
+func TestFaultDifferentialGate(t *testing.T) {
+	rs, err := FaultDifferential(context.Background(), 42, crashsim.Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(faultinj.AllClasses()) {
+		t.Fatalf("got %d class results, want %d", len(rs), len(faultinj.AllClasses()))
+	}
+	for _, r := range rs {
+		if !r.OK() {
+			t.Errorf("class %s failed the gate: %s", r.Class, r)
+		}
+		if r.Injections == 0 {
+			t.Errorf("class %s never fired: the gate proves nothing for it", r.Class)
+		}
+	}
+	if !FaultDiffOK(rs) {
+		t.Fatalf("gate failed:\n%s", FormatFaultDiff(rs))
+	}
+}
+
+// TestFaultDifferentialSeeds re-runs the gate under a second seed:
+// robustness must not depend on one lucky schedule.
+func TestFaultDifferentialSeeds(t *testing.T) {
+	rs, err := FaultDifferential(context.Background(), 7, crashsim.Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !FaultDiffOK(rs) {
+		t.Fatalf("gate failed under seed 7:\n%s", FormatFaultDiff(rs))
+	}
+}
+
+// TestFaultedEnumerationWorkerDeterminism checks that the fault-
+// augmented enumeration stays byte-identical across worker counts: the
+// schedule is re-derived per execution from the config, so fan-out must
+// not perturb it.
+func TestFaultedEnumerationWorkerDeterminism(t *testing.T) {
+	cases, err := CrashCases()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := &faultinj.Config{Classes: faultinj.AllClasses(), Rate: 1, Seed: 11}
+	for i := range cases {
+		c := &cases[i]
+		o1 := crashsim.Options{Prune: true, Workers: 1, Faults: fc}
+		o4 := crashsim.Options{Prune: true, Workers: 4, Faults: fc}
+		r1, err := crashsim.EnumerateOpts(c.Buggy, c.Entry, c.Invariant, o1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r4, err := crashsim.EnumerateOpts(c.Buggy, c.Entry, c.Invariant, o4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Detail() != r4.Detail() || r1.FaultLog != r4.FaultLog {
+			t.Fatalf("%s %s:%d: faulted enumeration differs across worker counts:\n%s\nvs\n%s",
+				c.Program, c.File, c.Line, r1.Detail(), r4.Detail())
+		}
+	}
+}
+
+// TestFaultDifferentialDeadline checks graceful degradation of the gate
+// itself: an expired context yields partial enumerations (reported via
+// ctx, not a hang), never a crash.
+func TestFaultDifferentialDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	rs, err := FaultDifferential(ctx, 42, crashsim.Options{Prune: true})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled gate took %v", elapsed)
+	}
+	if err != nil {
+		// An error mentioning cancellation is acceptable degradation.
+		if !strings.Contains(err.Error(), "cancel") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return
+	}
+	// With no error, the results must read as FAIL (partial runs are
+	// not trustworthy) — the CLI turns this plus ctx.Err() into exit 2.
+	if FaultDiffOK(rs) {
+		t.Fatal("cancelled gate reported PASS")
+	}
+}

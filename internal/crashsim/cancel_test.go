@@ -1,0 +1,162 @@
+package crashsim
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"deepmc/internal/faultinj"
+	"deepmc/internal/ir"
+)
+
+// spinSrc loops long enough for mid-enumeration cancellation, touching
+// persistent state each iteration so the pruned planner keeps points.
+const spinSrc = `
+module spin
+
+type cell struct {
+	n: int
+	v: int
+}
+
+func main() {
+	file "spin.c"
+	%c = alloc cell
+	%p = palloc cell
+	store %c.n, 50000000
+	br loop
+loop:
+	%i = load %c.n
+	%z = lt %i, 1
+	condbr %z, done, body
+body:
+	store %p.v, %i   @10
+	flush %p.v       @11
+	fence            @12
+	%d = sub %i, 1
+	store %c.n, %d
+	br loop
+done:
+	ret
+}
+`
+
+func spinModule(t *testing.T) *ir.Module {
+	t.Helper()
+	m, err := ir.Parse(spinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func vacuous(*Image) error { return nil }
+
+// TestEnumerateCancelMidPlanning cancels during the pruned planning run
+// and requires a fast partial result: the completed prefix is
+// enumerated, the result is marked partial with an explanatory note,
+// and no goroutines are left behind.
+func TestEnumerateCancelMidPlanning(t *testing.T) {
+	m := spinModule(t)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := EnumerateCtx(ctx, m, "main", vacuous, Options{Prune: true, Workers: 4})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("cancelled enumeration errored: %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("cancelled enumeration took %v, want <1s", elapsed)
+	}
+	if !res.Partial {
+		t.Fatalf("cancelled enumeration not marked partial: %s", res)
+	}
+	if len(res.Notes) == 0 {
+		t.Fatal("partial result carries no explanatory note")
+	}
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, n)
+	}
+}
+
+// TestEnumerateCancelMidChecking lets planning finish on a small module
+// but cancels before the per-point checks: completed verdicts are kept,
+// the rest are counted as skipped.
+func TestEnumerateCancelMidChecking(t *testing.T) {
+	src := `
+module tiny
+
+type cell struct {
+	a: int
+	b: int
+}
+
+func main() {
+	file "t.c"
+	%p = palloc cell
+	store %p.a, 1  @1
+	flush %p.a     @2
+	fence          @3
+	store %p.b, 2  @4
+	flush %p.b     @5
+	fence          @6
+	ret
+}
+`
+	m := ir.MustParse(src)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EnumerateCtx(ctx, m, "main", vacuous, Options{Prune: false, Workers: 2})
+	if err != nil {
+		t.Fatalf("pre-cancelled enumeration errored: %v", err)
+	}
+	if !res.Partial {
+		t.Fatalf("pre-cancelled enumeration not partial: %s", res)
+	}
+	if res.Skipped == 0 {
+		t.Fatal("no crash points counted as skipped")
+	}
+}
+
+// TestEnumerateFaultedCancelSafe combines injection with cancellation:
+// degradation must not deadlock or corrupt the fault accounting.
+func TestEnumerateFaultedCancelSafe(t *testing.T) {
+	m := spinModule(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := EnumerateCtx(ctx, m, "main", vacuous, Options{
+		Prune: true, Workers: 4,
+		Faults: &faultinj.Config{Classes: faultinj.AllClasses(), Rate: 1, Seed: 9},
+	})
+	if err != nil {
+		t.Fatalf("faulted cancelled enumeration errored: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("faulted cancelled enumeration took %v", elapsed)
+	}
+	if !res.Partial {
+		t.Fatalf("not partial: %s", res)
+	}
+	if res.Injections == 0 {
+		t.Fatal("planning run injected nothing before the cancel")
+	}
+}

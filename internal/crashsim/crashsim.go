@@ -156,6 +156,28 @@ func (s *nvmState) OnWrite(obj *interp.Object, off, size int, _, _ string, _ int
 	}
 }
 
+// OnEvict implements interp.Evictor: an injected eviction persists the
+// range immediately (legal for dirty lines at any time under
+// clwb/sfence), bypassing flush/fence staging.  Words logged in an open
+// transaction still roll back at recovery — image() applies the undo
+// log over whatever the cache persisted.
+func (s *nvmState) OnEvict(obj *interp.Object, off, size int, _, _ string, _ int) {
+	if !obj.Persistent {
+		return
+	}
+	s.objects[obj.ID] = obj
+	for g := 0; g < size; g += 8 {
+		w := Word{Obj: obj.ID, Off: off + g}
+		slot := (off + g) / 8
+		if slot < len(obj.Slots) {
+			s.current[w] = obj.Slots[slot].I
+		}
+		s.durable[w] = s.current[w]
+		delete(s.dirty, w)
+		delete(s.staged, w)
+	}
+}
+
 // OnFlush stages dirty words for write-back.
 func (s *nvmState) OnFlush(obj *interp.Object, off, size int, _, _ string, _ int) {
 	if !obj.Persistent {
@@ -218,6 +240,22 @@ type Result struct {
 	// pruning is off.
 	Deduped    int
 	Violations []Violation
+
+	// Partial reports graceful degradation: the enumeration was cut
+	// short (context canceled mid-planning, crash points skipped, or a
+	// point's check panicked) and Violations covers only what ran.
+	Partial bool
+	// Skipped counts selected crash points that were not checked.
+	Skipped int
+	// Notes annotates what was skipped or recovered, for the partial
+	// report.  Empty on a complete run.
+	Notes []string
+	// Injections counts faults injected during the planning run (pruned
+	// mode with Options.Faults set); FaultLog is the byte-replayable
+	// injection log — two runs replay identically iff their FaultLogs
+	// are byte-identical.
+	Injections int
+	FaultLog   string
 }
 
 // Clean reports whether no crash point violated the invariant.
@@ -229,13 +267,24 @@ func (r *Result) String() string {
 	if r.Pruned > 0 || r.Deduped > 0 {
 		extra = fmt.Sprintf(" (pruned %d quiet steps, %d duplicate images)", r.Pruned, r.Deduped)
 	}
+	if r.Injections > 0 {
+		extra += fmt.Sprintf(" (%d faults injected)", r.Injections)
+	}
+	partial := ""
+	if r.Partial {
+		partial = fmt.Sprintf(" [partial: %d crash points skipped]", r.Skipped)
+	}
 	if r.Clean() {
-		return fmt.Sprintf("crashsim: %d crash points over %d steps%s, invariant holds everywhere",
-			r.CrashesRun, r.TotalSteps, extra)
+		holds := "invariant holds everywhere"
+		if r.Partial {
+			holds = "invariant holds at every checked point"
+		}
+		return fmt.Sprintf("crashsim: %d crash points over %d steps%s, %s%s",
+			r.CrashesRun, r.TotalSteps, extra, holds, partial)
 	}
 	v := r.Violations[0]
-	return fmt.Sprintf("crashsim: %d/%d crash points violate the invariant%s (first at step %d: %v)",
-		len(r.Violations), r.CrashesRun, extra, v.Step, v.Err)
+	return fmt.Sprintf("crashsim: %d/%d crash points violate the invariant%s (first at step %d: %v)%s",
+		len(r.Violations), r.CrashesRun, extra, v.Step, v.Err, partial)
 }
 
 // Detail renders the summary plus one line per violated crash point, in
@@ -247,6 +296,9 @@ func (r *Result) Detail() string {
 	b.WriteString(r.String())
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "\n  step %4d: %v", v.Step, v.Err)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n  note: %s", n)
 	}
 	return b.String()
 }

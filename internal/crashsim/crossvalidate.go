@@ -1,6 +1,7 @@
 package crashsim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -101,14 +102,23 @@ func (r *CrossReport) String() string {
 // buggy harness) and the repair (a clean enumeration of the fixed
 // harness) all line up.
 func CrossValidate(cases []CrossCase, o Options) (*CrossReport, error) {
+	return CrossValidateCtx(context.Background(), cases, o)
+}
+
+// CrossValidateCtx is CrossValidate under a deadline: when ctx expires
+// mid-corpus, already-enumerated cases keep their verdicts and the
+// remaining enumerations return partial results (which typically read
+// as disagreement — a timed-out differential run is not trustworthy, so
+// callers should check ctx.Err() before acting on a FAIL).
+func CrossValidateCtx(ctx context.Context, cases []CrossCase, o Options) (*CrossReport, error) {
 	rep := &CrossReport{}
 	for i := range cases {
 		c := &cases[i]
-		br, err := EnumerateOpts(c.Buggy, c.Entry, c.Invariant, o)
+		br, err := EnumerateCtx(ctx, c.Buggy, c.Entry, c.Invariant, o)
 		if err != nil {
 			return nil, fmt.Errorf("crossvalidate %s %s:%d buggy: %w", c.Program, c.File, c.Line, err)
 		}
-		fr, err := EnumerateOpts(c.Fixed, c.Entry, c.Invariant, o)
+		fr, err := EnumerateCtx(ctx, c.Fixed, c.Entry, c.Invariant, o)
 		if err != nil {
 			return nil, fmt.Errorf("crossvalidate %s %s:%d fixed: %w", c.Program, c.File, c.Line, err)
 		}

@@ -1,8 +1,10 @@
 package crashsim
 
 import (
+	"context"
 	"fmt"
 
+	"deepmc/internal/faultinj"
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
 )
@@ -28,14 +30,34 @@ type Options struct {
 	// is enumerated over its truncated prefix instead of failing — the
 	// fuzz harness uses this to tame pathological loops.
 	MaxSteps int
+	// Faults enables deterministic fault injection (package faultinj)
+	// during execution.  A fresh Schedule is built from this Config for
+	// every execution — the pruned planning run and each unpruned
+	// per-point re-execution — so repeated runs replay byte-identical
+	// faults.  In pruned mode the reordered/delayed classes add
+	// mid-drain crash surfaces and Result.Injections/FaultLog report the
+	// planning run's injection log; in unpruned mode those two classes
+	// are inert (no PartialFencer) and the log is not aggregated.
+	Faults *faultinj.Config
 }
 
-// EnumerateOpts is Enumerate with pruning and a worker pool.  See
-// Enumerate for the crash-simulation model; this variant first executes
-// the program once to discover crash points (all steps, or only the
-// persist-relevant deduped ones when o.Prune is set), then shards the
-// surviving points across o.Workers re-execution workers.
+// EnumerateOpts is Enumerate with pruning, a worker pool, and optional
+// fault injection.  See Enumerate for the crash-simulation model; this
+// variant first executes the program once to discover crash points (all
+// steps, or only the persist-relevant deduped ones when o.Prune is
+// set), then shards the surviving points across o.Workers workers.
 func EnumerateOpts(m *ir.Module, entry string, inv Invariant, o Options) (*Result, error) {
+	return EnumerateCtx(context.Background(), m, entry, inv, o)
+}
+
+// EnumerateCtx is EnumerateOpts with cancellation and graceful
+// degradation: when ctx is done, the planning run stops promptly (the
+// completed prefix is still enumerated), unchecked crash points are
+// counted in Result.Skipped, and the Result comes back Partial with
+// Notes describing what was cut — not as an error.  A panic while
+// checking one crash point is recovered, noted, and does not abort
+// sibling points.
+func EnumerateCtx(ctx context.Context, m *ir.Module, entry string, inv Invariant, o Options) (*Result, error) {
 	if err := ir.Verify(m); err != nil {
 		return nil, err
 	}
@@ -46,15 +68,33 @@ func EnumerateOpts(m *ir.Module, entry string, inv Invariant, o Options) (*Resul
 
 	res := &Result{}
 	if o.Prune {
-		p := &planner{nvmState: newNVMState()}
-		ip := interp.New(m, p)
+		p := newPlanner()
+		var hooks interp.Hooks = p
+		var sched *faultinj.Schedule
+		if o.Faults != nil {
+			sched = faultinj.New(*o.Faults)
+			hooks = faultinj.Wrap(p, sched)
+		}
+		ip := interp.New(m, hooks)
 		if o.MaxSteps > 0 {
 			ip.MaxSteps = o.MaxSteps
 		}
+		ip.SetContext(ctx)
 		if _, err := ip.Run(entry); err != nil {
-			if !ip.BudgetExhausted() || o.MaxSteps <= 0 {
+			switch {
+			case ip.Canceled():
+				res.Partial = true
+				res.Notes = append(res.Notes,
+					fmt.Sprintf("planning run canceled after %d steps; enumerating the completed prefix", ip.Steps()-1))
+			case ip.BudgetExhausted() && o.MaxSteps > 0:
+				// Enumerate over the truncated prefix.
+			default:
 				return nil, fmt.Errorf("crashsim: planning run: %w", err)
 			}
+		}
+		if sched != nil {
+			res.Injections = sched.Injections()
+			res.FaultLog = sched.Log()
 		}
 		res.TotalSteps = completedSteps(ip, o)
 		var points []planPoint
@@ -68,12 +108,23 @@ func EnumerateOpts(m *ir.Module, entry string, inv Invariant, o Options) (*Resul
 			points = append(points, pt)
 		}
 		res.Pruned = res.TotalSteps - len(p.points)
+		if res.Pruned < 0 {
+			// Mid-drain fault states are extra candidates beyond the step
+			// count; nothing was pruned then.
+			res.Pruned = 0
+		}
 		var sel []planPoint
 		for i := 0; i < len(points); i += stride {
 			sel = append(sel, points[i])
 		}
 		res.CrashesRun = len(sel)
-		res.Violations = checkSnapshots(inv, sel, resolveWorkers(o.Workers))
+		viols, skipped, notes := checkSnapshots(ctx, inv, sel, resolveWorkers(o.Workers))
+		res.Violations = viols
+		res.Skipped += skipped
+		res.Notes = append(res.Notes, notes...)
+		if skipped > 0 || len(notes) > 0 {
+			res.Partial = true
+		}
 		return res, nil
 	}
 
@@ -81,8 +132,16 @@ func EnumerateOpts(m *ir.Module, entry string, inv Invariant, o Options) (*Resul
 	if o.MaxSteps > 0 {
 		ip.MaxSteps = o.MaxSteps
 	}
+	ip.SetContext(ctx)
 	if _, err := ip.Run(entry); err != nil {
-		if !ip.BudgetExhausted() || o.MaxSteps <= 0 {
+		switch {
+		case ip.Canceled():
+			res.Partial = true
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("step-counting run canceled after %d steps; enumerating the completed prefix", ip.Steps()-1))
+		case ip.BudgetExhausted() && o.MaxSteps > 0:
+			// Enumerate over the truncated prefix.
+		default:
 			return nil, fmt.Errorf("crashsim: full run: %w", err)
 		}
 	}
@@ -92,19 +151,27 @@ func EnumerateOpts(m *ir.Module, entry string, inv Invariant, o Options) (*Resul
 		sel = append(sel, k)
 	}
 	res.CrashesRun = len(sel)
-	viols, err := checkPoints(m, entry, inv, sel, resolveWorkers(o.Workers))
+	viols, skipped, notes, err := checkPoints(ctx, m, entry, inv, o.Faults, sel, resolveWorkers(o.Workers))
 	if err != nil {
 		return nil, err
 	}
 	res.Violations = viols
+	res.Skipped += skipped
+	res.Notes = append(res.Notes, notes...)
+	if skipped > 0 || len(notes) > 0 {
+		res.Partial = true
+	}
 	return res, nil
 }
 
 // completedSteps returns how many instructions fully executed: on a
-// budget abort the interpreter's counter includes the instruction it
-// refused to run.
+// budget abort or a cancellation the interpreter's counter includes the
+// instruction it refused to run.
 func completedSteps(ip *interp.Interp, o Options) int {
 	n := ip.Steps()
+	if ip.Canceled() {
+		return n - 1
+	}
 	if ip.BudgetExhausted() && o.MaxSteps > 0 && n > o.MaxSteps {
 		n = o.MaxSteps
 	}

@@ -1,0 +1,125 @@
+package crashsim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"deepmc/internal/ir"
+)
+
+const panicTestSrc = `
+module ptest
+
+type rec struct {
+	a: int
+	b: int
+	c: int
+}
+
+func main() {
+	file "p.c"
+	%r = palloc rec
+	store %r.a, 1  @1
+	flush %r.a     @2
+	fence          @3
+	store %r.b, 2  @4
+	flush %r.b     @5
+	fence          @6
+	store %r.c, 3  @7
+	flush %r.c     @8
+	fence          @9
+	ret
+}
+`
+
+// TestWorkerPanicIsolation is the acceptance check for panic recovery:
+// an invariant that panics on a subset of durable images must surface
+// as recovery notes on a partial result, while every other crash point
+// is still checked — including one that genuinely violates.
+func TestWorkerPanicIsolation(t *testing.T) {
+	m := ir.MustParse(panicTestSrc)
+	// Panics when b is durable before c, violates when a is durable but
+	// b is not yet: both conditions occur at distinct crash points.
+	inv := func(im *Image) error {
+		a, _ := im.LoadField(1, "a")
+		b, _ := im.LoadField(1, "b")
+		c, _ := im.LoadField(1, "c")
+		if b == 2 && c == 0 {
+			panic("invariant implementation bug")
+		}
+		if a == 1 && b == 0 {
+			return fmt.Errorf("a persisted without b")
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 4} {
+		for _, prune := range []bool{false, true} {
+			res, err := EnumerateOpts(m, "main", inv, Options{Prune: prune, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d prune=%v: enumeration aborted: %v", workers, prune, err)
+			}
+			if !res.Partial {
+				t.Fatalf("workers=%d prune=%v: panic did not mark the result partial: %s",
+					workers, prune, res)
+			}
+			notes := 0
+			for _, n := range res.Notes {
+				if strings.Contains(n, "panic recovered") {
+					notes++
+				}
+			}
+			if notes == 0 {
+				t.Fatalf("workers=%d prune=%v: no recovery note: %v", workers, prune, res.Notes)
+			}
+			// The sibling crash points kept running: the genuine
+			// violation at a-durable-b-not must still be found.
+			if res.Clean() {
+				t.Fatalf("workers=%d prune=%v: panic at one point suppressed the violation at another:\n%s",
+					workers, prune, res.Detail())
+			}
+		}
+	}
+}
+
+// TestPanicIsolationDeterminism: the panic-annotated partial result is
+// byte-identical across worker counts, like every other crashsim
+// output.
+func TestPanicIsolationDeterminism(t *testing.T) {
+	m := ir.MustParse(panicTestSrc)
+	inv := func(im *Image) error {
+		if b, _ := im.LoadField(1, "b"); b == 2 {
+			if c, _ := im.LoadField(1, "c"); c == 0 {
+				panic("boom")
+			}
+		}
+		return nil
+	}
+	run := func(workers int) string {
+		res, err := EnumerateOpts(m, "main", inv, Options{Prune: true, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Detail()
+	}
+	if a, b := run(1), run(4); a != b {
+		t.Fatalf("partial results diverge across worker counts:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestPreCancelledEnumerationFast: a done context before any work means
+// the whole selection is skipped, quickly, without error.
+func TestPreCancelledEnumerationFast(t *testing.T) {
+	m := ir.MustParse(panicTestSrc)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EnumerateCtx(ctx, m, "main", func(*Image) error { return nil },
+		Options{Prune: true, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatalf("pre-cancelled enumeration complete: %s", res)
+	}
+}

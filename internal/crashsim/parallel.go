@@ -1,10 +1,12 @@
 package crashsim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"deepmc/internal/faultinj"
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
 )
@@ -22,123 +24,155 @@ func resolveWorkers(n int) int {
 	}
 }
 
+// runPool shards indices [0, n) across a worker pool and waits for all
+// of them.  check must be safe for concurrent calls on distinct
+// indices.
+func runPool(n, workers int, check func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			check(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				check(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// pointStatus is the per-crash-point outcome slot shared by checkPoints
+// and checkSnapshots: results land indexed by input position and merge
+// in crash-step order, so violations, skip counts, and notes — and any
+// run error, reported for the earliest failing point — are independent
+// of the worker count.
+type pointStatus struct {
+	viol    *Violation
+	err     error
+	skipped bool
+	note    string
+}
+
+// mergeStatus folds per-point slots into the deterministic outputs.
+func mergeStatus(slots []pointStatus) (viols []Violation, skipped int, notes []string) {
+	for _, s := range slots {
+		if s.viol != nil {
+			viols = append(viols, *s.viol)
+		}
+		if s.skipped {
+			skipped++
+		}
+		if s.note != "" {
+			notes = append(notes, s.note)
+		}
+	}
+	return viols, skipped, notes
+}
+
 // checkPoints re-executes the program to each selected crash point and
 // applies the invariant, fanning the points out across a worker pool.
-// Results land in per-point slots and are merged in input (crash-step)
-// order, so the returned violations — and any run error, which is
-// reported for the earliest failing point — are independent of the
-// worker count.  Each crash point seeds its own sampled-outcome RNG
-// (checkOutcomes), so workers share no random state.
-func checkPoints(m *ir.Module, entry string, inv Invariant, points []int, workers int) ([]Violation, error) {
+// A done context skips the remaining points (counted, not errored); a
+// panic while checking one point is recovered into a note without
+// aborting siblings.  Each crash point seeds its own sampled-outcome
+// RNG (checkOutcomes) and, when faults are configured, its own fresh
+// injection schedule, so workers share no random state and every
+// re-execution replays identical faults.
+func checkPoints(ctx context.Context, m *ir.Module, entry string, inv Invariant, faults *faultinj.Config, points []int, workers int) ([]Violation, int, []string, error) {
 	if len(points) == 0 {
-		return nil, nil
+		return nil, 0, nil, nil
 	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	viols := make([]*Violation, len(points))
-	errs := make([]error, len(points))
-	if workers <= 1 {
-		for i, k := range points {
-			viols[i], errs[i] = checkOne(m, entry, inv, k)
+	slots := make([]pointStatus, len(points))
+	runPool(len(points), workers, func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				slots[i].note = fmt.Sprintf("crash point at step %d: panic recovered: %v", points[i], r)
+			}
+		}()
+		if ctx.Err() != nil {
+			slots[i].skipped = true
+			return
 		}
-	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					viols[i], errs[i] = checkOne(m, entry, inv, points[i])
-				}
-			}()
-		}
-		for i := range points {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("crashsim: run to step %d: %w", points[i], err)
+		slots[i].viol, slots[i].skipped, slots[i].err = checkOne(ctx, m, entry, inv, faults, points[i])
+	})
+	for i, s := range slots {
+		if s.err != nil {
+			return nil, 0, nil, fmt.Errorf("crashsim: run to step %d: %w", points[i], s.err)
 		}
 	}
-	var out []Violation
-	for _, v := range viols {
-		if v != nil {
-			out = append(out, *v)
-		}
-	}
-	return out, nil
+	viols, skipped, notes := mergeStatus(slots)
+	return viols, skipped, notes, nil
 }
 
 // checkSnapshots applies the invariant to pre-captured crash-point
 // state snapshots, sharded across a worker pool.  No re-execution
 // happens: each point's persist-outcome enumeration runs directly on
 // its snapshot (the planning run already proved the state equals a
-// re-execution's).  Violations land in per-point slots and merge in
-// crash-step order, identical to checkPoints.
-func checkSnapshots(inv Invariant, points []planPoint, workers int) []Violation {
+// re-execution's).  Skip and panic handling match checkPoints.
+func checkSnapshots(ctx context.Context, inv Invariant, points []planPoint, workers int) ([]Violation, int, []string) {
 	if len(points) == 0 {
-		return nil
+		return nil, 0, nil
 	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	viols := make([]*Violation, len(points))
-	check := func(i int) {
+	slots := make([]pointStatus, len(points))
+	runPool(len(points), workers, func(i int) {
 		p := points[i]
+		defer func() {
+			if r := recover(); r != nil {
+				slots[i].note = fmt.Sprintf("crash point at step %d: panic recovered: %v", p.step, r)
+			}
+		}()
+		if ctx.Err() != nil {
+			slots[i].skipped = true
+			return
+		}
 		if ierr := p.snap.checkOutcomes(inv, int64(p.step)); ierr != nil {
-			viols[i] = &Violation{Step: p.step, Err: ierr}
+			if p.mid {
+				ierr = fmt.Errorf("mid-drain fault state: %w", ierr)
+			}
+			slots[i].viol = &Violation{Step: p.step, Err: ierr}
 		}
-	}
-	if workers <= 1 {
-		for i := range points {
-			check(i)
-		}
-	} else {
-		next := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					check(i)
-				}
-			}()
-		}
-		for i := range points {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	var out []Violation
-	for _, v := range viols {
-		if v != nil {
-			out = append(out, *v)
-		}
-	}
-	return out
+	})
+	return mergeStatus(slots)
 }
 
 // checkOne simulates a crash after step k: re-execute with that step
-// budget, then test the invariant over every persist outcome of the
-// in-flight words.  A step-budget stop is the simulated crash; a nil
-// run error means the program completed (the final crash point); any
-// other error is a real failure.
-func checkOne(m *ir.Module, entry string, inv Invariant, k int) (*Violation, error) {
+// budget (replaying the configured fault schedule, if any), then test
+// the invariant over every persist outcome of the in-flight words.  A
+// step-budget stop is the simulated crash; a context cancellation
+// reports the point as skipped; a nil run error means the program
+// completed (the final crash point); any other error is a real failure.
+func checkOne(ctx context.Context, m *ir.Module, entry string, inv Invariant, faults *faultinj.Config, k int) (*Violation, bool, error) {
 	st := newNVMState()
-	ip := interp.New(m, st)
+	var hooks interp.Hooks = st
+	if faults != nil {
+		hooks = faultinj.Wrap(st, faultinj.New(*faults))
+	}
+	ip := interp.New(m, hooks)
 	ip.MaxSteps = k
-	if _, err := ip.Run(entry); err != nil && !ip.BudgetExhausted() {
-		return nil, err
+	ip.SetContext(ctx)
+	if _, err := ip.Run(entry); err != nil {
+		if ip.Canceled() {
+			return nil, true, nil
+		}
+		if !ip.BudgetExhausted() {
+			return nil, false, err
+		}
 	}
 	if ierr := st.checkOutcomes(inv, int64(k)); ierr != nil {
-		return &Violation{Step: k, Err: ierr}, nil
+		return &Violation{Step: k, Err: ierr}, false, nil
 	}
-	return nil, nil
+	return nil, false, nil
 }

@@ -19,6 +19,11 @@ type planPoint struct {
 	step int
 	key  string
 	snap *nvmState
+	// mid marks a synthetic mid-drain state injected by the
+	// reordered-persist / delayed-drain fault classes: a crash imagined
+	// inside the sfence at this step, with only part of the staged set
+	// durable.  Not reachable by a MaxSteps re-execution.
+	mid bool
 }
 
 // planner executes the program once with full nvmState tracking and
@@ -28,14 +33,30 @@ type planPoint struct {
 // (durable words, in-flight words, undo log, touched objects) can
 // change without one of these hooks firing — so those steps are pruned
 // without running them.
-//
-// Step 1 is always recorded, relevant or not: it represents the whole
-// persist-quiet prefix (the empty pre-event image), which the legacy
-// enumerator also checks.
 type planner struct {
 	*nvmState
 	relevant bool
 	points   []planPoint
+	// pendingMid holds mid-drain fault states awaiting attribution to
+	// the fence instruction's step index (known only at its OnStep).
+	pendingMid []*nvmState
+}
+
+// newPlanner pre-records the empty pre-event image as the step-1 crash
+// point: it represents the whole persist-quiet prefix, which the legacy
+// enumerator also checks as k = 1.  It must be recorded eagerly rather
+// than from OnStep(1), because when main's first instruction is a call
+// the callee's steps complete (and report) first — OnStep(1) then fires
+// last, with the post-callee state, while a re-execution under
+// MaxSteps = 1 stops before the callee runs at all (the empty image).
+// Recording eagerly keeps points in ascending step order and keeps the
+// step-1 snapshot equal to what a MaxSteps = 1 run observes.  If step 1
+// is itself persist-relevant its OnStep records a second step-1 point
+// with the true post-step state.
+func newPlanner() *planner {
+	p := &planner{nvmState: newNVMState()}
+	p.points = append(p.points, planPoint{step: 1, key: p.stateKey(), snap: p.nvmState.snapshot()})
+	return p
 }
 
 func (p *planner) OnWrite(obj *interp.Object, off, size int, fn, file string, line int) {
@@ -69,12 +90,56 @@ func (p *planner) OnTxEnd(fn, file string, line int) {
 	p.nvmState.OnTxEnd(fn, file, line)
 }
 
+// OnEvict (interp.Evictor) forwards injected evictions: durable state
+// changed, so the step must be recorded.
+func (p *planner) OnEvict(obj *interp.Object, off, size int, fn, file string, line int) {
+	if obj.Persistent {
+		p.relevant = true
+	}
+	p.nvmState.OnEvict(obj, off, size, fn, file, line)
+}
+
+// OnPartialFence (interp.PartialFencer) records the mid-drain state of
+// an injected reordered/delayed persist as an extra crash candidate:
+// the picked staged words (canonical order) are already durable, the
+// rest are still staged.  The snapshot is queued until the fence's
+// OnStep supplies the step index.
+func (p *planner) OnPartialFence(pick func(n int) []int, _, _ string, _ int) {
+	staged := make([]Word, 0, len(p.staged))
+	for w := range p.staged {
+		staged = append(staged, w)
+	}
+	if len(staged) == 0 {
+		return
+	}
+	sortWords(staged)
+	sel := pick(len(staged))
+	if len(sel) == 0 {
+		return
+	}
+	snap := p.nvmState.snapshot()
+	for _, i := range sel {
+		if i < 0 || i >= len(staged) {
+			continue
+		}
+		w := staged[i]
+		snap.durable[w] = snap.current[w]
+		delete(snap.dirty, w)
+		delete(snap.staged, w)
+	}
+	p.pendingMid = append(p.pendingMid, snap)
+}
+
 // OnStep implements interp.StepObserver: the interpreter calls it after
 // the instruction at the given step has fully executed, so the state
 // key snapshotted here is exactly what a re-execution with MaxSteps =
 // step observes.
 func (p *planner) OnStep(step int, _ ir.Op) {
-	if !p.relevant && step != 1 {
+	for _, snap := range p.pendingMid {
+		p.points = append(p.points, planPoint{step: step, key: snap.stateKey(), snap: snap, mid: true})
+	}
+	p.pendingMid = p.pendingMid[:0]
+	if !p.relevant {
 		return
 	}
 	p.relevant = false

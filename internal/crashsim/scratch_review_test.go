@@ -31,7 +31,7 @@ func helper() {
 }
 
 func main() {
-	call helper
+	call helper()
 	ret
 }
 `

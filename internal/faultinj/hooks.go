@@ -1,0 +1,164 @@
+package faultinj
+
+import (
+	"fmt"
+
+	"deepmc/internal/interp"
+	"deepmc/internal/ir"
+)
+
+// granule is the persistence granularity of injected faults, matching
+// the crash simulator's 8-byte word-granular durable image.
+const granule = 8
+
+// Wrap returns a Hooks decorator that forwards every event to inner and
+// injects sched's faults along the way.  The wrapper always satisfies
+// interp.StepObserver (forwarding only when inner does), so it can be
+// installed wherever inner could.
+//
+// Faults take effect through inner's optional extensions:
+//
+//   - TornWrite calls inner's Evictor (if any) for a nonempty proper
+//     subset of the granules of each persistent store of >= 2 granules.
+//   - DroppedFlush buffers the clwb instead of forwarding it; the
+//     buffered flushes are re-forwarded immediately before the next
+//     OnFence, modeling hardware that retries the flush at the drain.
+//   - ReorderedPersist / DelayedDrain call inner's PartialFencer (if
+//     any) just before each OnFence with a scrambled-subset / canonical
+//     prefix pick respectively.
+//
+// An inner without the extension simply skips that class (recorded
+// injections still require the extension, so InjectionsOf stays
+// truthful).
+func Wrap(inner interp.Hooks, sched *Schedule) interp.Hooks {
+	h := &hooks{inner: inner, sched: sched}
+	h.obs, _ = inner.(interp.StepObserver)
+	h.evict, _ = inner.(interp.Evictor)
+	h.pf, _ = inner.(interp.PartialFencer)
+	return h
+}
+
+type flushEv struct {
+	obj  *interp.Object
+	off  int
+	size int
+	fn   string
+	file string
+	line int
+}
+
+type hooks struct {
+	inner interp.Hooks
+	sched *Schedule
+	obs   interp.StepObserver
+	evict interp.Evictor
+	pf    interp.PartialFencer
+
+	// dropped clwbs awaiting the hardware retry at the next fence
+	pending []flushEv
+}
+
+func site(fn, file string, line int) string {
+	return fmt.Sprintf("%s %s:%d", fn, file, line)
+}
+
+func (h *hooks) OnWrite(obj *interp.Object, off, size int, fn, file string, line int) {
+	h.inner.OnWrite(obj, off, size, fn, file, line)
+	if h.evict == nil || obj == nil || !obj.Persistent || size < 2*granule {
+		return
+	}
+	if !h.sched.Fire(TornWrite) {
+		return
+	}
+	grans := (size + granule - 1) / granule
+	sel := h.sched.Subset(grans)
+	for _, g := range sel {
+		h.evict.OnEvict(obj, off+g*granule, granule, fn, file, line)
+	}
+	h.sched.Record(TornWrite, site(fn, file, line), fmt.Sprintf("store size=%d persisted granules=%v", size, sel))
+}
+
+func (h *hooks) OnFlush(obj *interp.Object, off, size int, fn, file string, line int) {
+	if obj != nil && obj.Persistent && h.sched.Fire(DroppedFlush) {
+		h.pending = append(h.pending, flushEv{obj, off, size, fn, file, line})
+		h.sched.Record(DroppedFlush, site(fn, file, line),
+			fmt.Sprintf("clwb obj#%d+%d size=%d dropped, retried at next fence", obj.ID, off, size))
+		return
+	}
+	h.inner.OnFlush(obj, off, size, fn, file, line)
+}
+
+func (h *hooks) OnFence(fn, file string, line int) {
+	// Hardware retries dropped clwbs at the drain: re-forward them now so
+	// the fence's durability guarantee still holds.
+	for _, e := range h.pending {
+		h.inner.OnFlush(e.obj, e.off, e.size, e.fn, e.file, e.line)
+	}
+	h.pending = h.pending[:0]
+	if h.pf != nil {
+		if h.sched.Fire(ReorderedPersist) {
+			h.pf.OnPartialFence(h.pickScrambled(fn, file, line), fn, file, line)
+		} else if h.sched.Fire(DelayedDrain) {
+			h.pf.OnPartialFence(h.pickPrefix(fn, file, line), fn, file, line)
+		}
+	}
+	h.inner.OnFence(fn, file, line)
+}
+
+// pickScrambled returns a pick function exposing a mid-drain state in
+// which an arbitrary (scrambled) nonempty proper subset of the staged
+// set has drained.  The injection is recorded only if the callee
+// invokes pick (it skips empty staged sets).
+func (h *hooks) pickScrambled(fn, file string, line int) func(n int) []int {
+	return func(n int) []int {
+		if n < 2 {
+			return nil
+		}
+		sel := h.sched.Subset(n)
+		h.sched.Record(ReorderedPersist, site(fn, file, line),
+			fmt.Sprintf("mid-drain: %v of %d staged lines retired out of order", sel, n))
+		return sel
+	}
+}
+
+// pickPrefix returns a pick function exposing a mid-drain state in
+// which only a canonical-order proper prefix of the staged set has
+// drained (the drain is lagging).
+func (h *hooks) pickPrefix(fn, file string, line int) func(n int) []int {
+	return func(n int) []int {
+		if n < 2 {
+			return nil
+		}
+		k := 1 + h.sched.Intn(n-1)
+		sel := make([]int, k)
+		for i := range sel {
+			sel[i] = i
+		}
+		h.sched.Record(DelayedDrain, site(fn, file, line),
+			fmt.Sprintf("mid-drain: first %d of %d staged lines retired, drain lagging", k, n))
+		return sel
+	}
+}
+
+func (h *hooks) OnRead(obj *interp.Object, off, size int, fn, file string, line int) {
+	h.inner.OnRead(obj, off, size, fn, file, line)
+}
+func (h *hooks) OnTxBegin(fn, file string, line int) { h.inner.OnTxBegin(fn, file, line) }
+func (h *hooks) OnTxEnd(fn, file string, line int)   { h.inner.OnTxEnd(fn, file, line) }
+func (h *hooks) OnTxAdd(obj *interp.Object, off, size int, fn, file string, line int) {
+	h.inner.OnTxAdd(obj, off, size, fn, file, line)
+}
+func (h *hooks) OnEpochBegin(fn, file string, line int) { h.inner.OnEpochBegin(fn, file, line) }
+func (h *hooks) OnEpochEnd(fn, file string, line int)   { h.inner.OnEpochEnd(fn, file, line) }
+func (h *hooks) OnStrandBegin(id int64, fn, file string, line int) {
+	h.inner.OnStrandBegin(id, fn, file, line)
+}
+func (h *hooks) OnStrandEnd(id int64, fn, file string, line int) {
+	h.inner.OnStrandEnd(id, fn, file, line)
+}
+
+func (h *hooks) OnStep(step int, op ir.Op) {
+	if h.obs != nil {
+		h.obs.OnStep(step, op)
+	}
+}

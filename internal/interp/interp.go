@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"deepmc/internal/ir"
@@ -71,6 +72,30 @@ type Hooks interface {
 	OnStrandEnd(id int64, fn, file string, line int)
 }
 
+// Evictor is an optional Hooks extension for fault injection: OnEvict
+// reports a spontaneous write-back of dirty persistent bytes — the
+// cache evicted (part of) a line before any flush/fence asked for it.
+// Eviction is legal under clwb/sfence semantics (any dirty line may
+// persist at any time), so implementations must treat the range as
+// durable immediately, without fence ordering.  The torn-write fault
+// class delivers partial-store persistence through this hook.
+type Evictor interface {
+	OnEvict(obj *Object, off, size int, fn, file string, line int)
+}
+
+// PartialFencer is an optional Hooks extension for fault injection:
+// OnPartialFence fires just before OnFence for the same instruction and
+// describes a mid-drain state of that fence — the drain has retired
+// only some staged lines when a crash is imagined to land inside the
+// sfence.  pick(n) returns the indices (into the implementation's
+// canonically ordered staged set of size n) that have already drained;
+// the implementation may record the resulting intermediate durable
+// image as an extra crash surface.  The fence that follows still
+// completes in full, so the sfence durability contract is unchanged.
+type PartialFencer interface {
+	OnPartialFence(pick func(n int) []int, fn, file string, line int)
+}
+
 // StepObserver is an optional Hooks extension.  When the installed
 // Hooks value also implements StepObserver, the interpreter calls
 // OnStep after the instruction at the given 1-based step index has
@@ -113,6 +138,8 @@ type Interp struct {
 	steps          int
 	nextObj        int
 	budgetExceeded bool
+	canceled       bool
+	ctx            context.Context
 	obs            StepObserver
 }
 
@@ -133,6 +160,17 @@ func (ip *Interp) Steps() int { return ip.steps }
 // budget (the crash simulator's intentional stop) rather than a program
 // fault.
 func (ip *Interp) BudgetExhausted() bool { return ip.budgetExceeded }
+
+// SetContext installs a cancellation context.  The interpreter polls it
+// every 1024 steps and aborts the run with a wrapped ctx.Err() when it
+// is done; Canceled() then reports true.  A nil context disables the
+// check.
+func (ip *Interp) SetContext(ctx context.Context) { ip.ctx = ctx }
+
+// Canceled reports whether the last error came from the installed
+// context being done rather than a program fault.  Like a budget abort,
+// the step counter includes the instruction that was refused.
+func (ip *Interp) Canceled() bool { return ip.canceled }
 
 // Run calls the named function with integer arguments and returns its
 // result (zero Val for void functions).
@@ -184,6 +222,14 @@ func (ip *Interp) exec(fr *frame) (Val, error) {
 			if ip.MaxSteps > 0 && ip.steps > ip.MaxSteps {
 				ip.budgetExceeded = true
 				return Val{}, fmt.Errorf("interp: step budget exhausted in %s", f.Name)
+			}
+			if ip.ctx != nil && ip.steps&1023 == 0 {
+				select {
+				case <-ip.ctx.Done():
+					ip.canceled = true
+					return Val{}, fmt.Errorf("interp: canceled at step %d in %s: %w", ip.steps, f.Name, ip.ctx.Err())
+				default:
+				}
 			}
 			switch in.Op {
 			case ir.OpRet:

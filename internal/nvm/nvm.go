@@ -23,7 +23,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+
+	"deepmc/internal/faultinj"
 )
 
 // CachelineSize is the write-back granularity in bytes.
@@ -41,6 +44,14 @@ type Config struct {
 	// Latency model, in simulated nanoseconds.  Defaults follow the
 	// 2–4x flush-vs-store asymmetry the paper cites.
 	StoreNs, LoadNs, FlushNs, FenceNs int64
+	// Faults enables deterministic fault injection (package faultinj):
+	// torn writes persist part of a multi-granule store early, dropped
+	// flushes are retried at the next fence, reordered persists drain
+	// staged lines in a scrambled (logged) order, and delayed drains add
+	// fence latency.  All classes stay within clwb/sfence semantics.
+	// Replay determinism holds for single-threaded clients (the decision
+	// stream is a pure function of the operation order).
+	Faults *faultinj.Config
 }
 
 // DefaultConfig returns a 16 MiB pool with the default latency model and
@@ -64,6 +75,7 @@ type Stats struct {
 	Fences        uint64
 	BytesWritten  uint64 // write-back traffic to the medium
 	Evictions     uint64
+	Injections    uint64 // faults injected (Config.Faults)
 	SimulatedNs   int64
 	AllocatedByte uint64
 }
@@ -82,6 +94,9 @@ type Pool struct {
 	rng        *rand.Rand
 	stats      Stats
 	storeCount int
+
+	sched   *faultinj.Schedule
+	dropped map[int]bool // line index -> clwb dropped, retried at next fence
 }
 
 // NewPool creates a pool.
@@ -102,14 +117,31 @@ func NewPool(cfg Config) *Pool {
 	if cfg.FenceNs == 0 {
 		cfg.FenceNs = d.FenceNs
 	}
-	return &Pool{
+	p := &Pool{
 		cfg:     cfg,
 		current: make([]byte, cfg.Size),
 		durable: make([]byte, cfg.Size),
 		dirty:   make(map[int]bool),
 		staged:  make(map[int]bool),
+		dropped: make(map[int]bool),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.Faults != nil {
+		p.sched = faultinj.New(*cfg.Faults)
+	}
+	return p
+}
+
+// FaultLog returns the byte-replayable injection log (empty without
+// Config.Faults).  Two pools driven by the same single-threaded
+// operation sequence produce byte-identical logs.
+func (p *Pool) FaultLog() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sched == nil {
+		return ""
+	}
+	return p.sched.Log()
 }
 
 // Size returns the pool capacity.
@@ -162,8 +194,34 @@ func (p *Pool) Store(addr int, data []byte) error {
 	}
 	p.stats.Stores++
 	p.stats.SimulatedNs += p.cfg.StoreNs
+	p.tearWrite(addr, len(data))
 	p.maybeEvict()
 	return nil
+}
+
+// tearWrite injects a torn write: a nonempty proper subset of the
+// store's 8-byte granules persists immediately (early partial eviction
+// of the line — legal for dirty data at any time).  The lines stay
+// dirty: the untorn granules are still volatile.  Caller holds mu.
+func (p *Pool) tearWrite(addr, size int) {
+	const granule = 8
+	if p.sched == nil || size < 2*granule || !p.sched.Fire(faultinj.TornWrite) {
+		return
+	}
+	grans := (size + granule - 1) / granule
+	sel := p.sched.Subset(grans)
+	for _, g := range sel {
+		start := addr + g*granule
+		end := start + granule
+		if end > p.cfg.Size {
+			end = p.cfg.Size
+		}
+		copy(p.durable[start:end], p.current[start:end])
+		p.stats.BytesWritten += uint64(end - start)
+	}
+	p.stats.Injections++
+	p.sched.Record(faultinj.TornWrite, fmt.Sprintf("pool+%d", addr),
+		fmt.Sprintf("store size=%d persisted granules=%v", size, sel))
 }
 
 // Store64 writes one little-endian 64-bit word.
@@ -208,6 +266,21 @@ func (p *Pool) Flush(addr, size int) error {
 		size = 1
 	}
 	p.stats.Flushes++
+	if p.sched != nil && p.sched.Fire(faultinj.DroppedFlush) {
+		// The clwb is transiently dropped; Fence retries it, so the
+		// sfence durability guarantee is unchanged — but until then the
+		// lines stay dirty instead of staged (wider crash surface).
+		first := addr / CachelineSize
+		last := (addr + size - 1) / CachelineSize
+		for l := first; l <= last; l++ {
+			p.dropped[l] = true
+		}
+		p.stats.Injections++
+		p.stats.SimulatedNs += p.cfg.FlushNs
+		p.sched.Record(faultinj.DroppedFlush, fmt.Sprintf("pool+%d", addr),
+			fmt.Sprintf("clwb lines [%d,%d] dropped, retried at next fence", first, last))
+		return nil
+	}
 	for l := addr / CachelineSize; l <= (addr+size-1)/CachelineSize; l++ {
 		if p.dirty[l] || p.staged[l] {
 			p.staged[l] = true
@@ -224,15 +297,52 @@ func (p *Pool) Flush(addr, size int) error {
 }
 
 // Fence makes all staged lines durable (sfence + drain semantics).
+// Dropped-flush lines are retried here (hardware re-issues the clwb at
+// the drain), so the fence guarantee holds under fault injection.
 func (p *Pool) Fence() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	for l := range p.dropped {
+		if p.dirty[l] {
+			p.staged[l] = true
+			p.stats.LinesFlushed++
+			p.stats.SimulatedNs += p.cfg.FlushNs
+		}
+	}
+	p.dropped = make(map[int]bool)
+	lines := make([]int, 0, len(p.staged))
 	for l := range p.staged {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	if p.sched != nil && len(lines) > 1 && p.sched.Fire(faultinj.ReorderedPersist) {
+		// Drain in a scrambled order.  The post-fence durable state is
+		// order-independent; the logged order is what a mid-drain crash
+		// would expose, and the crash simulator explores those states.
+		perm := p.sched.Perm(len(lines))
+		reordered := make([]int, len(lines))
+		for i, j := range perm {
+			reordered[i] = lines[j]
+		}
+		lines = reordered
+		p.stats.Injections++
+		p.sched.Record(faultinj.ReorderedPersist, "pool fence",
+			fmt.Sprintf("drain order %v", lines))
+	}
+	for _, l := range lines {
 		p.writeBack(l)
 	}
 	p.staged = make(map[int]bool)
 	p.stats.Fences++
 	p.stats.SimulatedNs += p.cfg.FenceNs
+	if p.sched != nil && len(lines) > 0 && p.sched.Fire(faultinj.DelayedDrain) {
+		// The drain lags: charge extra fence latency.
+		lag := int64(1+p.sched.Intn(4)) * p.cfg.FenceNs
+		p.stats.SimulatedNs += lag
+		p.stats.Injections++
+		p.sched.Record(faultinj.DelayedDrain, "pool fence",
+			fmt.Sprintf("drain of %d lines lagged %dns", len(lines), lag))
+	}
 }
 
 // writeBack copies one line into the durable image.  Caller holds mu.
@@ -276,6 +386,7 @@ func (p *Pool) Crash() {
 	copy(p.current, p.durable)
 	p.dirty = make(map[int]bool)
 	p.staged = make(map[int]bool)
+	p.dropped = make(map[int]bool)
 }
 
 // DurableLoad reads from the durable image without simulating a crash
@@ -308,4 +419,5 @@ func (p *Pool) PersistAll() {
 		p.writeBack(l)
 	}
 	p.staged = make(map[int]bool)
+	p.dropped = make(map[int]bool)
 }

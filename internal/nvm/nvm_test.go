@@ -160,7 +160,7 @@ func TestCrashConsistencyProperty(t *testing.T) {
 		cfg.Size = 1 << 12
 		p := NewPool(cfg)
 		const slots = 32
-		base := mustAlloc(p, slots * 8)
+		base := mustAlloc(p, slots*8)
 		// The reference model works at cacheline granularity: flushing
 		// one slot stages its whole line, and a staged line writes back
 		// its *current* contents at the fence.

@@ -99,16 +99,50 @@ func (w Warning) String() string {
 		w.Class, kind, w.File, w.Line, w.Rule, w.Message)
 }
 
+// Skip records an analysis unit (module, function, run) that was not —
+// or not fully — checked: the report is still useful, but partial.
+type Skip struct {
+	Subject string // what was skipped (module or function name)
+	Reason  string // why (deadline, cancellation, recovered panic)
+}
+
+// String renders the skip in the CLI's one-line format.
+func (s Skip) String() string {
+	return fmt.Sprintf("SKIPPED %s: %s", s.Subject, s.Reason)
+}
+
 // Report aggregates deduplicated warnings.
 type Report struct {
 	Warnings []Warning
+	// Skipped annotates graceful degradation: units whose findings are
+	// missing or incomplete.  Empty for a complete run.
+	Skipped  []Skip
 	seen     map[string]bool
+	seenSkip map[string]bool
 }
 
 // New creates an empty report.
 func New() *Report {
-	return &Report{seen: make(map[string]bool)}
+	return &Report{seen: make(map[string]bool), seenSkip: make(map[string]bool)}
 }
+
+// AddSkip records a skipped unit unless an identical annotation exists.
+func (r *Report) AddSkip(subject, reason string) {
+	if r.seenSkip == nil {
+		r.seenSkip = make(map[string]bool)
+	}
+	k := subject + "|" + reason
+	if r.seenSkip[k] {
+		return
+	}
+	r.seenSkip[k] = true
+	r.Skipped = append(r.Skipped, Skip{Subject: subject, Reason: reason})
+}
+
+// Partial reports whether any unit was skipped: the warnings present
+// are real, but absence of a warning proves nothing for the skipped
+// units.
+func (r *Report) Partial() bool { return len(r.Skipped) > 0 }
 
 // Add records a warning unless an identical one (same rule, file, line)
 // was already reported.
@@ -123,14 +157,19 @@ func (r *Report) Add(w Warning) bool {
 	return true
 }
 
-// Merge folds another report in, deduplicating.
+// Merge folds another report in, deduplicating warnings and skip
+// annotations.
 func (r *Report) Merge(o *Report) {
 	for _, w := range o.Warnings {
 		r.Add(w)
 	}
+	for _, s := range o.Skipped {
+		r.AddSkip(s.Subject, s.Reason)
+	}
 }
 
-// Sort orders warnings by file, line, rule for stable output.
+// Sort orders warnings by file, line, rule — and skip annotations by
+// subject, reason — for stable output.
 func (r *Report) Sort() {
 	sort.Slice(r.Warnings, func(i, j int) bool {
 		a, b := r.Warnings[i], r.Warnings[j]
@@ -141,6 +180,13 @@ func (r *Report) Sort() {
 			return a.Line < b.Line
 		}
 		return a.Rule < b.Rule
+	})
+	sort.Slice(r.Skipped, func(i, j int) bool {
+		a, b := r.Skipped[i], r.Skipped[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		return a.Reason < b.Reason
 	})
 }
 
@@ -176,5 +222,14 @@ func (r *Report) String() string {
 	viol, perf := r.CountByClass()
 	fmt.Fprintf(&b, "%d warnings (%d model violations, %d performance)\n",
 		len(r.Warnings), viol, perf)
+	// Skip annotations print only on partial reports, so complete-run
+	// output (and the golden files comparing it) is unchanged.
+	for _, s := range r.Skipped {
+		b.WriteString(s.String())
+		b.WriteString("\n")
+	}
+	if r.Partial() {
+		fmt.Fprintf(&b, "partial report: %d units skipped\n", len(r.Skipped))
+	}
 	return b.String()
 }

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepmc/internal/dsa"
+	"deepmc/internal/ir"
+)
+
+// branchySrc fans out 2^10 paths through a chain of diamonds, so the
+// explorer has plenty of forking left to abandon mid-walk.
+const branchySrc = `
+module branchy
+
+type cell struct {
+	v: int
+}
+
+func work(p: *cell, n) {
+	%c0 = lt %n, 1
+	condbr %c0, a0, b0
+a0:
+	store %p.v, 1 @10
+	br j0
+b0:
+	store %p.v, 2 @11
+	br j0
+j0:
+	%c1 = lt %n, 2
+	condbr %c1, a1, b1
+a1:
+	store %p.v, 3 @12
+	br j1
+b1:
+	store %p.v, 4 @13
+	br j1
+j1:
+	%c2 = lt %n, 3
+	condbr %c2, a2, b2
+a2:
+	store %p.v, 5 @14
+	br j2
+b2:
+	store %p.v, 6 @15
+	br j2
+j2:
+	%c3 = lt %n, 4
+	condbr %c3, a3, b3
+a3:
+	store %p.v, 7 @16
+	br j3
+b3:
+	store %p.v, 8 @17
+	br j3
+j3:
+	%c4 = lt %n, 5
+	condbr %c4, a4, b4
+a4:
+	flush %p.v @18
+	br j4
+b4:
+	flush %p.v @19
+	br j4
+j4:
+	fence @20
+	ret
+}
+
+func main() {
+	%p = palloc cell
+	call work(%p, 2)
+	ret
+}
+`
+
+// TestCancelledMidCollection stops the explorer after a handful of walk
+// steps: the collector must return quickly with a strictly smaller
+// trace set (still memoized, still usable as a partial result).
+func TestCancelledMidCollection(t *testing.T) {
+	m := ir.MustParse(branchySrc)
+
+	full := NewCollector(dsa.Analyze(m, dsa.DefaultOptions()), DefaultOptions())
+	complete := full.FunctionTraces("work")
+	if len(complete) < 8 {
+		t.Fatalf("branchy function produced only %d traces; test needs real fan-out", len(complete))
+	}
+
+	var steps atomic.Int64
+	part := NewCollector(dsa.Analyze(m, dsa.DefaultOptions()), DefaultOptions())
+	part.SetCancelled(func() bool { return steps.Add(1) > 3 })
+	start := time.Now()
+	partial := part.FunctionTraces("work")
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled collection took %v", elapsed)
+	}
+	if len(partial) >= len(complete) {
+		t.Fatalf("cancellation did not reduce the trace set: %d vs %d", len(partial), len(complete))
+	}
+
+	// The partial set is memoized: a later call (even with the flag
+	// cleared) returns the same slice rather than silently re-collecting.
+	part.SetCancelled(nil)
+	again := part.FunctionTraces("work")
+	if len(again) != len(partial) {
+		t.Fatalf("memo returned a different set after cancellation: %d vs %d", len(again), len(partial))
+	}
+}
+
+// TestCancelledBeforeCollection: a collector whose flag is already set
+// yields an empty (or near-empty) set without walking.
+func TestCancelledBeforeCollection(t *testing.T) {
+	m := ir.MustParse(branchySrc)
+	c := NewCollector(dsa.Analyze(m, dsa.DefaultOptions()), DefaultOptions())
+	c.SetCancelled(func() bool { return true })
+	ts := c.FunctionTraces("work")
+	if len(ts) != 0 {
+		t.Fatalf("pre-cancelled collection walked %d traces", len(ts))
+	}
+}

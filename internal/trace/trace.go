@@ -133,6 +133,12 @@ type Options struct {
 	// paper's loop and recursion limits, keeping rule checking linear on
 	// interprocedurally merged code).
 	MaxTraceEntries int
+	// Cancelled, when non-nil, is polled during path exploration; once
+	// it returns true the walk stops forking and returns the paths
+	// collected so far.  The partial trace set is still memoized —
+	// callers that cancel must treat every downstream finding set as
+	// partial (core.AnalyzeCtx annotates the report).
+	Cancelled func() bool
 }
 
 // DefaultOptions mirrors the paper's defaults.
@@ -179,6 +185,11 @@ func NewCollector(a *dsa.Analysis, opts Options) *Collector {
 		memo:     make(map[string][]*Trace),
 	}
 }
+
+// SetCancelled installs the cancellation poll (Options.Cancelled) on an
+// existing collector.  Install it before fanning out workers; the field
+// write is not synchronized against concurrent FunctionTraces calls.
+func (c *Collector) SetCancelled(f func() bool) { c.Opts.Cancelled = f }
 
 // FunctionTraces returns the merged traces of the named function, most
 // persistent-heavy first.
@@ -318,6 +329,9 @@ func (e *explorer) cellOf(v ir.Value) dsa.Cell {
 // far; visits counts block occurrences on the current path.
 func (e *explorer) walk(n *cfg.Node, prefix []Entry, visits map[string]int, out *[]*Trace) {
 	if len(*out) >= e.c.Opts.MaxPaths {
+		return
+	}
+	if e.c.Opts.Cancelled != nil && e.c.Opts.Cancelled() {
 		return
 	}
 	name := n.Block.Name
