@@ -6,6 +6,7 @@
 #   make vet         go vet
 #   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze, FuzzEnumerate)
 #   make bench       speedup benchmark for the parallel checker
+#   make cache-gate  incremental-cache byte-identity gate (cold vs warm, workers 1/2/8)
 #   make crashsim    cross-validate the static checker against crash enumeration
 #   make faults      per-class fault-injection differential gate
 #   make stress      cancellation / timeout / partial-report stress tests
@@ -15,7 +16,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench crashsim faults stress ci clean
+.PHONY: build test race vet fuzz-short bench cache-gate crashsim faults stress ci clean
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,12 @@ fuzz-short:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkAnalyzeParallel -benchtime 200x .
 
+# The cache gate: a warm (fully memoized) corpus analysis must render
+# byte-identical reports to a cold one at workers 1, 2 and 8, and the
+# on-disk verdict tier must round-trip across cache instances.
+cache-gate: build
+	$(GO) run ./cmd/deepmc-bench -cache-gate
+
 crashsim: build
 	$(GO) run ./cmd/deepmc crashsim -jobs 0
 
@@ -50,7 +57,7 @@ faults: build
 stress:
 	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
 
-ci: build vet test race fuzz-short crashsim faults stress
+ci: build vet test race fuzz-short cache-gate crashsim faults stress
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,8 @@
 //	deepmc-bench -completeness       # §5.3 studied-bug re-detection
 //	deepmc-bench -figure 12 -ops 20000 -clients 4
 //	deepmc-bench -speedup -jobs 0       # serial vs. parallel corpus analysis
+//	deepmc-bench -cache -jobs 0         # cold vs. warm cached corpus analysis (BENCH_cache.json)
+//	deepmc-bench -cache-gate            # warm==cold byte-identity gate (workers 1/2/8 + disk tier)
 //	deepmc-bench -crashsim -jobs 4      # legacy vs. pruned-parallel crash enumeration
 //	deepmc-bench -faultinj -fault-seed 42  # per-class fault-injection differential
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
@@ -36,6 +38,8 @@ func main() {
 	clients := flag.Int("clients", 4, "Figure 12: concurrent clients")
 	jobs := flag.Int("jobs", 1, "checker worker count for corpus runs (0 = GOMAXPROCS)")
 	speedup := flag.Bool("speedup", false, "time serial vs. parallel corpus analysis")
+	cacheBench := flag.Bool("cache", false, "time cold vs. warm cached corpus analysis (writes BENCH_cache.json)")
+	cacheGate := flag.Bool("cache-gate", false, "run the incremental-cache byte-identity gate (workers 1/2/8 + disk tier)")
 	crashsim := flag.Bool("crashsim", false, "time legacy vs. pruned-parallel crash enumeration")
 	faultinj := flag.Bool("faultinj", false, "run the per-class fault-injection differential")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
@@ -83,6 +87,16 @@ func main() {
 	}
 	if *all || *speedup {
 		emit(tables.ParallelBench(*jobs))
+	}
+	if *all || *cacheBench {
+		emit(tables.CacheBench(*jobs))
+	}
+	if *cacheGate {
+		s, ok := tables.CacheGate()
+		emit(s)
+		if !ok {
+			os.Exit(1)
+		}
 	}
 	if *all || *crashsim {
 		emit(tables.CrashsimBench(*jobs))

@@ -2,9 +2,10 @@
 //
 // Usage:
 //
-//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D] prog.pir...
-//	deepmc run    [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] prog.pir
-//	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne] [-jobs N] [-timeout D]
+//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D] [-passes IDS] [-disable-pass ID]... [-cache-dir DIR] [-json] prog.pir...
+//	deepmc run    [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] [-disable-pass ID]... prog.pir
+//	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne] [-jobs N] [-timeout D] [-passes IDS] [-disable-pass ID]... [-cache-dir DIR]
+//	deepmc passes
 //	deepmc traces [-model ...] -fn NAME prog.pir
 //	deepmc fix    [-model strict] [-o fixed.pir] prog.pir
 //	deepmc fmt    prog.pir
@@ -26,14 +27,17 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"deepmc/internal/anacache"
 	"deepmc/internal/core"
 	"deepmc/internal/corpus"
 	"deepmc/internal/crashsim"
 	"deepmc/internal/faultinj"
 	"deepmc/internal/fixer"
 	"deepmc/internal/ir"
+	"deepmc/internal/passes"
 )
 
 const (
@@ -54,6 +58,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "corpus":
 		err = cmdCorpus(os.Args[2:])
+	case "passes":
+		err = cmdPasses(os.Args[2:])
 	case "traces":
 		err = cmdTraces(os.Args[2:])
 	case "fix":
@@ -79,17 +85,25 @@ func usage() {
 	fmt.Fprint(os.Stderr, `deepmc - persistency-model aware bug checking for NVM programs
 
 commands:
-  check   [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D] prog.pir...
+  check   [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D]
+          [-passes IDS] [-disable-pass ID]... [-cache-dir DIR] [-json] prog.pir...
           run the static checker (Tables 4 and 5 rules); -jobs fans the
           worker-pool checker out (0 = GOMAXPROCS) with byte-identical
           output; -timeout bounds each module's analysis (partial
-          reports annotate what was skipped)
-  run     [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] prog.pir
+          reports annotate what was skipped); -passes/-disable-pass
+          select the rule passes by stable ID (see "deepmc passes");
+          -cache-dir memoizes per-function results on disk, so re-runs
+          over unchanged code skip straight to report assembly;
+          -json emits the machine-readable report
+  run     [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] [-disable-pass ID]... prog.pir
           execute under the instrumented runtime (dynamic analysis);
           -faults injects legal persistency faults (torn, dropped,
-          reordered, delayed, or "all") from -fault-seed
-  corpus  [-name NAME] [-jobs N] [-timeout D]
+          reordered, delayed, or "all") from -fault-seed; -disable-pass
+          gates the dynamic detectors (DMC-D01 WAW, DMC-D02 RAW)
+  corpus  [-name NAME] [-jobs N] [-timeout D] [-passes IDS] [-disable-pass ID]... [-cache-dir DIR]
           check the built-in buggy-framework corpus against ground truth
+  passes  list every registered analysis pass: stable ID, kind,
+          applicable models, severity, and what it checks
   traces  [-model ...] -fn NAME prog.pir
           dump the collected traces of one function
   fix     [-model ...] [-o out.pir] prog.pir
@@ -152,6 +166,11 @@ func cmdCheck(args []string) error {
 	field := fs.Bool("field", true, "field-sensitive points-to analysis")
 	jobs := fs.Int("jobs", 0, "checker worker count (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "per-module analysis deadline (0 = none)")
+	passIDs := fs.String("passes", "", "comma-separated pass IDs to enable (default: all; see 'deepmc passes')")
+	cacheDir := fs.String("cache-dir", "", "content-hashed analysis cache directory (memoizes per-function results)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable JSON report")
+	var disable stringList
+	fs.Var(&disable, "disable-pass", "pass ID to disable (repeatable)")
 	fs.Parse(args)
 	if fs.NArg() == 0 {
 		return fmt.Errorf("check: no input files")
@@ -159,6 +178,10 @@ func cmdCheck(args []string) error {
 	cfg := core.Config{
 		Model: *model, AllFunctions: *all, FieldInsensitive: !*field,
 		Workers: *jobs, ModuleTimeout: *timeout,
+		Passes: splitIDs(*passIDs), DisablePasses: disable,
+	}
+	if err := setupCache(&cfg, *cacheDir); err != nil {
+		return err
 	}
 	jobList := make([]core.Job, fs.NArg())
 	for i, path := range fs.Args() {
@@ -175,11 +198,23 @@ func cmdCheck(args []string) error {
 	sawViol, sawFail := false, false
 	for i, path := range fs.Args() {
 		if reps[i] == nil {
-			fmt.Printf("== %s (model: %s)\nFAILED: %v\n", path, *model, errs[i])
+			if *jsonOut {
+				fmt.Printf("{\"file\":%q,\"error\":%q}\n", path, errs[i].Error())
+			} else {
+				fmt.Printf("== %s (model: %s)\nFAILED: %v\n", path, *model, errs[i])
+			}
 			sawFail = true
 			continue
 		}
-		fmt.Printf("== %s (model: %s)\n%s", path, *model, reps[i])
+		if *jsonOut {
+			b, jerr := reps[i].JSON()
+			if jerr != nil {
+				return jerr
+			}
+			fmt.Printf("{\"file\":%q,\"report\":%s}\n", path, b)
+		} else {
+			fmt.Printf("== %s (model: %s)\n%s", path, *model, reps[i])
+		}
 		if len(reps[i].Warnings) > 0 {
 			sawViol = true
 		}
@@ -205,6 +240,9 @@ func cmdRun(args []string) error {
 	faults := fs.String("faults", "", "fault classes to inject (torn,dropped,reordered,delayed or \"all\")")
 	faultSeed := fs.Int64("fault-seed", 1, "fault-injection schedule seed")
 	faultRate := fs.Float64("fault-rate", 1, "per-opportunity injection probability (0,1]")
+	passIDs := fs.String("passes", "", "comma-separated pass IDs to enable (default: all)")
+	var disable stringList
+	fs.Var(&disable, "disable-pass", "pass ID to disable (repeatable)")
 	var runArgs intList
 	fs.Var(&runArgs, "arg", "integer argument (repeatable)")
 	fs.Parse(args)
@@ -221,7 +259,8 @@ func cmdRun(args []string) error {
 	}
 	ctx, cancel := runContext(*timeout)
 	defer cancel()
-	rep, sched, err := core.RunDynamicFaulted(ctx, m, *entry, fc, runArgs...)
+	cfg := core.Config{Passes: splitIDs(*passIDs), DisablePasses: disable}
+	rep, sched, err := core.RunDynamicCfg(ctx, m, cfg, *entry, fc, runArgs...)
 	if err != nil {
 		return err
 	}
@@ -244,7 +283,15 @@ func cmdCorpus(args []string) error {
 	name := fs.String("name", "", "restrict to one framework")
 	jobs := fs.Int("jobs", 1, "checker worker count (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 0, "whole-corpus deadline (0 = none)")
+	passIDs := fs.String("passes", "", "comma-separated pass IDs to enable (default: all)")
+	cacheDir := fs.String("cache-dir", "", "content-hashed analysis cache directory")
+	var disable stringList
+	fs.Var(&disable, "disable-pass", "pass ID to disable (repeatable)")
 	fs.Parse(args)
+	cfg := core.Config{Workers: *jobs, Passes: splitIDs(*passIDs), DisablePasses: disable}
+	if err := setupCache(&cfg, *cacheDir); err != nil {
+		return err
+	}
 	ctx, cancel := runContext(*timeout)
 	defer cancel()
 	partial := false
@@ -252,10 +299,19 @@ func cmdCorpus(args []string) error {
 		if *name != "" && p.Name != *name {
 			continue
 		}
-		ev, err := corpus.EvaluateParallelCtx(ctx, p, core.Config{Workers: *jobs}.ResolvedWorkers())
+		m, err := p.Module()
 		if err != nil {
 			return err
 		}
+		// Each program declares its own model; the shared cache carries
+		// the rest of the configuration across programs.
+		pcfg := cfg
+		pcfg.Model = p.Model.String()
+		rep, err := core.AnalyzeCtx(ctx, m, pcfg)
+		if err != nil {
+			return err
+		}
+		ev := corpus.Score(p, rep)
 		fmt.Printf("== %s (model: %s): %d warnings, %d expected\n",
 			p.Name, p.Model, len(ev.Report.Warnings), len(p.Truth))
 		fmt.Print(ev.Report)
@@ -274,6 +330,13 @@ func cmdCorpus(args []string) error {
 		fmt.Println("corpus run incomplete: deadline expired; scores above are partial")
 		os.Exit(exitFailed)
 	}
+	return nil
+}
+
+func cmdPasses(args []string) error {
+	fs := flag.NewFlagSet("passes", flag.ExitOnError)
+	fs.Parse(args)
+	fmt.Print(passes.List())
 	return nil
 }
 
@@ -418,6 +481,46 @@ func cmdCrashsim(args []string) error {
 	if partial {
 		os.Exit(exitFailed)
 	}
+	return nil
+}
+
+// splitIDs parses a comma-separated -passes value (empty = all passes).
+func splitIDs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// setupCache enables the analysis cache when -cache-dir is given: one
+// shared Cache instance, so every module of the invocation shares the
+// in-memory tier on top of the disk tier.
+func setupCache(cfg *core.Config, dir string) error {
+	if dir == "" {
+		return nil
+	}
+	c, err := anacache.New(dir)
+	if err != nil {
+		return err
+	}
+	cfg.CacheDir = dir
+	cfg.Cache = c
+	return nil
+}
+
+// stringList is a repeatable string flag (-disable-pass).
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(s string) error {
+	*l = append(*l, s)
 	return nil
 }
 

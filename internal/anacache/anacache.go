@@ -1,0 +1,218 @@
+// Package anacache is the content-hashed incremental analysis cache:
+// per-function fingerprints (IR bytes + analysis configuration +
+// pass-set version) key memoized trace sets, DSA summaries and per-pass
+// verdict lists, so re-analysis of an unchanged function is a lookup
+// instead of a path exploration.
+//
+// Two tiers with different lifetimes and different keys:
+//
+//   - The trace tier is in-memory only.  It holds live *trace.Trace
+//     values (which reference DSA nodes and cannot be serialized) keyed
+//     by a trace fingerprint that excludes the persistency model and the
+//     pass set — re-checking the same module under a different rule
+//     selection reuses the collected traces and pays only the linear
+//     rule scan.
+//   - The verdict tier is in-memory plus an optional on-disk directory
+//     (-cache-dir).  It holds the per-function warning lists keyed by a
+//     verdict fingerprint that additionally covers the model and the
+//     enabled pass set; a full hit skips straight to report assembly and
+//     is byte-identical to a cold run, because the cached fragments are
+//     exactly what the cold merge would have folded.
+//
+// Correctness notes: only complete (non-partial, non-canceled) results
+// may be stored; fingerprints are conservative at the granularity of
+// weakly-connected call-graph components (see fingerprint.go), so a hit
+// can never be stale; and the disk tier validates a format version so
+// incompatible cache directories degrade to misses, never to corrupt
+// reports.
+package anacache
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"deepmc/internal/dsa"
+	"deepmc/internal/report"
+	"deepmc/internal/trace"
+)
+
+// Key is a 32-byte content hash.
+type Key [32]byte
+
+// Hex renders the key as the disk tier's file-name stem.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// TraceArtifact is one function's memoized exploration result: its
+// merged trace set plus the DSA shape summary.  Memory tier only.
+type TraceArtifact struct {
+	Traces []*trace.Trace
+	DSA    dsa.FuncSummary
+}
+
+// Stats counts cache traffic, for `deepmc-bench -cache` and the
+// incremental-recompute tests.
+type Stats struct {
+	VerdictHits   uint64 `json:"verdict_hits"`
+	VerdictMisses uint64 `json:"verdict_misses"`
+	TraceHits     uint64 `json:"trace_hits"`
+	TraceMisses   uint64 `json:"trace_misses"`
+	DiskHits      uint64 `json:"disk_hits"`
+	Stores        uint64 `json:"stores"`
+}
+
+// Cache is the two-tier artifact cache.  Safe for concurrent use; one
+// Cache may be shared across every module of a corpus run (keys are
+// content hashes, so modules cannot collide except by being identical —
+// in which case sharing is the point).
+type Cache struct {
+	mu       sync.Mutex
+	traces   map[Key]*TraceArtifact
+	verdicts map[Key][]report.Warning
+	dir      string // "" = memory only
+	stats    Stats
+}
+
+// diskFormat versions the on-disk entry layout.
+const diskFormat = 1
+
+// diskEntry is the serialized form of one verdict-tier entry.
+type diskEntry struct {
+	Format   int              `json:"format"`
+	Warnings []report.Warning `json:"warnings"`
+	DSA      dsa.FuncSummary  `json:"dsa"`
+}
+
+// New creates a cache.  A non-empty dir enables the on-disk verdict
+// tier (created if missing).
+func New(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("anacache: %w", err)
+		}
+	}
+	return &Cache{
+		traces:   make(map[Key]*TraceArtifact),
+		verdicts: make(map[Key][]report.Warning),
+		dir:      dir,
+	}, nil
+}
+
+// Dir returns the on-disk tier's directory ("" when memory-only).
+func (c *Cache) Dir() string { return c.dir }
+
+// LookupVerdicts returns the memoized warning list for a verdict key,
+// consulting memory first, then disk.  The returned slice must not be
+// mutated.
+func (c *Cache) LookupVerdicts(k Key) ([]report.Warning, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws, ok := c.verdicts[k]; ok {
+		c.stats.VerdictHits++
+		return ws, true
+	}
+	if c.dir != "" {
+		if e, ok := c.readDisk(k); ok {
+			ws := e.Warnings
+			if ws == nil {
+				ws = []report.Warning{}
+			}
+			c.verdicts[k] = ws
+			c.stats.VerdictHits++
+			c.stats.DiskHits++
+			return ws, true
+		}
+	}
+	c.stats.VerdictMisses++
+	return nil, false
+}
+
+// StoreVerdicts memoizes a complete per-function warning list under a
+// verdict key, in memory and (when enabled) on disk.
+func (c *Cache) StoreVerdicts(k Key, ws []report.Warning, sum dsa.FuncSummary) {
+	cp := append([]report.Warning(nil), ws...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.verdicts[k]; ok {
+		return
+	}
+	c.verdicts[k] = cp
+	c.stats.Stores++
+	if c.dir != "" {
+		c.writeDisk(k, diskEntry{Format: diskFormat, Warnings: cp, DSA: sum})
+	}
+}
+
+// LookupTraces returns the memoized trace artifact for a trace key
+// (memory tier only).
+func (c *Cache) LookupTraces(k Key) (*TraceArtifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a, ok := c.traces[k]; ok {
+		c.stats.TraceHits++
+		return a, true
+	}
+	c.stats.TraceMisses++
+	return nil, false
+}
+
+// StoreTraces memoizes a complete trace artifact under a trace key.
+func (c *Cache) StoreTraces(k Key, a *TraceArtifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.traces[k]; !ok {
+		c.traces[k] = a
+	}
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// path maps a key to its disk file.
+func (c *Cache) path(k Key) string { return filepath.Join(c.dir, k.Hex()+".json") }
+
+// readDisk loads one entry; any read, parse or format mismatch is a
+// miss, never an error — a stale or foreign cache directory degrades to
+// cold analysis.
+func (c *Cache) readDisk(k Key) (diskEntry, bool) {
+	b, err := os.ReadFile(c.path(k))
+	if err != nil {
+		return diskEntry{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Format != diskFormat {
+		return diskEntry{}, false
+	}
+	return e, true
+}
+
+// writeDisk persists one entry atomically (write-to-temp, rename), so a
+// crashed or concurrent writer can never leave a torn entry that a
+// later run would half-read.
+func (c *Cache) writeDisk(k Key, e diskEntry) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+k.Hex()+".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(k)); err != nil {
+		os.Remove(name)
+	}
+}

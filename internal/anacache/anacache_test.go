@@ -1,0 +1,288 @@
+package anacache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deepmc/internal/dsa"
+	"deepmc/internal/ir"
+	"deepmc/internal/report"
+)
+
+// fpSrc has three weakly-connected components: {a, b} (a calls b),
+// {loner}, and {ping, pong} (mutual recursion).
+const fpSrc = `
+module fp
+
+type rec struct {
+	x: int
+}
+
+func a(p: *rec) {
+	store %p.x, 1 @10
+	call b(%p)
+	ret
+}
+
+func b(p: *rec) {
+	flush %p.x @20
+	fence
+	ret
+}
+
+func loner(p: *rec) {
+	store %p.x, 2 @30
+	ret
+}
+
+func ping(p: *rec, n) {
+	call pong(%p, %n)
+	ret
+}
+
+func pong(p: *rec, n) {
+	call ping(%p, %n)
+	ret
+}
+`
+
+func fingerprintOf(t *testing.T, src string) *Fingerprints {
+	t.Helper()
+	return Fingerprint(ir.MustParse(src), []string{"allfuncs=false"}, []string{"model=strict"})
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := fingerprintOf(t, fpSrc)
+	b := fingerprintOf(t, fpSrc)
+	for fn, k := range a.Trace {
+		if b.Trace[fn] != k {
+			t.Errorf("trace key for %s not deterministic", fn)
+		}
+	}
+	for fn, k := range a.Verdict {
+		if b.Verdict[fn] != k {
+			t.Errorf("verdict key for %s not deterministic", fn)
+		}
+	}
+	if len(a.Trace) != 5 || len(a.Verdict) != 5 {
+		t.Fatalf("expected keys for all 5 functions, got %d/%d", len(a.Trace), len(a.Verdict))
+	}
+}
+
+// TestFingerprintComponentInvalidation pins the invalidation unit: editing
+// one function re-keys exactly its weakly-connected component.
+func TestFingerprintComponentInvalidation(t *testing.T) {
+	before := fingerprintOf(t, fpSrc)
+	after := fingerprintOf(t, strings.Replace(fpSrc, "store %p.x, 2 @30", "store %p.x, 9 @30", 1))
+
+	changed := map[string]bool{"loner": true}
+	for fn := range before.Trace {
+		if (before.Trace[fn] != after.Trace[fn]) != changed[fn] {
+			t.Errorf("trace key for %s: changed=%v, want %v", fn, before.Trace[fn] != after.Trace[fn], changed[fn])
+		}
+		if (before.Verdict[fn] != after.Verdict[fn]) != changed[fn] {
+			t.Errorf("verdict key for %s: changed=%v, want %v", fn, before.Verdict[fn] != after.Verdict[fn], changed[fn])
+		}
+	}
+
+	// Editing a callee invalidates its whole component (caller included).
+	after = fingerprintOf(t, strings.Replace(fpSrc, "flush %p.x @20", "flush %p.x @21", 1))
+	for _, fn := range []string{"a", "b"} {
+		if before.Trace[fn] == after.Trace[fn] {
+			t.Errorf("trace key for %s unchanged after editing its component", fn)
+		}
+	}
+	for _, fn := range []string{"loner", "ping", "pong"} {
+		if before.Trace[fn] != after.Trace[fn] {
+			t.Errorf("trace key for %s changed by an edit outside its component", fn)
+		}
+	}
+}
+
+// TestFingerprintConfigSeparation: verdict-affecting config (model, pass
+// set) must move verdict keys but leave trace keys alone; trace-affecting
+// config moves both.
+func TestFingerprintConfigSeparation(t *testing.T) {
+	m := ir.MustParse(fpSrc)
+	base := Fingerprint(m, []string{"allfuncs=false"}, []string{"model=strict"})
+	model := Fingerprint(m, []string{"allfuncs=false"}, []string{"model=epoch"})
+	tropt := Fingerprint(m, []string{"allfuncs=true"}, []string{"model=strict"})
+
+	for fn := range base.Trace {
+		if base.Trace[fn] != model.Trace[fn] {
+			t.Errorf("trace key for %s moved with the model", fn)
+		}
+		if base.Verdict[fn] == model.Verdict[fn] {
+			t.Errorf("verdict key for %s ignored the model", fn)
+		}
+		if base.Trace[fn] == tropt.Trace[fn] {
+			t.Errorf("trace key for %s ignored trace options", fn)
+		}
+	}
+}
+
+// TestFingerprintTypeChange: editing a struct layout re-keys everything
+// (DSA cells depend on it module-wide).
+func TestFingerprintTypeChange(t *testing.T) {
+	before := fingerprintOf(t, fpSrc)
+	after := fingerprintOf(t, strings.Replace(fpSrc, "x: int", "x: int\n\ty: int", 1))
+	for fn := range before.Trace {
+		if before.Trace[fn] == after.Trace[fn] {
+			t.Errorf("trace key for %s survived a type-layout change", fn)
+		}
+	}
+}
+
+// TestFingerprintCfgOrderIndependent: config fact ordering must not
+// affect keys.
+func TestFingerprintCfgOrderIndependent(t *testing.T) {
+	m := ir.MustParse(fpSrc)
+	a := Fingerprint(m, []string{"x=1", "y=2"}, []string{"m=s", "p=v"})
+	b := Fingerprint(m, []string{"y=2", "x=1"}, []string{"p=v", "m=s"})
+	for fn := range a.Trace {
+		if a.Trace[fn] != b.Trace[fn] || a.Verdict[fn] != b.Verdict[fn] {
+			t.Errorf("keys for %s depend on config ordering", fn)
+		}
+	}
+}
+
+func TestCacheMemoryTier(t *testing.T) {
+	c, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k Key
+	k[0] = 7
+
+	if _, ok := c.LookupVerdicts(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	ws := []report.Warning{{Rule: report.RuleUnflushedWrite, Func: "f", Line: 3, Message: "m"}}
+	c.StoreVerdicts(k, ws, dsa.FuncSummary{Nodes: 2, Persistent: 1})
+	got, ok := c.LookupVerdicts(k)
+	if !ok || len(got) != 1 || got[0].Func != "f" {
+		t.Fatalf("lookup after store: ok=%v got=%+v", ok, got)
+	}
+
+	// The store copies: mutating the caller's slice must not alter the
+	// cached entry.
+	ws[0].Func = "mutated"
+	got, _ = c.LookupVerdicts(k)
+	if got[0].Func != "f" {
+		t.Fatal("cached verdicts alias the caller's slice")
+	}
+
+	st := c.Stats()
+	if st.VerdictHits != 2 || st.VerdictMisses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheTraceTier(t *testing.T) {
+	c, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k Key
+	k[1] = 9
+	if _, ok := c.LookupTraces(k); ok {
+		t.Fatal("hit on empty trace tier")
+	}
+	art := &TraceArtifact{DSA: dsa.FuncSummary{Nodes: 3}}
+	c.StoreTraces(k, art)
+	got, ok := c.LookupTraces(k)
+	if !ok || got != art {
+		t.Fatalf("trace tier lookup: ok=%v got=%p want=%p", ok, got, art)
+	}
+	st := c.Stats()
+	if st.TraceHits != 1 || st.TraceMisses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k Key
+	k[2] = 3
+	ws := []report.Warning{{Rule: report.RuleMissingBarrier, Code: report.CodeMissingBarrier, Func: "g", Line: 8, Message: "x"}}
+	c1.StoreVerdicts(k, ws, dsa.FuncSummary{Nodes: 1})
+
+	// A fresh cache over the same directory must serve the entry from
+	// disk, with the code preserved.
+	c2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.LookupVerdicts(k)
+	if !ok || len(got) != 1 || got[0].Code != report.CodeMissingBarrier || got[0].Func != "g" {
+		t.Fatalf("disk round trip: ok=%v got=%+v", ok, got)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("expected 1 disk hit, stats = %+v", st)
+	}
+
+	// A second lookup is served from memory (disk hit count frozen).
+	c2.LookupVerdicts(k)
+	if st = c2.Stats(); st.DiskHits != 1 || st.VerdictHits != 2 {
+		t.Fatalf("memory promotion failed, stats = %+v", st)
+	}
+}
+
+// TestCacheDiskCorruption: torn or foreign files degrade to misses.
+func TestCacheDiskCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var k Key
+	k[3] = 4
+	if err := os.WriteFile(c.path(k), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LookupVerdicts(k); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	// Wrong format version is likewise a miss.
+	if err := os.WriteFile(c.path(k), []byte(`{"format":99,"warnings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LookupVerdicts(k); ok {
+		t.Fatal("wrong-format entry served as a hit")
+	}
+}
+
+// TestCacheEmptyVerdictsRoundTrip: a function with zero warnings is a
+// cacheable fact; the disk round trip must report a hit, not a miss.
+func TestCacheEmptyVerdictsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := New(dir)
+	var k Key
+	k[4] = 5
+	c1.StoreVerdicts(k, nil, dsa.FuncSummary{})
+	c2, _ := New(dir)
+	got, ok := c2.LookupVerdicts(k)
+	if !ok {
+		t.Fatal("empty verdict list did not round-trip as a hit")
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty list, got %+v", got)
+	}
+	// No stray temp files left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("stray file in cache dir: %s", e.Name())
+		}
+	}
+}

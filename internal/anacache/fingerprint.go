@@ -1,0 +1,152 @@
+package anacache
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"deepmc/internal/callgraph"
+	"deepmc/internal/ir"
+)
+
+// Fingerprints holds the per-function cache keys of one module under one
+// analysis configuration.
+//
+// Each function gets two keys:
+//
+//   - Trace[f] covers everything that can change f's collected traces or
+//     DSA shape: the module's type layouts, the trace-affecting analysis
+//     options, and the IR of every function in f's weakly-connected
+//     call-graph component.
+//   - Verdict[f] additionally covers the verdict-affecting inputs (the
+//     persistency model and the enabled-pass-set version), so the same
+//     traces re-scanned under a different rule selection miss the
+//     verdict tier but still hit the trace tier.
+//
+// The component granularity is what makes invalidation sound without a
+// fine dependency analysis: DSA's top-down phase flows facts from
+// callers into callees and the interprocedural trace merge flows traces
+// from callees into callers, so a function's results can depend on
+// anything reachable over call edges in either direction — exactly its
+// weakly-connected component.  Editing one function re-keys its whole
+// component and nothing else; fully independent functions keep their
+// keys bit for bit.
+type Fingerprints struct {
+	Trace   map[string]Key
+	Verdict map[string]Key
+}
+
+// version prefixes keep keys from colliding across incompatible schema
+// revisions (bump when the hashed layout changes).
+const (
+	traceKeyVersion   = "anacache-trace-v1"
+	verdictKeyVersion = "anacache-verdict-v1"
+)
+
+// Fingerprint computes both key maps for m.  traceCfg lists the
+// trace-affecting configuration facts (e.g. "allfuncs=true"); verdictCfg
+// lists the additional verdict-affecting facts (e.g. "model=strict",
+// "passes=<version>").  Both are hashed order-independently (sorted), so
+// callers need not maintain a canonical ordering.
+func Fingerprint(m *ir.Module, traceCfg, verdictCfg []string) *Fingerprints {
+	g := callgraph.New(m)
+
+	// Union functions connected by a call edge in either direction.
+	names := m.FuncNames()
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	parent := make([]int, len(names))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, name := range names {
+		for _, out := range g.Nodes[name].Outs {
+			union(idx[name], idx[out.Func.Name])
+		}
+	}
+
+	// Hash each component once, over its members' canonical IR renderings
+	// in declaration order (FuncNames is already the canonical order, so
+	// no extra sort is needed for determinism).
+	members := make(map[int][]string)
+	for i, name := range names {
+		r := find(i)
+		members[r] = append(members[r], name)
+	}
+	componentHash := make(map[int][]byte, len(members))
+	for r, ms := range members {
+		h := sha256.New()
+		for _, name := range ms {
+			h.Write([]byte(name))
+			h.Write([]byte{0})
+			h.Write([]byte(ir.PrintFunc(m.Funcs[name])))
+			h.Write([]byte{0})
+		}
+		componentHash[r] = h.Sum(nil)
+	}
+
+	// Type layouts feed every key: DSA cell structure and the
+	// unmodified-field rule depend on them module-wide.
+	th := sha256.New()
+	for _, tn := range m.TypeNames() {
+		th.Write([]byte(ir.PrintType(m.Types[tn])))
+	}
+	typesHash := th.Sum(nil)
+
+	hashCfg := func(cfg []string) []byte {
+		s := append([]string(nil), cfg...)
+		sort.Strings(s)
+		h := sha256.New()
+		for _, e := range s {
+			h.Write([]byte(e))
+			h.Write([]byte{0})
+		}
+		return h.Sum(nil)
+	}
+	traceCfgHash := hashCfg(traceCfg)
+	verdictCfgHash := hashCfg(verdictCfg)
+
+	fp := &Fingerprints{
+		Trace:   make(map[string]Key, len(names)),
+		Verdict: make(map[string]Key, len(names)),
+	}
+	for i, name := range names {
+		comp := componentHash[find(i)]
+
+		h := sha256.New()
+		h.Write([]byte(traceKeyVersion))
+		h.Write([]byte{0})
+		h.Write(typesHash)
+		h.Write(traceCfgHash)
+		h.Write(comp)
+		h.Write([]byte(name))
+		var tk Key
+		h.Sum(tk[:0])
+		fp.Trace[name] = tk
+
+		h = sha256.New()
+		h.Write([]byte(verdictKeyVersion))
+		h.Write([]byte{0})
+		h.Write(tk[:])
+		h.Write(verdictCfgHash)
+		var vk Key
+		h.Sum(vk[:0])
+		fp.Verdict[name] = vk
+	}
+	return fp
+}

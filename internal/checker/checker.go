@@ -71,6 +71,11 @@ type Options struct {
 	// inline with caller context, as the paper's interprocedural merge
 	// does, which avoids flagging callees whose callers persist for them.
 	AllFunctions bool
+	// Disabled suppresses emission of the given rules (disabled passes).
+	// Gating happens at the warn sites only — the scanner's state
+	// machine is shared across rules, so disabling a pass removes
+	// exactly its diagnostics without perturbing any other rule.
+	Disabled map[report.Rule]bool
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -236,6 +241,9 @@ func (s *scanner) run() {
 }
 
 func (s *scanner) warn(rule report.Rule, e trace.Entry, format string, args ...any) {
+	if s.checker.Opts.Disabled[rule] {
+		return
+	}
 	s.rep.Add(report.Warning{
 		Rule:    rule,
 		Message: fmt.Sprintf(format, args...),

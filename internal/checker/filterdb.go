@@ -18,12 +18,16 @@ import (
 // previously validated false positives".
 //
 // Entries suppress by (rule, file, line); rule or line may be wildcards
-// so a whole file or a whole rule in one file can be waived.  The
-// database serializes to a plain line format usable as a checked-in
-// suppression file:
+// so a whole file or a whole rule in one file can be waived.  The rule
+// column accepts either a rule name or a stable pass code (DMC-Sxx /
+// DMC-Dxx, as printed in every warning and listed by `deepmc passes`) —
+// codes are the more precise spelling, since the dynamic detectors
+// share one rule but carry distinct codes.  The database serializes to
+// a plain line format usable as a checked-in suppression file:
 //
 //	# rule            file          line  reason
 //	unflushed-write   btree_map.c   412   error path is unreachable
+//	DMC-D02           ring.c        77    RAW race is benign here
 //	*                 generated.c   *     generated code, reviewed
 type FilterDB struct {
 	entries []FilterEntry
@@ -31,7 +35,10 @@ type FilterDB struct {
 
 // FilterEntry is one suppression.
 type FilterEntry struct {
-	Rule   report.Rule // "*" suppresses any rule
+	// Rule matches the warning's rule name, or — when spelled as a
+	// DMC-Sxx/DMC-Dxx pass code — its effective diagnostic code.  "*"
+	// suppresses any rule.
+	Rule   report.Rule
 	File   string
 	Line   int // 0 suppresses any line
 	Reason string
@@ -59,7 +66,7 @@ func (db *FilterDB) Suppresses(w report.Warning) bool {
 		if e.File != w.File {
 			continue
 		}
-		if e.Rule != "*" && e.Rule != w.Rule {
+		if e.Rule != "*" && e.Rule != w.Rule && string(e.Rule) != w.EffectiveCode() {
 			continue
 		}
 		if e.Line != 0 && e.Line != w.Line {

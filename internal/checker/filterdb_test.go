@@ -1,6 +1,7 @@
 package checker
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -132,5 +133,61 @@ out:
 	out, filtered := db.Apply(rep)
 	if filtered != len(rep.Warnings) || len(out.Warnings) != 0 {
 		t.Errorf("filtered=%d remaining=%d", filtered, len(out.Warnings))
+	}
+}
+
+// TestFilterDBByPassCode pins the per-pass-code spelling: the rule
+// column of a suppression may name the stable DMC code instead of the
+// rule, and codes distinguish the dynamic WAW/RAW detectors that share
+// one rule name.
+func TestFilterDBByPassCode(t *testing.T) {
+	waw := report.Warning{
+		Rule: report.RuleStrandDependence, Code: report.CodeDynWAW,
+		Dynamic: true, File: "ring.c", Line: 10,
+	}
+	raw := report.Warning{
+		Rule: report.RuleStrandDependence, Code: report.CodeDynRAW,
+		Dynamic: true, File: "ring.c", Line: 20,
+	}
+	static := report.Warning{
+		Rule: report.RuleUnflushedWrite, File: "ring.c", Line: 30,
+	}
+
+	db := NewFilterDB()
+	db.Add(FilterEntry{Rule: report.Rule(report.CodeDynRAW), File: "ring.c", Reason: "benign"})
+	if db.Suppresses(waw) {
+		t.Error("DMC-D02 entry suppressed the WAW warning")
+	}
+	if !db.Suppresses(raw) {
+		t.Error("DMC-D02 entry did not suppress the RAW warning")
+	}
+
+	// Static codes match against the derived effective code even when
+	// the warning's Code field was left empty by its emitter.
+	db2 := NewFilterDB()
+	db2.Add(FilterEntry{Rule: report.Rule(report.CodeUnflushedWrite), File: "ring.c", Reason: "reviewed"})
+	if !db2.Suppresses(static) {
+		t.Error("DMC-S01 entry did not suppress an unflushed-write warning")
+	}
+	if db2.Suppresses(waw) {
+		t.Error("DMC-S01 entry suppressed an unrelated dynamic warning")
+	}
+}
+
+// TestFilterDBCodeRoundTrip: code-spelled entries survive Save/Load.
+func TestFilterDBCodeRoundTrip(t *testing.T) {
+	db := NewFilterDB()
+	db.Add(FilterEntry{Rule: report.Rule(report.CodeDynWAW), File: "a.c", Line: 5, Reason: "checked"})
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFilterDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := report.Warning{Rule: report.RuleStrandDependence, Code: report.CodeDynWAW, Dynamic: true, File: "a.c", Line: 5}
+	if !got.Suppresses(w) {
+		t.Error("code-spelled suppression lost in Save/Load round trip")
 	}
 }

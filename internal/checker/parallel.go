@@ -42,24 +42,56 @@ func (c *Checker) CheckModuleParallel(workers int) *report.Report {
 // without aborting sibling workers.  With a background context and no
 // panics the report is byte-identical to CheckModule's.
 func (c *Checker) CheckModuleParallelCtx(ctx context.Context, workers int) *report.Report {
+	return MergeOutcomes(c.CheckFunctionsCtx(ctx, workers, nil))
+}
+
+// FuncOutcome is one target function's contribution to a module check:
+// its private per-function report plus, on degradation, the pipeline
+// stage that did not run to completion.  A function omitted by the
+// caller (its verdicts already known, e.g. cache-hit) has a nil Report
+// and no skip.
+type FuncOutcome struct {
+	Func   string
+	Report *report.Report
+	// SkipStage / SkipReason annotate degradation (report.Stage*).
+	SkipStage  string
+	SkipReason string
+}
+
+// Complete reports whether the function was fully scanned: its findings
+// are exhaustive and safe to memoize in a content-addressed cache.
+func (o FuncOutcome) Complete() bool { return o.Report != nil && o.SkipReason == "" }
+
+// CheckFunctionsCtx runs the rule passes over every target function and
+// returns per-function outcomes in module declaration order — the
+// pass-manager entry point underneath CheckModuleParallelCtx.  A non-nil
+// omit predicate excludes functions whose verdicts the caller already
+// has (content-addressed cache hits): their traces are not collected,
+// they are not scanned, and their outcome carries a nil Report.
+func (c *Checker) CheckFunctionsCtx(ctx context.Context, workers int, omit func(string) bool) []FuncOutcome {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	c.Collector.SetCancelled(func() bool { return ctx.Err() != nil })
-	c.precomputeTraces(ctx, workers)
 	fns := c.targetFunctions()
-	// Every function's traces are memoized now; scan them concurrently,
-	// each worker into a private report.
-	reports := make([]*report.Report, len(fns))
-	skips := make([]string, len(fns))
+	c.precomputeTraces(ctx, workers, c.neededFuncs(fns, omit))
+	// Every needed function's traces are memoized now; scan them
+	// concurrently, each worker into a private report.
+	outs := make([]FuncOutcome, len(fns))
 	runParallel(workers, len(fns), func(i int) {
+		outs[i].Func = fns[i].Name
+		if omit != nil && omit(fns[i].Name) {
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
-				skips[i] = fmt.Sprintf("scan panic recovered: %v", r)
+				outs[i].SkipStage = report.StageScan
+				outs[i].SkipReason = fmt.Sprintf("scan panic recovered: %v", r)
 			}
 		}()
 		if err := ctx.Err(); err != nil {
-			skips[i] = fmt.Sprintf("not scanned: %v", err)
+			outs[i].SkipStage = report.StageScan
+			outs[i].SkipReason = fmt.Sprintf("not scanned: %v", err)
 			return
 		}
 		rep := report.New()
@@ -69,37 +101,71 @@ func (c *Checker) CheckModuleParallelCtx(ctx context.Context, workers int) *repo
 		if err := ctx.Err(); err != nil {
 			// The walk may have stopped forking mid-function: findings
 			// are real but possibly incomplete.
-			skips[i] = fmt.Sprintf("scan incomplete: %v", err)
+			outs[i].SkipStage = report.StageTraces
+			outs[i].SkipReason = fmt.Sprintf("scan incomplete: %v", err)
 		}
-		reports[i] = rep
+		outs[i].Report = rep
 	})
-	// Deterministic merge: fold the per-function reports in declaration
-	// order, so deduplication keeps the same winner a serial scan keeps.
+	return outs
+}
+
+// MergeOutcomes folds per-function outcomes into one sorted report.
+// The fold happens in the given (module declaration) order, so warning
+// deduplication keeps the same winner a serial scan keeps.
+func MergeOutcomes(outs []FuncOutcome) *report.Report {
 	merged := report.New()
-	for _, rep := range reports {
-		if rep != nil {
-			merged.Merge(rep)
+	for _, o := range outs {
+		if o.Report != nil {
+			merged.Merge(o.Report)
 		}
 	}
-	for i, s := range skips {
-		if s != "" {
-			merged.AddSkip(fns[i].Name, s)
+	for _, o := range outs {
+		if o.SkipReason != "" {
+			merged.AddSkipStage(o.Func, o.SkipStage, o.SkipReason)
 		}
 	}
 	merged.Sort()
 	return merged
 }
 
-// precomputeTraces fills the collector's memo for every function,
-// scheduling call-graph SCCs in post-order waves: all of a wave's
-// callees live in earlier waves, so the SCCs within one wave are
+// neededFuncs returns the functions whose traces the scan phase will
+// demand: the non-omitted targets plus their transitive callees.  With
+// no omissions it returns nil, meaning "every function".
+func (c *Checker) neededFuncs(targets []*ir.Function, omit func(string) bool) map[string]bool {
+	if omit == nil {
+		return nil
+	}
+	needed := make(map[string]bool)
+	var mark func(name string)
+	mark = func(name string) {
+		if needed[name] {
+			return
+		}
+		needed[name] = true
+		if n := c.Analysis.CG.Nodes[name]; n != nil {
+			for _, o := range n.Outs {
+				mark(o.Func.Name)
+			}
+		}
+	}
+	for _, f := range targets {
+		if !omit(f.Name) {
+			mark(f.Name)
+		}
+	}
+	return needed
+}
+
+// precomputeTraces fills the collector's memo for every needed function
+// (nil = all), scheduling call-graph SCCs in post-order waves: all of a
+// wave's callees live in earlier waves, so the SCCs within one wave are
 // independent and can be collected concurrently.  Each SCC is entered
 // through its first-declared member, which fixes the trace content of
 // recursion cycles independently of worker count.  A done context stops
 // scheduling further waves; a panic during collection is swallowed here
 // and resurfaces (and is annotated) when the scan phase touches the
 // same function.
-func (c *Checker) precomputeTraces(ctx context.Context, workers int) {
+func (c *Checker) precomputeTraces(ctx context.Context, workers int, needed map[string]bool) {
 	for _, wave := range c.Analysis.CG.Waves() {
 		if ctx.Err() != nil {
 			return
@@ -108,6 +174,9 @@ func (c *Checker) precomputeTraces(ctx context.Context, workers int) {
 		runParallel(workers, len(wave), func(i int) {
 			defer func() { recover() }()
 			for _, f := range wave[i] {
+				if needed != nil && !needed[f.Name] {
+					continue
+				}
 				c.Collector.FunctionTraces(f.Name)
 			}
 		})

@@ -137,7 +137,7 @@ func TestParallelAllFunctions(t *testing.T) {
 func TestPrecomputeSharesCache(t *testing.T) {
 	m := ir.MustParse(parSrc)
 	c := New(m, DefaultOptions(Strict))
-	c.precomputeTraces(context.Background(), 4)
+	c.precomputeTraces(context.Background(), 4, nil)
 	for _, name := range m.FuncNames() {
 		// A memo hit returns the identical slice; a recompute would
 		// allocate a fresh one.  Compare slice identity via the first

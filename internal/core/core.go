@@ -11,12 +11,14 @@ import (
 	"sync"
 	"time"
 
+	"deepmc/internal/anacache"
 	"deepmc/internal/checker"
 	"deepmc/internal/dsa"
 	"deepmc/internal/dynamic"
 	"deepmc/internal/faultinj"
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
+	"deepmc/internal/passes"
 	"deepmc/internal/report"
 	"deepmc/internal/trace"
 )
@@ -51,6 +53,23 @@ type Config struct {
 	// module that exceeds it comes back as a partial report annotated
 	// with the skipped functions, not as an error.
 	ModuleTimeout time.Duration
+	// Passes restricts the enabled pass set to the given pass IDs (see
+	// package passes; `deepmc passes` lists them).  Empty enables every
+	// registered pass.
+	Passes []string
+	// DisablePasses removes the named passes from the enabled set.
+	// Disabling a pass removes exactly its diagnostics: gating happens
+	// at the emission sites, so the shared scan state is unperturbed.
+	DisablePasses []string
+	// CacheDir enables the analysis cache's on-disk verdict tier in the
+	// given directory (created if missing).  Setting it turns caching on
+	// even when Cache is nil.
+	CacheDir string
+	// Cache memoizes per-function analysis artifacts (trace sets, DSA
+	// summaries, per-pass verdicts) across runs and modules, keyed by
+	// content fingerprints; see package anacache.  Nil with an empty
+	// CacheDir analyzes cold.
+	Cache *anacache.Cache
 }
 
 // ResolvedWorkers resolves the configured worker count: 0 becomes
@@ -74,6 +93,10 @@ func (c Config) checkerOptions() (checker.Options, error) {
 	if err != nil {
 		return checker.Options{}, err
 	}
+	enabled, err := c.enabledPasses()
+	if err != nil {
+		return checker.Options{}, err
+	}
 	opts := checker.DefaultOptions(model)
 	opts.AllFunctions = c.AllFunctions
 	opts.DSA.FieldSensitive = !c.FieldInsensitive
@@ -82,7 +105,14 @@ func (c Config) checkerOptions() (checker.Options, error) {
 	if c.LoopIterations > 0 {
 		opts.Trace.LoopIterations = c.LoopIterations
 	}
+	opts.Disabled = passes.DisabledStaticRules(enabled)
 	return opts, nil
+}
+
+// enabledPasses resolves the configured pass selection against the
+// registry (unknown IDs are errors, not silent no-ops).
+func (c Config) enabledPasses() (map[string]bool, error) {
+	return passes.ResolveEnabled(c.Passes, c.DisablePasses)
 }
 
 func orDefault(s, d string) string {
@@ -111,7 +141,14 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, cfg Config) (*report.Report, 
 	if err != nil {
 		return nil, err
 	}
-	return checker.New(m, opts).CheckModuleParallelCtx(ctx, cfg.workers()), nil
+	cache, err := cfg.cache()
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		return checker.New(m, opts).CheckModuleParallelCtx(ctx, cfg.workers()), nil
+	}
+	return analyzeCached(ctx, m, cfg, opts, cache), nil
 }
 
 // Job pairs one module with its configuration for batch analysis.
@@ -248,6 +285,18 @@ func RunDynamicCtx(ctx context.Context, m *ir.Module, entry string, args ...int6
 	return rep, err
 }
 
+// RunDynamicCfg is RunDynamicFaulted honoring cfg's pass selection:
+// dynamic detectors disabled by -disable-pass (DMC-D01 WAW, DMC-D02
+// RAW) are gated at their emission sites, so disabling one leaves the
+// other's verdicts untouched.
+func RunDynamicCfg(ctx context.Context, m *ir.Module, cfg Config, entry string, faults *faultinj.Config, args ...int64) (*report.Report, *faultinj.Schedule, error) {
+	enabled, err := cfg.enabledPasses()
+	if err != nil {
+		return nil, nil, err
+	}
+	return runDynamic(ctx, m, entry, faults, passes.DisabledDynamicCodes(enabled), args...)
+}
+
 // RunDynamicFaulted is RunDynamicCtx with deterministic fault injection
 // (package faultinj) wrapped around the instrumented runtime; the
 // returned schedule carries the injection log (nil when faults is nil).
@@ -255,7 +304,13 @@ func RunDynamicCtx(ctx context.Context, m *ir.Module, entry string, args ...int6
 // legal perturbations — dropped flushes retried at fences keep the
 // GlobalFence epoch advancing, so strand-race detection converges to
 // the same verdicts.
-func RunDynamicFaulted(ctx context.Context, m *ir.Module, entry string, faults *faultinj.Config, args ...int64) (rep *report.Report, sched *faultinj.Schedule, err error) {
+func RunDynamicFaulted(ctx context.Context, m *ir.Module, entry string, faults *faultinj.Config, args ...int64) (*report.Report, *faultinj.Schedule, error) {
+	return runDynamic(ctx, m, entry, faults, nil, args...)
+}
+
+// runDynamic is the shared dynamic-run engine beneath the RunDynamic*
+// wrappers.  disabled maps dynamic diagnostic codes to suppress.
+func runDynamic(ctx context.Context, m *ir.Module, entry string, faults *faultinj.Config, disabled map[string]bool, args ...int64) (rep *report.Report, sched *faultinj.Schedule, err error) {
 	if verr := ir.Verify(m); verr != nil {
 		return nil, nil, verr
 	}
@@ -265,6 +320,7 @@ func RunDynamicFaulted(ctx context.Context, m *ir.Module, entry string, faults *
 		}
 	}()
 	rt := dynamic.NewRuntime(true)
+	rt.Checker.Disabled = disabled
 	var hooks interp.Hooks = rt
 	if faults != nil {
 		sched = faultinj.New(*faults)
@@ -275,7 +331,8 @@ func RunDynamicFaulted(ctx context.Context, m *ir.Module, entry string, faults *
 	if _, rerr := ip.Run(entry, args...); rerr != nil {
 		if ip.Canceled() {
 			rep := rt.Checker.Report()
-			rep.AddSkip(entry, fmt.Sprintf("dynamic run canceled after %d steps: %v", ip.Steps()-1, ctx.Err()))
+			rep.AddSkipStage(entry, report.StageDynamic,
+				fmt.Sprintf("dynamic run canceled after %d steps: %v", ip.Steps()-1, ctx.Err()))
 			rep.Sort()
 			return rep, sched, nil
 		}
@@ -293,7 +350,7 @@ func Check(m *ir.Module, cfg Config, entries []string, args ...int64) (*report.R
 		return nil, err
 	}
 	for _, e := range entries {
-		dyn, err := RunDynamic(m, e, args...)
+		dyn, _, err := RunDynamicCfg(context.Background(), m, cfg, e, nil, args...)
 		if err != nil {
 			return nil, err
 		}

@@ -108,6 +108,32 @@ func propagatePersistence(g *Graph) {
 // Graph returns the function's DSG.
 func (a *Analysis) Graph(fn string) *Graph { return a.Graphs[fn] }
 
+// FuncSummary is the serializable digest of one function's finished DSG
+// — the shape statistic the content-addressed analysis cache memoizes
+// alongside trace sets, so warm pipeline-stats runs need not rebuild
+// the graph.
+type FuncSummary struct {
+	Nodes      int `json:"nodes"`
+	Persistent int `json:"persistent"`
+}
+
+// FuncSummary digests the named function's DSG (zero value for unknown
+// functions).
+func (a *Analysis) FuncSummary(fn string) FuncSummary {
+	g := a.Graphs[fn]
+	if g == nil {
+		return FuncSummary{}
+	}
+	var s FuncSummary
+	for _, n := range g.Nodes() {
+		s.Nodes++
+		if n.Find().Persistent() {
+			s.Persistent++
+		}
+	}
+	return s
+}
+
 // ---------------------------------------------------------------------------
 // Phase 1: local analysis
 

@@ -110,6 +110,12 @@ type Checker struct {
 	// TrackAll shadows volatile memory too (ablation; the paper tracks
 	// only persistent regions).
 	TrackAll bool
+	// Disabled suppresses the dynamic detectors whose diagnostic codes
+	// (report.CodeDynWAW / report.CodeDynRAW) it maps to true.  Set
+	// before the run starts; gating happens at the emission site only,
+	// so the happens-before machinery is unperturbed and the other
+	// detector's verdicts are unchanged.
+	Disabled map[string]bool
 
 	gepoch atomic.Uint64 // global fence counter
 
@@ -340,11 +346,19 @@ func (c *Checker) Read(id int64, addr uint64, persistent bool, fn, file string, 
 }
 
 func (c *Checker) race(kind string, prev, cur access, addr uint64) {
+	code := report.CodeDynWAW
+	if kind == "RAW" {
+		code = report.CodeDynRAW
+	}
+	if c.Disabled[code] {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.races++
 	c.rep.Add(report.Warning{
 		Rule: report.RuleStrandDependence,
+		Code: code,
 		Message: fmt.Sprintf(
 			"%s dependence between strands %d and %d on persistent address %#x (previous access at %s:%d): dependent persists must share a strand or be ordered by a barrier",
 			kind, prev.strand, cur.strand, addr, prev.file, prev.line),

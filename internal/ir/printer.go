@@ -24,6 +24,29 @@ func Print(m *Module) string {
 	return b.String()
 }
 
+// PrintFunc renders one function in the same parseable PIR text Print
+// emits for it.  The analysis cache fingerprints functions over these
+// bytes: two functions that print identically behave identically under
+// every analysis, so the rendering is the canonical content hash input.
+func PrintFunc(f *Function) string {
+	var b strings.Builder
+	printFunc(&b, f)
+	return b.String()
+}
+
+// PrintType renders one named struct type in Print's format (the other
+// canonical cache-fingerprint input: field layout determines DSA cells
+// and the unmodified-field performance rule).
+func PrintType(t *Type) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "type %s struct {\n", t.Name)
+	for _, f := range t.Fields {
+		fmt.Fprintf(&b, "\t%s: %s\n", f.Name, f.Type.String())
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
 func printFunc(b *strings.Builder, f *Function) {
 	fmt.Fprintf(b, "\nfunc %s(", f.Name)
 	for i, p := range f.Params {

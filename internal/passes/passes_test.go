@@ -1,0 +1,139 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"deepmc/internal/report"
+)
+
+// TestRegistryComplete pins that every report rule is backed by a static
+// pass and that both dynamic detectors are registered — the "every rule
+// is a pass" contract of the pass-registry architecture.
+func TestRegistryComplete(t *testing.T) {
+	rules := []report.Rule{
+		report.RuleUnflushedWrite, report.RuleMultipleWritesAtOnce,
+		report.RuleMissingBarrier, report.RuleMissingBarrierBetweenEpochs,
+		report.RuleMissingBarrierNestedTx, report.RuleSemanticMismatch,
+		report.RuleStrandDependence, report.RuleFlushUnmodified,
+		report.RuleRedundantFlush, report.RuleDurableTxNoWrite,
+		report.RuleMultiplePersist,
+	}
+	for _, r := range rules {
+		p, ok := StaticByRule(r)
+		if !ok {
+			t.Errorf("rule %s has no registered static pass", r)
+			continue
+		}
+		if p.ID != report.CodeFor(r, false) {
+			t.Errorf("rule %s: pass ID %s != diagnostic code %s", r, p.ID, report.CodeFor(r, false))
+		}
+		if p.Doc == "" {
+			t.Errorf("pass %s has no doc string", p.ID)
+		}
+	}
+	for _, id := range []string{report.CodeDynWAW, report.CodeDynRAW} {
+		p, ok := ByID(id)
+		if !ok {
+			t.Errorf("dynamic detector %s not registered", id)
+			continue
+		}
+		if p.Kind != Dynamic {
+			t.Errorf("%s registered as %s, want dynamic", id, p.Kind)
+		}
+	}
+}
+
+func TestIDsUniqueAndStable(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range All() {
+		if seen[p.ID] {
+			t.Errorf("duplicate pass ID %s", p.ID)
+		}
+		seen[p.ID] = true
+		if !strings.HasPrefix(p.ID, "DMC-S") && !strings.HasPrefix(p.ID, "DMC-D") {
+			t.Errorf("pass ID %s outside the DMC-Sxx/DMC-Dxx namespace", p.ID)
+		}
+	}
+	if len(seen) != 13 {
+		t.Errorf("registry has %d passes, want 13 (11 static + 2 dynamic)", len(seen))
+	}
+}
+
+func TestResolveEnabled(t *testing.T) {
+	all, err := ResolveEnabled(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(All()) {
+		t.Errorf("default enables %d passes, want %d", len(all), len(All()))
+	}
+	only, err := ResolveEnabled([]string{report.CodeUnflushedWrite}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 1 || !only[report.CodeUnflushedWrite] {
+		t.Errorf("explicit selection wrong: %v", only)
+	}
+	sub, err := ResolveEnabled(nil, []string{report.CodeRedundantFlush})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub[report.CodeRedundantFlush] || len(sub) != len(All())-1 {
+		t.Errorf("disable did not remove exactly one pass: %v", sub)
+	}
+	if _, err := ResolveEnabled([]string{"DMC-S99"}, nil); err == nil {
+		t.Error("unknown -passes ID accepted")
+	}
+	if _, err := ResolveEnabled(nil, []string{"bogus"}); err == nil {
+		t.Error("unknown -disable-pass ID accepted")
+	}
+}
+
+func TestVersionTracksEnabledSet(t *testing.T) {
+	a, _ := ResolveEnabled(nil, nil)
+	b, _ := ResolveEnabled(nil, []string{report.CodeDynRAW})
+	va, vb := Version(a), Version(b)
+	if va == vb {
+		t.Error("version does not change with the enabled set")
+	}
+	a2, _ := ResolveEnabled(nil, nil)
+	if Version(a2) != va {
+		t.Error("version not deterministic for an identical enabled set")
+	}
+}
+
+func TestDisabledProjections(t *testing.T) {
+	en, _ := ResolveEnabled(nil, []string{report.CodeRedundantFlush, report.CodeDynRAW})
+	dr := DisabledStaticRules(en)
+	if !dr[report.RuleRedundantFlush] || len(dr) != 1 {
+		t.Errorf("static projection wrong: %v", dr)
+	}
+	dc := DisabledDynamicCodes(en)
+	if !dc[report.CodeDynRAW] || len(dc) != 1 {
+		t.Errorf("dynamic projection wrong: %v", dc)
+	}
+	// Disabling the static strand pass must not touch the dynamic ones
+	// (same rule, different passes).
+	en2, _ := ResolveEnabled(nil, []string{report.CodeStrandDependence})
+	if DisabledDynamicCodes(en2) != nil {
+		t.Error("disabling DMC-S07 leaked into the dynamic detectors")
+	}
+	if DisabledStaticRules(nil) != nil || DisabledDynamicCodes(nil) != nil {
+		t.Error("nil enabled set must disable nothing")
+	}
+}
+
+func TestListMentionsEveryPass(t *testing.T) {
+	s := List()
+	for _, p := range All() {
+		if !strings.Contains(s, p.ID) {
+			t.Errorf("listing misses %s", p.ID)
+		}
+	}
+	for _, col := range []string{"ID", "KIND", "MODELS", "SEV", "RULE"} {
+		if !strings.Contains(s, col) {
+			t.Errorf("listing misses header column %s", col)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package passes
+
+import "deepmc/internal/report"
+
+// registry holds every checking rule of the paper: Table 4 (persistency
+// model violations), Table 5 (performance bugs) and the two dynamic
+// happens-before detectors of §4.4.  Append-only: IDs are stable
+// external contract.
+var registry = []Pass{
+	{
+		ID: report.CodeUnflushedWrite, Rule: report.RuleUnflushedWrite,
+		Kind: Static, Models: MAll, Severity: SevError,
+		Doc: "persistent write never covered by a flush or undo log before its barrier/region ends",
+	},
+	{
+		ID: report.CodeMultipleWritesAtOnce, Rule: report.RuleMultipleWritesAtOnce,
+		Kind: Static, Models: MAll, Severity: SevError,
+		Doc: "one persist barrier makes several writes (or several epochs) durable at once",
+	},
+	{
+		ID: report.CodeMissingBarrier, Rule: report.RuleMissingBarrier,
+		Kind: Static, Models: MStrict, Severity: SevError,
+		Doc: "flush with no persist barrier before the next transaction or path end",
+	},
+	{
+		ID: report.CodeMissingBarrierEpochs, Rule: report.RuleMissingBarrierBetweenEpochs,
+		Kind: Static, Models: MEpoch | MStrand, Severity: SevError,
+		Doc: "consecutive epochs not separated by a persist barrier",
+	},
+	{
+		ID: report.CodeMissingBarrierNested, Rule: report.RuleMissingBarrierNestedTx,
+		Kind: Static, Models: MEpoch | MStrand, Severity: SevError,
+		Doc: "nested transaction ends without a persist barrier",
+	},
+	{
+		ID: report.CodeSemanticMismatch, Rule: report.RuleSemanticMismatch,
+		Kind: Static, Models: MAll, Severity: SevError,
+		Doc: "consecutive transactions/epochs split one semantic update across persistence units",
+	},
+	{
+		ID: report.CodeStrandDependence, Rule: report.RuleStrandDependence,
+		Kind: Static, Models: MStrand, Severity: SevError,
+		Doc: "statically overlapping writes from concurrent strands (WAW dependence)",
+	},
+	{
+		ID: report.CodeFlushUnmodified, Rule: report.RuleFlushUnmodified,
+		Kind: Static, Models: MAll, Severity: SevPerf,
+		Doc: "flush writes back data no preceding write modified",
+	},
+	{
+		ID: report.CodeRedundantFlush, Rule: report.RuleRedundantFlush,
+		Kind: Static, Models: MAll, Severity: SevPerf,
+		Doc: "flush repeats an earlier write-back with no modification in between",
+	},
+	{
+		ID: report.CodeDurableTxNoWrite, Rule: report.RuleDurableTxNoWrite,
+		Kind: Static, Models: MAll, Severity: SevPerf,
+		Doc: "durable transaction contains no persistent writes",
+	},
+	{
+		ID: report.CodeMultiplePersist, Rule: report.RuleMultiplePersist,
+		Kind: Static, Models: MAll, Severity: SevPerf,
+		Doc: "object persisted multiple times within one transaction",
+	},
+	{
+		ID: report.CodeDynWAW, Rule: report.RuleStrandDependence,
+		Kind: Dynamic, Models: MStrand, Severity: SevError,
+		Doc: "runtime write-after-write dependence between unordered strands",
+	},
+	{
+		ID: report.CodeDynRAW, Rule: report.RuleStrandDependence,
+		Kind: Dynamic, Models: MStrand, Severity: SevError,
+		Doc: "runtime read-write dependence between unordered strands",
+	},
+}

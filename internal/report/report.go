@@ -1,9 +1,15 @@
 // Package report defines the warning model shared by DeepMC's static and
 // dynamic checkers, plus aggregation and formatting helpers used by the
 // CLI and the table-regeneration benches.
+//
+// Every diagnostic carries a stable machine-readable code (DMC-Sxx for
+// static passes, DMC-Dxx for dynamic detectors) alongside its rule name;
+// the codes double as the pass IDs of the internal/passes registry and
+// as suppression keys in the checker's filter database.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -71,6 +77,56 @@ func ClassOf(r Rule) Class {
 	return Violation
 }
 
+// Stable machine-readable diagnostic codes.  DMC-Sxx identifies a static
+// pass (Table 4/5 rule), DMC-Dxx a dynamic detector.  The numbering is
+// append-only: codes are part of the tool's external contract (report
+// output, suppression files, cache keys) and must never be reassigned.
+const (
+	CodeUnflushedWrite       = "DMC-S01"
+	CodeMultipleWritesAtOnce = "DMC-S02"
+	CodeMissingBarrier       = "DMC-S03"
+	CodeMissingBarrierEpochs = "DMC-S04"
+	CodeMissingBarrierNested = "DMC-S05"
+	CodeSemanticMismatch     = "DMC-S06"
+	CodeStrandDependence     = "DMC-S07"
+	CodeFlushUnmodified      = "DMC-S08"
+	CodeRedundantFlush       = "DMC-S09"
+	CodeDurableTxNoWrite     = "DMC-S10"
+	CodeMultiplePersist      = "DMC-S11"
+	// Dynamic detectors (happens-before races between strands).
+	CodeDynWAW = "DMC-D01"
+	CodeDynRAW = "DMC-D02"
+)
+
+// staticCodes maps each rule to its static pass code.
+var staticCodes = map[Rule]string{
+	RuleUnflushedWrite:              CodeUnflushedWrite,
+	RuleMultipleWritesAtOnce:        CodeMultipleWritesAtOnce,
+	RuleMissingBarrier:              CodeMissingBarrier,
+	RuleMissingBarrierBetweenEpochs: CodeMissingBarrierEpochs,
+	RuleMissingBarrierNestedTx:      CodeMissingBarrierNested,
+	RuleSemanticMismatch:            CodeSemanticMismatch,
+	RuleStrandDependence:            CodeStrandDependence,
+	RuleFlushUnmodified:             CodeFlushUnmodified,
+	RuleRedundantFlush:              CodeRedundantFlush,
+	RuleDurableTxNoWrite:            CodeDurableTxNoWrite,
+	RuleMultiplePersist:             CodeMultiplePersist,
+}
+
+// CodeFor returns the stable diagnostic code for a rule.  The dynamic
+// strand detector distinguishes WAW (DMC-D01) from RAW (DMC-D02) at the
+// emission site; CodeFor returns the WAW code as the dynamic default for
+// warnings that did not set one explicitly.
+func CodeFor(r Rule, dynamic bool) string {
+	if dynamic && r == RuleStrandDependence {
+		return CodeDynWAW
+	}
+	if c, ok := staticCodes[r]; ok {
+		return c
+	}
+	return ""
+}
+
 // Warning is one checker finding.
 type Warning struct {
 	Rule    Rule
@@ -81,6 +137,11 @@ type Warning struct {
 	Line    int
 	// Dynamic marks findings from the runtime checker.
 	Dynamic bool
+	// Code is the stable machine-readable diagnostic code (DMC-Sxx /
+	// DMC-Dxx).  Add derives it from the rule when left empty; emitters
+	// with finer granularity than one rule (the dynamic WAW/RAW
+	// detectors) set it explicitly.
+	Code string
 }
 
 // Key identifies a warning for deduplication: the same defect found along
@@ -89,25 +150,49 @@ func (w Warning) Key() string {
 	return fmt.Sprintf("%s|%s|%d", w.Rule, w.File, w.Line)
 }
 
+// EffectiveCode returns the warning's code, deriving it from the rule
+// when the emitter left it empty.
+func (w Warning) EffectiveCode() string {
+	if w.Code != "" {
+		return w.Code
+	}
+	return CodeFor(w.Rule, w.Dynamic)
+}
+
 // String renders the warning in the CLI's one-line format.
 func (w Warning) String() string {
 	kind := "static"
 	if w.Dynamic {
 		kind = "dynamic"
 	}
-	return fmt.Sprintf("WARNING [%s/%s] %s:%d (%s): %s",
-		w.Class, kind, w.File, w.Line, w.Rule, w.Message)
+	return fmt.Sprintf("WARNING [%s/%s] %s:%d (%s %s): %s",
+		w.Class, kind, w.File, w.Line, w.EffectiveCode(), w.Rule, w.Message)
 }
+
+// Stage names for skip annotations: the pipeline stage (or pass) whose
+// results are missing from a partial report.
+const (
+	StageTraces  = "trace-collect"
+	StageScan    = "rule-scan"
+	StageDynamic = "dynamic-run"
+)
 
 // Skip records an analysis unit (module, function, run) that was not —
 // or not fully — checked: the report is still useful, but partial.
 type Skip struct {
 	Subject string // what was skipped (module or function name)
-	Reason  string // why (deadline, cancellation, recovered panic)
+	// Stage attributes the gap: the pipeline stage (Stage* constants) or
+	// the pass ID that did not run to completion.  Empty on annotations
+	// recorded before stage attribution existed.
+	Stage  string
+	Reason string // why (deadline, cancellation, recovered panic)
 }
 
 // String renders the skip in the CLI's one-line format.
 func (s Skip) String() string {
+	if s.Stage != "" {
+		return fmt.Sprintf("SKIPPED %s [%s]: %s", s.Subject, s.Stage, s.Reason)
+	}
 	return fmt.Sprintf("SKIPPED %s: %s", s.Subject, s.Reason)
 }
 
@@ -128,15 +213,22 @@ func New() *Report {
 
 // AddSkip records a skipped unit unless an identical annotation exists.
 func (r *Report) AddSkip(subject, reason string) {
+	r.AddSkipStage(subject, "", reason)
+}
+
+// AddSkipStage is AddSkip with the pipeline stage (or pass ID) that was
+// skipped, so partial reports are attributable to the exact missing
+// analysis.
+func (r *Report) AddSkipStage(subject, stage, reason string) {
 	if r.seenSkip == nil {
 		r.seenSkip = make(map[string]bool)
 	}
-	k := subject + "|" + reason
+	k := subject + "|" + stage + "|" + reason
 	if r.seenSkip[k] {
 		return
 	}
 	r.seenSkip[k] = true
-	r.Skipped = append(r.Skipped, Skip{Subject: subject, Reason: reason})
+	r.Skipped = append(r.Skipped, Skip{Subject: subject, Stage: stage, Reason: reason})
 }
 
 // Partial reports whether any unit was skipped: the warnings present
@@ -148,6 +240,9 @@ func (r *Report) Partial() bool { return len(r.Skipped) > 0 }
 // was already reported.
 func (r *Report) Add(w Warning) bool {
 	w.Class = ClassOf(w.Rule)
+	if w.Code == "" {
+		w.Code = CodeFor(w.Rule, w.Dynamic)
+	}
 	k := w.Key()
 	if r.seen[k] {
 		return false
@@ -164,7 +259,7 @@ func (r *Report) Merge(o *Report) {
 		r.Add(w)
 	}
 	for _, s := range o.Skipped {
-		r.AddSkip(s.Subject, s.Reason)
+		r.AddSkipStage(s.Subject, s.Stage, s.Reason)
 	}
 }
 
@@ -185,6 +280,9 @@ func (r *Report) Sort() {
 		a, b := r.Skipped[i], r.Skipped[j]
 		if a.Subject != b.Subject {
 			return a.Subject < b.Subject
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
 		}
 		return a.Reason < b.Reason
 	})
@@ -232,4 +330,54 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "partial report: %d units skipped\n", len(r.Skipped))
 	}
 	return b.String()
+}
+
+// jsonWarning is the machine-readable rendering of one warning.
+type jsonWarning struct {
+	Code    string `json:"code"`
+	Rule    string `json:"rule"`
+	Class   string `json:"class"`
+	Kind    string `json:"kind"` // "static" or "dynamic"
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Func    string `json:"func,omitempty"`
+	Message string `json:"message"`
+}
+
+// jsonSkip is the machine-readable rendering of one skip annotation.
+type jsonSkip struct {
+	Subject string `json:"subject"`
+	Stage   string `json:"stage,omitempty"`
+	Reason  string `json:"reason"`
+}
+
+// jsonReport is the machine-readable rendering of a whole report.
+type jsonReport struct {
+	Warnings    []jsonWarning `json:"warnings"`
+	Violations  int           `json:"violations"`
+	Performance int           `json:"performance"`
+	Partial     bool          `json:"partial"`
+	Skipped     []jsonSkip    `json:"skipped,omitempty"`
+}
+
+// JSON renders the sorted report as indented JSON with stable field
+// order; warnings carry their machine-readable codes.
+func (r *Report) JSON() ([]byte, error) {
+	r.Sort()
+	out := jsonReport{Warnings: []jsonWarning{}, Partial: r.Partial()}
+	for _, w := range r.Warnings {
+		kind := "static"
+		if w.Dynamic {
+			kind = "dynamic"
+		}
+		out.Warnings = append(out.Warnings, jsonWarning{
+			Code: w.EffectiveCode(), Rule: string(w.Rule), Class: w.Class.String(),
+			Kind: kind, File: w.File, Line: w.Line, Func: w.Func, Message: w.Message,
+		})
+	}
+	out.Violations, out.Performance = r.CountByClass()
+	for _, s := range r.Skipped {
+		out.Skipped = append(out.Skipped, jsonSkip{Subject: s.Subject, Stage: s.Stage, Reason: s.Reason})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }

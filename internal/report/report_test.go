@@ -108,3 +108,88 @@ func TestStringFormat(t *testing.T) {
 		t.Error("dynamic warnings must be marked")
 	}
 }
+
+func TestStableCodes(t *testing.T) {
+	// Every rule has a static code, and the codes are pairwise distinct.
+	rules := []Rule{
+		RuleUnflushedWrite, RuleMultipleWritesAtOnce, RuleMissingBarrier,
+		RuleMissingBarrierBetweenEpochs, RuleMissingBarrierNestedTx,
+		RuleSemanticMismatch, RuleStrandDependence,
+		RuleFlushUnmodified, RuleRedundantFlush, RuleDurableTxNoWrite,
+		RuleMultiplePersist,
+	}
+	seen := make(map[string]Rule)
+	for _, r := range rules {
+		c := CodeFor(r, false)
+		if !strings.HasPrefix(c, "DMC-S") {
+			t.Errorf("rule %s: static code %q lacks the DMC-S prefix", r, c)
+		}
+		if prev, dup := seen[c]; dup {
+			t.Errorf("code %s assigned to both %s and %s", c, prev, r)
+		}
+		seen[c] = r
+	}
+	if c := CodeFor(RuleStrandDependence, true); c != CodeDynWAW {
+		t.Errorf("dynamic strand default code = %q, want %s", c, CodeDynWAW)
+	}
+}
+
+func TestAddDerivesCode(t *testing.T) {
+	r := New()
+	r.Add(Warning{Rule: RuleUnflushedWrite, File: "a.c", Line: 1})
+	if r.Warnings[0].Code != CodeUnflushedWrite {
+		t.Errorf("Add did not derive the code: %q", r.Warnings[0].Code)
+	}
+	// An explicit code (the dynamic RAW detector) survives Add and Merge.
+	r.Add(Warning{Rule: RuleStrandDependence, File: "a.c", Line: 2, Dynamic: true, Code: CodeDynRAW})
+	if r.Warnings[1].Code != CodeDynRAW {
+		t.Errorf("explicit code overwritten: %q", r.Warnings[1].Code)
+	}
+	o := New()
+	o.Merge(r)
+	if o.Warnings[1].Code != CodeDynRAW {
+		t.Errorf("Merge dropped the explicit code: %q", o.Warnings[1].Code)
+	}
+	if !strings.Contains(r.Warnings[0].String(), CodeUnflushedWrite) {
+		t.Error("warning text does not include the stable code")
+	}
+}
+
+func TestSkipStage(t *testing.T) {
+	r := New()
+	r.AddSkipStage("f", StageScan, "deadline")
+	r.AddSkipStage("f", StageScan, "deadline") // dup
+	r.AddSkipStage("f", StageTraces, "deadline")
+	if len(r.Skipped) != 2 {
+		t.Fatalf("skips = %d, want 2", len(r.Skipped))
+	}
+	if s := r.Skipped[0].String(); !strings.Contains(s, "["+StageScan+"]") {
+		t.Errorf("skip text lacks the stage: %q", s)
+	}
+	// Merge preserves stages.
+	o := New()
+	o.Merge(r)
+	if o.Skipped[0].Stage != StageScan && o.Skipped[1].Stage != StageScan {
+		t.Errorf("merge lost stages: %+v", o.Skipped)
+	}
+}
+
+func TestJSON(t *testing.T) {
+	r := New()
+	r.Add(Warning{Rule: RuleRedundantFlush, File: "a.c", Line: 4, Func: "f", Message: "m"})
+	r.AddSkipStage("g", StageDynamic, "canceled")
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{
+		`"code": "DMC-S09"`, `"rule": "redundant-flush"`, `"kind": "static"`,
+		`"line": 4`, `"partial": true`, `"stage": "dynamic-run"`,
+		`"violations": 0`, `"performance": 1`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON output missing %s:\n%s", want, s)
+		}
+	}
+}

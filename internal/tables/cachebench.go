@@ -1,0 +1,251 @@
+package tables
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"deepmc/internal/anacache"
+	"deepmc/internal/core"
+	"deepmc/internal/corpus"
+	"deepmc/internal/ir"
+)
+
+// cacheCorpus loads every corpus program's module once, paired with its
+// analysis configuration (model from the program, workers and cache
+// from the caller).
+type cacheCase struct {
+	name string
+	mod  *ir.Module
+	cfg  core.Config
+}
+
+func cacheCases(jobs int, cache *anacache.Cache) ([]cacheCase, error) {
+	var cases []cacheCase
+	for _, p := range corpus.All() {
+		m, err := p.Module()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		cases = append(cases, cacheCase{
+			name: p.Name,
+			mod:  m,
+			cfg:  core.Config{Model: p.Model.String(), Workers: jobs, Cache: cache},
+		})
+	}
+	return cases, nil
+}
+
+// renderAll analyzes every case and concatenates the rendered reports —
+// the byte stream the gate diffs.
+func renderAll(cases []cacheCase) (string, error) {
+	var b strings.Builder
+	for _, c := range cases {
+		rep, err := core.AnalyzeCtx(context.Background(), c.mod, c.cfg)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", c.name, err)
+		}
+		fmt.Fprintf(&b, "== %s\n%s", c.name, rep)
+	}
+	return b.String(), nil
+}
+
+// cacheBenchResult is the BENCH_cache.json schema.
+type cacheBenchResult struct {
+	Jobs      int            `json:"jobs"`
+	Rounds    int            `json:"rounds"`
+	ColdNs    int64          `json:"cold_ns"`
+	WarmNs    int64          `json:"warm_ns"`
+	Speedup   float64        `json:"speedup"`
+	Identical bool           `json:"identical"`
+	Stats     anacache.Stats `json:"cache_stats"`
+}
+
+// CacheBench times the whole-corpus static analysis cold (empty cache)
+// versus warm (every verdict memoized) and records the result in
+// BENCH_cache.json.  The warm run must be byte-identical to the cold
+// one — the speedup may not cost determinism.
+func CacheBench(jobs int) string {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	const rounds = 5
+
+	// Cold: a fresh cache per round, so every round pays full analysis.
+	var coldBest time.Duration
+	var coldOut string
+	for r := 0; r < rounds; r++ {
+		cache, err := anacache.New("")
+		if err != nil {
+			return fmt.Sprintf("cache bench: %v\n", err)
+		}
+		cases, err := cacheCases(jobs, cache)
+		if err != nil {
+			return fmt.Sprintf("cache bench: %v\n", err)
+		}
+		start := time.Now()
+		out, err := renderAll(cases)
+		if err != nil {
+			return fmt.Sprintf("cache bench: %v\n", err)
+		}
+		if elapsed := time.Since(start); coldBest == 0 || elapsed < coldBest {
+			coldBest = elapsed
+		}
+		coldOut = out
+	}
+
+	// Warm: one shared cache, populated by an untimed priming run; every
+	// timed round is all-hit.
+	cache, err := anacache.New("")
+	if err != nil {
+		return fmt.Sprintf("cache bench: %v\n", err)
+	}
+	cases, err := cacheCases(jobs, cache)
+	if err != nil {
+		return fmt.Sprintf("cache bench: %v\n", err)
+	}
+	if _, err := renderAll(cases); err != nil {
+		return fmt.Sprintf("cache bench: %v\n", err)
+	}
+	var warmBest time.Duration
+	var warmOut string
+	for r := 0; r < rounds; r++ {
+		start := time.Now()
+		out, err := renderAll(cases)
+		if err != nil {
+			return fmt.Sprintf("cache bench: %v\n", err)
+		}
+		if elapsed := time.Since(start); warmBest == 0 || elapsed < warmBest {
+			warmBest = elapsed
+		}
+		warmOut = out
+	}
+
+	res := cacheBenchResult{
+		Jobs:      jobs,
+		Rounds:    rounds,
+		ColdNs:    coldBest.Nanoseconds(),
+		WarmNs:    warmBest.Nanoseconds(),
+		Speedup:   float64(coldBest) / float64(warmBest),
+		Identical: warmOut == coldOut,
+		Stats:     cache.Stats(),
+	}
+	if b, err := json.MarshalIndent(res, "", "  "); err == nil {
+		_ = os.WriteFile("BENCH_cache.json", append(b, '\n'), 0o644)
+	}
+
+	var b strings.Builder
+	b.WriteString("Incremental cache: whole-corpus analysis, cold vs warm\n")
+	b.WriteString("------------------------------------------------------\n")
+	fmt.Fprintf(&b, "jobs %d, best of %d rounds\n", jobs, rounds)
+	fmt.Fprintf(&b, "  cold (empty cache):    %10s\n", coldBest.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  warm (all verdicts):   %10s\n", warmBest.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  speedup:               %10.2fx\n", res.Speedup)
+	fmt.Fprintf(&b, "  byte-identical output: %v\n", res.Identical)
+	st := res.Stats
+	fmt.Fprintf(&b, "  verdict hits/misses:   %d/%d (disk %d), trace hits/misses: %d/%d\n",
+		st.VerdictHits, st.VerdictMisses, st.DiskHits, st.TraceHits, st.TraceMisses)
+	b.WriteString("results written to BENCH_cache.json\n")
+	if !res.Identical {
+		b.WriteString("FAIL: warm output diverged from cold\n")
+	}
+	return b.String()
+}
+
+// CacheGate is the CI gate for the incremental cache: over the full
+// corpus it checks that (1) at every worker count in {1, 2, 8} a warm
+// run reproduces the cold run byte for byte, (2) all worker counts
+// agree with each other, and (3) the disk tier round-trips — a fresh
+// process pointed at the same -cache-dir serves the memoized verdicts
+// and still renders identical bytes.
+func CacheGate() (string, bool) {
+	var b strings.Builder
+	ok := true
+	b.WriteString("Incremental cache gate\n")
+	b.WriteString("----------------------\n")
+
+	var reference string
+	for _, workers := range []int{1, 2, 8} {
+		cache, err := anacache.New("")
+		if err != nil {
+			return fmt.Sprintf("cache gate: %v\n", err), false
+		}
+		cases, err := cacheCases(workers, cache)
+		if err != nil {
+			return fmt.Sprintf("cache gate: %v\n", err), false
+		}
+		cold, err := renderAll(cases)
+		if err != nil {
+			return fmt.Sprintf("cache gate: %v\n", err), false
+		}
+		warm, err := renderAll(cases)
+		if err != nil {
+			return fmt.Sprintf("cache gate: %v\n", err), false
+		}
+		st := cache.Stats()
+		line := "ok"
+		if warm != cold {
+			line, ok = "FAIL: warm diverged from cold", false
+		} else if st.VerdictMisses == 0 {
+			line, ok = "FAIL: cold run hit an empty cache", false
+		}
+		if reference == "" {
+			reference = cold
+		} else if cold != reference {
+			line, ok = "FAIL: output differs from workers=1", false
+		}
+		fmt.Fprintf(&b, "  workers %d: cold==warm %-5v  verdict hits %d misses %d  %s\n",
+			workers, warm == cold, st.VerdictHits, st.VerdictMisses, line)
+	}
+
+	// Disk tier: prime a directory-backed cache, then re-open it as a
+	// fresh process would and analyze warm from disk alone.
+	dir, err := os.MkdirTemp("", "deepmc-cache-gate-")
+	if err != nil {
+		return fmt.Sprintf("cache gate: %v\n", err), false
+	}
+	defer os.RemoveAll(dir)
+	prime, err := anacache.New(dir)
+	if err != nil {
+		return fmt.Sprintf("cache gate: %v\n", err), false
+	}
+	cases, err := cacheCases(2, prime)
+	if err != nil {
+		return fmt.Sprintf("cache gate: %v\n", err), false
+	}
+	cold, err := renderAll(cases)
+	if err != nil {
+		return fmt.Sprintf("cache gate: %v\n", err), false
+	}
+	reopened, err := anacache.New(dir)
+	if err != nil {
+		return fmt.Sprintf("cache gate: %v\n", err), false
+	}
+	cases2, err := cacheCases(2, reopened)
+	if err != nil {
+		return fmt.Sprintf("cache gate: %v\n", err), false
+	}
+	warm, err := renderAll(cases2)
+	if err != nil {
+		return fmt.Sprintf("cache gate: %v\n", err), false
+	}
+	st := reopened.Stats()
+	line := "ok"
+	if warm != cold {
+		line, ok = "FAIL: disk-tier warm run diverged", false
+	} else if st.DiskHits == 0 {
+		line, ok = "FAIL: reopened cache never read the disk tier", false
+	}
+	fmt.Fprintf(&b, "  disk tier: reopened dir, disk hits %d  %s\n", st.DiskHits, line)
+
+	if ok {
+		b.WriteString("cache gate passed: warm == cold at every worker count, disk tier round-trips\n")
+	} else {
+		b.WriteString("cache gate FAILED\n")
+	}
+	return b.String(), ok
+}

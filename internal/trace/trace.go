@@ -18,6 +18,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
@@ -163,6 +164,11 @@ type Collector struct {
 
 	mu   sync.Mutex
 	memo map[string][]*Trace
+	// computed records the functions this collector explored itself, as
+	// opposed to memo entries installed by Seed — the observable the
+	// incremental-cache tests assert on ("exactly the mutated function's
+	// artifacts were recomputed").
+	computed map[string]bool
 }
 
 // NewCollector creates a collector over a finished DSA.
@@ -183,7 +189,36 @@ func NewCollector(a *dsa.Analysis, opts Options) *Collector {
 		Analysis: a,
 		Opts:     opts,
 		memo:     make(map[string][]*Trace),
+		computed: make(map[string]bool),
 	}
+}
+
+// Seed installs externally memoized traces for fn — the warm path of a
+// content-addressed artifact cache.  Subsequent FunctionTraces calls
+// return them without path exploration.  The traces must come from an
+// identical (function closure, DSA options, trace options) fingerprint:
+// entries reference the abstract cells of the run that produced them,
+// which is sound because rule scanning compares cells only within one
+// trace set.  A seed never overwrites an already-computed entry.
+func (c *Collector) Seed(fn string, ts []*Trace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.memo[fn]; !ok {
+		c.memo[fn] = ts
+	}
+}
+
+// ComputedFuncs returns (sorted) the functions whose traces this
+// collector actually explored, excluding seeded entries.
+func (c *Collector) ComputedFuncs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.computed))
+	for fn := range c.computed {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SetCancelled installs the cancellation poll (Options.Cancelled) on an
@@ -244,6 +279,7 @@ func (c *Collector) collect(fn string, visiting map[string]bool) []*Trace {
 		paths = existing
 	} else {
 		c.memo[fn] = paths
+		c.computed[fn] = true
 	}
 	c.mu.Unlock()
 	return paths
