@@ -7,6 +7,7 @@
 #   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze, FuzzEnumerate)
 #   make bench       speedup benchmark for the parallel checker
 #   make cache-gate  incremental-cache byte-identity gate (cold vs warm, workers 1/2/8)
+#   make serve-gate  analysis-daemon chaos/soak gate (graceful restarts, shedding, breakers)
 #   make crashsim    cross-validate the static checker against crash enumeration
 #   make faults      per-class fault-injection differential gate
 #   make stress      cancellation / timeout / partial-report stress tests
@@ -16,7 +17,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench cache-gate crashsim faults stress ci clean
+.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults stress ci clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +45,14 @@ bench:
 cache-gate: build
 	$(GO) run ./cmd/deepmc-bench -cache-gate
 
+# The serve gate: across graceful restarts with concurrent clients the
+# daemon must drop zero admitted requests, render byte-identical reports
+# to batch mode, trip and recover its per-pass circuit breakers, and
+# shed overload with 429 instead of queueing unboundedly.
+serve-gate: build
+	$(GO) run ./cmd/deepmc-bench -serve
+	$(GO) test -race -count=1 ./internal/serve
+
 crashsim: build
 	$(GO) run ./cmd/deepmc crashsim -jobs 0
 
@@ -57,7 +66,7 @@ faults: build
 stress:
 	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
 
-ci: build vet test race fuzz-short cache-gate crashsim faults stress
+ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults stress
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@
 //	deepmc-bench -cache-gate            # warm==cold byte-identity gate (workers 1/2/8 + disk tier)
 //	deepmc-bench -crashsim -jobs 4      # legacy vs. pruned-parallel crash enumeration
 //	deepmc-bench -faultinj -fault-seed 42  # per-class fault-injection differential
+//	deepmc-bench -serve                 # serve daemon chaos/soak gate (restarts, shedding, breakers)
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
 package main
 
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"deepmc/internal/cli"
 	"deepmc/internal/tables"
 )
 
@@ -42,6 +44,7 @@ func main() {
 	cacheGate := flag.Bool("cache-gate", false, "run the incremental-cache byte-identity gate (workers 1/2/8 + disk tier)")
 	crashsim := flag.Bool("crashsim", false, "time legacy vs. pruned-parallel crash enumeration")
 	faultinj := flag.Bool("faultinj", false, "run the per-class fault-injection differential")
+	serveGate := flag.Bool("serve", false, "run the serve chaos/soak gate (graceful restarts, serve==batch byte-identity, breaker trip/recover, load shedding)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
 
@@ -95,7 +98,14 @@ func main() {
 		s, ok := tables.CacheGate()
 		emit(s)
 		if !ok {
-			os.Exit(1)
+			os.Exit(cli.ExitViolations)
+		}
+	}
+	if *serveGate {
+		s, ok := tables.ServeGate()
+		emit(s)
+		if !ok {
+			os.Exit(cli.ExitViolations)
 		}
 	}
 	if *all || *crashsim {
@@ -111,12 +121,12 @@ func main() {
 		s, err := tables.Figure12(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deepmc-bench: figure 12: %v\n", err)
-			os.Exit(1)
+			os.Exit(cli.ExitFailed)
 		}
 		emit(s)
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cli.ExitFailed)
 	}
 }

@@ -26,11 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"deepmc/internal/anacache"
+	"deepmc/internal/cli"
 	"deepmc/internal/core"
 	"deepmc/internal/corpus"
 	"deepmc/internal/crashsim"
@@ -38,17 +41,13 @@ import (
 	"deepmc/internal/fixer"
 	"deepmc/internal/ir"
 	"deepmc/internal/passes"
-)
-
-const (
-	exitViolations = 1
-	exitFailed     = 2
+	"deepmc/internal/serve"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(exitFailed)
+		os.Exit(cli.ExitFailed)
 	}
 	var err error
 	switch os.Args[1] {
@@ -68,16 +67,18 @@ func main() {
 		err = cmdFmt(os.Args[2:])
 	case "crashsim":
 		err = cmdCrashsim(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
 		fmt.Fprintf(os.Stderr, "deepmc: unknown command %q\n", os.Args[1])
 		usage()
-		os.Exit(exitFailed)
+		os.Exit(cli.ExitFailed)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deepmc: %v\n", err)
-		os.Exit(exitFailed)
+		os.Exit(cli.ExitFailed)
 	}
 }
 
@@ -116,6 +117,15 @@ commands:
           against crash enumeration over the built-in bug corpus, or —
           with -faults — run the per-class fault-injection differential
           gate over the same corpus
+  serve   [-addr :7437] [-jobs N] [-inflight N] [-queue N] [-timeout D]
+          [-max-trace-entries N] [-drain D] [-cache-dir DIR]
+          [-breaker-threshold N] [-breaker-cooldown D]
+          run the hardened analysis daemon: POST /analyze (PIR source or
+          corpus target -> JSON report), GET /corpus/{name}, /healthz,
+          /readyz, /stats; bounded admission queue sheds overload with
+          429, per-request budgets degrade to partial reports, per-pass
+          circuit breakers isolate crashing rules, and SIGINT/SIGTERM
+          drains in-flight requests before flushing the disk cache
 
 exit codes: 0 clean, 1 violations/gate failure, 2 analysis failed or
 timed out (partial report)
@@ -225,10 +235,10 @@ func cmdCheck(args []string) error {
 	// Violations outrank degradation: a partial report that already
 	// found something actionable exits 1.
 	if sawViol {
-		os.Exit(exitViolations)
+		os.Exit(cli.ExitViolations)
 	}
 	if sawFail {
-		os.Exit(exitFailed)
+		os.Exit(cli.ExitFailed)
 	}
 	return nil
 }
@@ -270,10 +280,10 @@ func cmdRun(args []string) error {
 			sched.Injections(), *faultSeed, sched.Log())
 	}
 	if len(rep.Warnings) > 0 {
-		os.Exit(exitViolations)
+		os.Exit(cli.ExitViolations)
 	}
 	if rep.Partial() {
-		os.Exit(exitFailed)
+		os.Exit(cli.ExitFailed)
 	}
 	return nil
 }
@@ -328,7 +338,7 @@ func cmdCorpus(args []string) error {
 	}
 	if partial {
 		fmt.Println("corpus run incomplete: deadline expired; scores above are partial")
-		os.Exit(exitFailed)
+		os.Exit(cli.ExitFailed)
 	}
 	return nil
 }
@@ -433,10 +443,10 @@ func cmdCrashsim(args []string) error {
 			fmt.Print(corpus.FormatFaultDiff(rs))
 			if ctx.Err() != nil {
 				fmt.Println("fault differential incomplete: deadline expired")
-				os.Exit(exitFailed)
+				os.Exit(cli.ExitFailed)
 			}
 			if !corpus.FaultDiffOK(rs) {
-				os.Exit(exitViolations)
+				os.Exit(cli.ExitViolations)
 			}
 			return nil
 		}
@@ -450,10 +460,10 @@ func cmdCrashsim(args []string) error {
 		fmt.Print(rep)
 		if ctx.Err() != nil {
 			fmt.Println("cross-validation incomplete: deadline expired")
-			os.Exit(exitFailed)
+			os.Exit(cli.ExitFailed)
 		}
 		if !rep.Agree() {
-			os.Exit(exitViolations)
+			os.Exit(cli.ExitViolations)
 		}
 		return nil
 	}
@@ -479,8 +489,60 @@ func cmdCrashsim(args []string) error {
 		}
 	}
 	if partial {
-		os.Exit(exitFailed)
+		os.Exit(cli.ExitFailed)
 	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":7437", "listen address")
+	jobs := fs.Int("jobs", 0, "per-analysis worker cap (0 = GOMAXPROCS)")
+	inflight := fs.Int("inflight", 0, "max concurrent analyses (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue depth beyond in-flight slots")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis deadline")
+	maxEntries := fs.Int("max-trace-entries", 4096, "per-trace entry budget ceiling (requests may lower it, never raise it)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown drain deadline")
+	cacheDir := fs.String("cache-dir", "", "disk tier for the shared analysis cache (flushed on drain)")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive attributed pass failures before the breaker opens")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a half-open probe")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %q", fs.Args())
+	}
+	s, err := serve.NewServer(serve.Config{
+		Addr:             *addr,
+		Workers:          *jobs,
+		MaxInFlight:      *inflight,
+		QueueDepth:       *queue,
+		RequestTimeout:   *timeout,
+		MaxTraceEntries:  *maxEntries,
+		DrainTimeout:     *drain,
+		CacheDir:         *cacheDir,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "deepmc serve: listening on %s\n", *addr)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	fmt.Fprintf(os.Stderr, "deepmc serve: draining (deadline %s)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "deepmc serve: drained")
 	return nil
 }
 

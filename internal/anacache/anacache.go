@@ -51,6 +51,11 @@ func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 type TraceArtifact struct {
 	Traces []*trace.Trace
 	DSA    dsa.FuncSummary
+	// Truncated carries the producing run's trace-entry-budget flag, so
+	// seeding a warm collector reproduces the cold run's budget skips —
+	// a warm report must stay byte-identical to a cold one even for
+	// functions that blow the budget.
+	Truncated bool
 }
 
 // Stats counts cache traffic, for `deepmc-bench -cache` and the
@@ -73,7 +78,13 @@ type Cache struct {
 	traces   map[Key]*TraceArtifact
 	verdicts map[Key][]report.Warning
 	dir      string // "" = memory only
-	stats    Stats
+	// lazy defers disk writes: StoreVerdicts parks entries in pending
+	// and Flush writes them out in one batch (the serve daemon's drain
+	// path — requests never pay disk latency, a graceful shutdown
+	// persists the warm tier for the next process).
+	lazy    bool
+	pending map[Key]diskEntry
+	stats   Stats
 }
 
 // diskFormat versions the on-disk entry layout.
@@ -99,6 +110,51 @@ func New(dir string) (*Cache, error) {
 		verdicts: make(map[Key][]report.Warning),
 		dir:      dir,
 	}, nil
+}
+
+// NewLazy creates a cache whose disk tier is read-enabled but
+// write-deferred: lookups consult dir as usual, while stores accumulate
+// in memory until Flush persists them in one batch.  This is the serve
+// daemon's mode — the hot path never blocks on disk I/O, and graceful
+// drain flushes the tier so a restarted process warms from it.
+func NewLazy(dir string) (*Cache, error) {
+	c, err := New(dir)
+	if err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		c.lazy = true
+		c.pending = make(map[Key]diskEntry)
+	}
+	return c, nil
+}
+
+// Flush writes every deferred verdict entry to the disk tier and clears
+// the backlog.  It reports how many entries were written and the first
+// write error (later entries are still attempted).  No-op for non-lazy
+// or memory-only caches.  Safe for concurrent use with lookups/stores:
+// the backlog is swapped out under the lock and written outside it.
+func (c *Cache) Flush() (int, error) {
+	c.mu.Lock()
+	if !c.lazy || len(c.pending) == 0 {
+		c.mu.Unlock()
+		return 0, nil
+	}
+	batch := c.pending
+	c.pending = make(map[Key]diskEntry)
+	c.mu.Unlock()
+	var firstErr error
+	n := 0
+	for k, e := range batch {
+		if err := c.writeDisk(k, e); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n++
+	}
+	return n, firstErr
 }
 
 // Dir returns the on-disk tier's directory ("" when memory-only).
@@ -142,7 +198,12 @@ func (c *Cache) StoreVerdicts(k Key, ws []report.Warning, sum dsa.FuncSummary) {
 	c.verdicts[k] = cp
 	c.stats.Stores++
 	if c.dir != "" {
-		c.writeDisk(k, diskEntry{Format: diskFormat, Warnings: cp, DSA: sum})
+		e := diskEntry{Format: diskFormat, Warnings: cp, DSA: sum}
+		if c.lazy {
+			c.pending[k] = e
+		} else {
+			c.writeDisk(k, e)
+		}
 	}
 }
 
@@ -195,24 +256,31 @@ func (c *Cache) readDisk(k Key) (diskEntry, bool) {
 
 // writeDisk persists one entry atomically (write-to-temp, rename), so a
 // crashed or concurrent writer can never leave a torn entry that a
-// later run would half-read.
-func (c *Cache) writeDisk(k Key, e diskEntry) {
+// later run would half-read.  The write-through store path ignores the
+// returned error (a failed store degrades to a later miss); Flush
+// surfaces it for drain accounting.
+func (c *Cache) writeDisk(k Key, e diskEntry) error {
 	b, err := json.Marshal(e)
 	if err != nil {
-		return
+		return fmt.Errorf("anacache: marshal %s: %w", k.Hex(), err)
 	}
 	tmp, err := os.CreateTemp(c.dir, "."+k.Hex()+".tmp-*")
 	if err != nil {
-		return
+		return fmt.Errorf("anacache: %w", err)
 	}
 	name := tmp.Name()
 	_, werr := tmp.Write(b)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(name)
-		return
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("anacache: write %s: %w", k.Hex(), werr)
 	}
 	if err := os.Rename(name, c.path(k)); err != nil {
 		os.Remove(name)
+		return fmt.Errorf("anacache: %w", err)
 	}
+	return nil
 }

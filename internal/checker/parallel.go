@@ -103,6 +103,15 @@ func (c *Checker) CheckFunctionsCtx(ctx context.Context, workers int, omit func(
 			// are real but possibly incomplete.
 			outs[i].SkipStage = report.StageTraces
 			outs[i].SkipReason = fmt.Sprintf("scan incomplete: %v", err)
+		} else if c.Collector.Truncated(fns[i].Name) {
+			// Trace collection hit the per-function entry budget: the
+			// findings are real but cover only the bounded trace prefix,
+			// so the report must say so (and the outcome must not be
+			// memoized as complete).
+			outs[i].SkipStage = report.StageBudget
+			outs[i].SkipReason = fmt.Sprintf(
+				"trace-entry budget (%d) exhausted: findings cover the bounded prefix only",
+				c.Collector.Opts.MaxTraceEntries)
 		}
 		outs[i].Report = rep
 	})

@@ -1,0 +1,43 @@
+// Package cli holds the process-exit contract shared by the deepmc
+// binaries (deepmc, deepmc-bench) and mirrored by the serve API's
+// X-Deepmc-Exit header:
+//
+//	0 — clean: the analysis completed and found nothing
+//	1 — violations found, or a differential/soak gate disagreed
+//	2 — the analysis itself failed, timed out, or produced only a
+//	    partial report with nothing found (absence of warnings from a
+//	    partial run proves nothing, so it must not exit 0)
+//
+// Keeping the constants in one place keeps the documented 0/1/2
+// contract identical across every entry point; scripts and CI gates
+// depend on it.
+package cli
+
+import "deepmc/internal/report"
+
+const (
+	// ExitOK is a clean, complete run.
+	ExitOK = 0
+	// ExitViolations signals findings (or a failed equivalence gate).
+	ExitViolations = 1
+	// ExitFailed signals an analysis failure, timeout, or a partial
+	// report with no findings.
+	ExitFailed = 2
+)
+
+// ExitCode folds one report into the contract: violations outrank
+// degradation (a partial report that already found something actionable
+// is 1), a partial report with nothing found is 2, a complete clean
+// report is 0.  A nil report is a failed analysis.
+func ExitCode(rep *report.Report) int {
+	switch {
+	case rep == nil:
+		return ExitFailed
+	case len(rep.Warnings) > 0:
+		return ExitViolations
+	case rep.Partial():
+		return ExitFailed
+	default:
+		return ExitOK
+	}
+}

@@ -1,0 +1,39 @@
+package cli
+
+import (
+	"testing"
+
+	"deepmc/internal/report"
+)
+
+func TestExitCode(t *testing.T) {
+	clean := report.New()
+
+	viol := report.New()
+	viol.Add(report.Warning{Rule: report.RuleUnflushedWrite, File: "a.c", Line: 1})
+
+	partial := report.New()
+	partial.AddSkipStage("f", report.StageTraces, "deadline")
+
+	// Violations outrank degradation: a partial report that already
+	// found something is 1, not 2.
+	partialViol := report.New()
+	partialViol.Add(report.Warning{Rule: report.RuleUnflushedWrite, File: "a.c", Line: 1})
+	partialViol.AddSkipStage("g", report.StageBudget, "budget")
+
+	for _, tc := range []struct {
+		name string
+		rep  *report.Report
+		want int
+	}{
+		{"nil", nil, ExitFailed},
+		{"clean", clean, ExitOK},
+		{"violations", viol, ExitViolations},
+		{"partial", partial, ExitFailed},
+		{"partial+violations", partialViol, ExitViolations},
+	} {
+		if got := ExitCode(tc.rep); got != tc.want {
+			t.Errorf("%s: ExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -115,7 +115,7 @@ func analyzeCached(ctx context.Context, m *ir.Module, cfg Config, opts checker.O
 	// functions' exploration; the scan still reads them via the memo.
 	for _, fn := range m.FuncNames() {
 		if art, ok := cache.LookupTraces(fp.Trace[fn]); ok {
-			ck.Collector.Seed(fn, art.Traces)
+			ck.Collector.Seed(fn, art.Traces, art.Truncated)
 		}
 	}
 
@@ -136,8 +136,9 @@ func analyzeCached(ctx context.Context, m *ir.Module, cfg Config, opts checker.O
 	if ctx.Err() == nil {
 		for _, fn := range ck.Collector.ComputedFuncs() {
 			cache.StoreTraces(fp.Trace[fn], &anacache.TraceArtifact{
-				Traces: ck.Collector.FunctionTraces(fn),
-				DSA:    ck.Analysis.FuncSummary(fn),
+				Traces:    ck.Collector.FunctionTraces(fn),
+				DSA:       ck.Analysis.FuncSummary(fn),
+				Truncated: ck.Collector.Truncated(fn),
 			})
 		}
 	}

@@ -39,6 +39,15 @@ type Config struct {
 	// LoopIterations overrides the trace collector's loop bound
 	// (default 10, as in the paper).
 	LoopIterations int
+	// MaxTraceEntries overrides the per-trace entry budget (default
+	// 4096).  A function whose merged traces exceed it is analyzed up to
+	// the cap and reported as partial with a budget-attributed skip —
+	// the serve daemon's defense against pathological inputs whose
+	// interprocedural splice would otherwise grow without bound.
+	MaxTraceEntries int
+	// MaxPaths overrides the per-function explored-path budget
+	// (default 64).
+	MaxPaths int
 	// PersistentAllocFns names external allocation functions returning
 	// persistent objects.
 	PersistentAllocFns []string
@@ -104,6 +113,12 @@ func (c Config) checkerOptions() (checker.Options, error) {
 	opts.Trace.PrioritizePersistent = !c.NoPathPriority
 	if c.LoopIterations > 0 {
 		opts.Trace.LoopIterations = c.LoopIterations
+	}
+	if c.MaxTraceEntries > 0 {
+		opts.Trace.MaxTraceEntries = c.MaxTraceEntries
+	}
+	if c.MaxPaths > 0 {
+		opts.Trace.MaxPaths = c.MaxPaths
 	}
 	opts.Disabled = passes.DisabledStaticRules(enabled)
 	return opts, nil

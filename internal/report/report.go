@@ -175,6 +175,9 @@ const (
 	StageTraces  = "trace-collect"
 	StageScan    = "rule-scan"
 	StageDynamic = "dynamic-run"
+	// StageBudget marks resource-budget exhaustion (trace-entry caps):
+	// the findings cover the bounded prefix of the unit's behavior.
+	StageBudget = "budget"
 )
 
 // Skip records an analysis unit (module, function, run) that was not —
@@ -351,20 +354,28 @@ type jsonSkip struct {
 	Reason  string `json:"reason"`
 }
 
+// SchemaVersion stamps the JSON report layout.  Bump it whenever a
+// field is added, removed or reinterpreted: the serve API and every
+// other machine consumer key their compatibility checks on it, and
+// ParseJSON rejects documents from a future schema instead of silently
+// dropping fields it does not know.
+const SchemaVersion = 1
+
 // jsonReport is the machine-readable rendering of a whole report.
 type jsonReport struct {
-	Warnings    []jsonWarning `json:"warnings"`
-	Violations  int           `json:"violations"`
-	Performance int           `json:"performance"`
-	Partial     bool          `json:"partial"`
-	Skipped     []jsonSkip    `json:"skipped,omitempty"`
+	SchemaVersion int           `json:"schema_version"`
+	Warnings      []jsonWarning `json:"warnings"`
+	Violations    int           `json:"violations"`
+	Performance   int           `json:"performance"`
+	Partial       bool          `json:"partial"`
+	Skipped       []jsonSkip    `json:"skipped,omitempty"`
 }
 
 // JSON renders the sorted report as indented JSON with stable field
 // order; warnings carry their machine-readable codes.
 func (r *Report) JSON() ([]byte, error) {
 	r.Sort()
-	out := jsonReport{Warnings: []jsonWarning{}, Partial: r.Partial()}
+	out := jsonReport{SchemaVersion: SchemaVersion, Warnings: []jsonWarning{}, Partial: r.Partial()}
 	for _, w := range r.Warnings {
 		kind := "static"
 		if w.Dynamic {
@@ -380,4 +391,36 @@ func (r *Report) JSON() ([]byte, error) {
 		out.Skipped = append(out.Skipped, jsonSkip{Subject: s.Subject, Stage: s.Stage, Reason: s.Reason})
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// ParseJSON reconstructs a report from its JSON rendering.  Round trip
+// is exact: warnings keep their codes (including dynamic codes finer
+// than one rule), skip annotations keep their pass/stage attribution,
+// and Partial is re-derived from the skip list — so Parse(JSON(r))
+// marshals byte-identically to JSON(r).  Documents stamped with a newer
+// schema_version are rejected rather than half-read.
+func ParseJSON(b []byte) (*Report, error) {
+	var in jsonReport
+	if err := json.Unmarshal(b, &in); err != nil {
+		return nil, fmt.Errorf("report: parse: %w", err)
+	}
+	if in.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("report: schema_version %d is newer than this binary's %d",
+			in.SchemaVersion, SchemaVersion)
+	}
+	r := New()
+	for _, w := range in.Warnings {
+		r.Add(Warning{
+			Rule: Rule(w.Rule), Message: w.Message, Func: w.Func,
+			File: w.File, Line: w.Line, Dynamic: w.Kind == "dynamic", Code: w.Code,
+		})
+	}
+	for _, s := range in.Skipped {
+		r.AddSkipStage(s.Subject, s.Stage, s.Reason)
+	}
+	if in.Partial != r.Partial() {
+		return nil, fmt.Errorf("report: partial flag %v disagrees with %d skip annotations",
+			in.Partial, len(r.Skipped))
+	}
+	return r, nil
 }

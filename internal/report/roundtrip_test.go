@@ -1,0 +1,147 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildPartial assembles a report the way the serve pipeline does: a
+// mix of static and dynamic findings (one with an explicit finer-grain
+// code) plus stage-attributed skip annotations that make it partial.
+func buildPartial() *Report {
+	r := New()
+	r.Add(Warning{
+		Rule: RuleUnflushedWrite, Message: "store to pmem.x never flushed",
+		Func: "put", File: "kv.c", Line: 42,
+	})
+	r.Add(Warning{
+		Rule: RuleStrandDependence, Message: "read-after-write hazard",
+		Func: "log_append", File: "log.c", Line: 7, Dynamic: true,
+		Code: CodeDynRAW,
+	})
+	r.Add(Warning{
+		Rule: RuleRedundantFlush, Message: "line already persisted",
+		Func: "put", File: "kv.c", Line: 48,
+	})
+	r.AddSkipStage("tx_commit", StageTraces, "deadline exceeded during trace collection")
+	r.AddSkipStage("recover", StageBudget, "trace-entry budget (64) exhausted: findings cover the bounded prefix only")
+	r.AddSkipStage("kv", "DMC-S01", "circuit breaker open: pass degraded after repeated failures (half-open probe pending)")
+	r.Sort()
+	return r
+}
+
+// TestJSONRoundTrip: serialize a partial report, re-parse it, and
+// assert the partial flag, warning codes, and skip attributions all
+// survive — and that the re-marshal is byte-identical.
+func TestJSONRoundTrip(t *testing.T) {
+	r := buildPartial()
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schema_version": 1`) {
+		t.Errorf("JSON lacks schema_version stamp:\n%s", b)
+	}
+	got, err := ParseJSON(b)
+	if err != nil {
+		t.Fatalf("ParseJSON: %v", err)
+	}
+	if !got.Partial() {
+		t.Errorf("Partial() lost in round trip")
+	}
+	if len(got.Warnings) != len(r.Warnings) {
+		t.Fatalf("warnings: got %d, want %d", len(got.Warnings), len(r.Warnings))
+	}
+	for i := range r.Warnings {
+		if got.Warnings[i].EffectiveCode() != r.Warnings[i].EffectiveCode() {
+			t.Errorf("warning %d: code %q != %q", i,
+				got.Warnings[i].EffectiveCode(), r.Warnings[i].EffectiveCode())
+		}
+		if got.Warnings[i].Class != r.Warnings[i].Class {
+			t.Errorf("warning %d: class %v != %v", i, got.Warnings[i].Class, r.Warnings[i].Class)
+		}
+		if got.Warnings[i].Dynamic != r.Warnings[i].Dynamic {
+			t.Errorf("warning %d: dynamic flag lost", i)
+		}
+	}
+	if len(got.Skipped) != len(r.Skipped) {
+		t.Fatalf("skips: got %d, want %d", len(got.Skipped), len(r.Skipped))
+	}
+	for i := range r.Skipped {
+		if got.Skipped[i] != r.Skipped[i] {
+			t.Errorf("skip %d: %+v != %+v", i, got.Skipped[i], r.Skipped[i])
+		}
+	}
+	// The contract ParseJSON documents: re-marshal is byte-identical.
+	b2, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("round trip not byte-identical:\nfirst:  %s\nsecond: %s", b, b2)
+	}
+}
+
+// TestJSONRoundTripComplete: a clean, complete report survives too
+// (partial=false, no skipped key at all).
+func TestJSONRoundTripComplete(t *testing.T) {
+	r := New()
+	r.Add(Warning{Rule: RuleUnflushedWrite, Message: "m", Func: "f", File: "a.c", Line: 1})
+	r.Sort()
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"skipped"`) {
+		t.Errorf("complete report should omit skipped key:\n%s", b)
+	}
+	got, err := ParseJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial() {
+		t.Errorf("complete report re-parsed as partial")
+	}
+	b2, _ := got.JSON()
+	if !bytes.Equal(b, b2) {
+		t.Errorf("round trip not byte-identical")
+	}
+}
+
+// TestParseJSONRejectsFutureSchema: a document stamped with a newer
+// schema version must be refused, not half-read.
+func TestParseJSONRejectsFutureSchema(t *testing.T) {
+	r := buildPartial()
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["schema_version"] = SchemaVersion + 1
+	b2, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseJSON(b2); err == nil {
+		t.Fatalf("ParseJSON accepted a future schema version")
+	}
+}
+
+// TestParseJSONRejectsInconsistentPartial: the partial flag must agree
+// with the skip list.
+func TestParseJSONRejectsInconsistentPartial(t *testing.T) {
+	b := []byte(`{"schema_version":1,"warnings":[],"violations":0,"performance":0,"partial":true}`)
+	if _, err := ParseJSON(b); err == nil {
+		t.Fatalf("ParseJSON accepted partial=true with no skips")
+	}
+	b = []byte(`{"schema_version":1,"warnings":[],"violations":0,"performance":0,"partial":false,
+		"skipped":[{"subject":"f","stage":"budget","reason":"r"}]}`)
+	if _, err := ParseJSON(b); err == nil {
+		t.Fatalf("ParseJSON accepted partial=false with skips present")
+	}
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Circuit breakers, one per analysis pass.  A pass that keeps panicking
+// on production traffic (a rule bug tickled by a particular input
+// shape) must not take the whole daemon down with it: after Threshold
+// consecutive attributed failures the pass's breaker opens, and every
+// subsequent request runs with the pass disabled plus a skip annotation
+// attributing exactly what is missing (report stage = the pass ID).
+// After Cooldown one request is admitted as a half-open probe with the
+// pass re-enabled; its success closes the breaker, its failure reopens
+// it for another cooldown.
+//
+// The state machine per pass:
+//
+//	Closed --(Threshold consecutive failures)--> Open
+//	Open --(Cooldown elapsed; one probe granted)--> HalfOpen
+//	HalfOpen --(probe succeeds)--> Closed
+//	HalfOpen --(probe fails)--> Open
+//
+// Any success in Closed resets the consecutive-failure count.
+
+// breakerState is one pass breaker's position in the state machine.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String renders the state for /stats.
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breaker is one pass's record.  Guarded by the owning set's mutex.
+type breaker struct {
+	state     breakerState
+	fails     int       // consecutive attributed failures while Closed
+	trippedAt time.Time // when the breaker last opened
+	trips     int       // lifetime trip count (stats)
+}
+
+// breakerSet holds the per-pass breakers.  Entries are created lazily
+// on the first failure or trip, so a healthy daemon carries no state.
+type breakerSet struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+	b         map[string]*breaker
+}
+
+func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
+	return &breakerSet{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		b:         make(map[string]*breaker),
+	}
+}
+
+// acquire partitions the tracked passes for one request: degraded lists
+// the passes the request must run without (breaker open, or half-open
+// with the probe already owned by another request); probes lists the
+// passes this request re-enables as the half-open probe.  Both are
+// sorted for deterministic skip annotations.
+func (s *breakerSet) acquire() (degraded, probes []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, br := range s.b {
+		switch br.state {
+		case breakerOpen:
+			if s.now().Sub(br.trippedAt) >= s.cooldown {
+				br.state = breakerHalfOpen
+				probes = append(probes, id)
+			} else {
+				degraded = append(degraded, id)
+			}
+		case breakerHalfOpen:
+			// Another request holds the probe; stay degraded until it
+			// reports back.
+			degraded = append(degraded, id)
+		}
+	}
+	sort.Strings(degraded)
+	sort.Strings(probes)
+	return degraded, probes
+}
+
+// fail records an attributed failure of one pass.  While Closed it
+// counts toward the trip threshold; a failed half-open probe reopens
+// immediately.
+func (s *breakerSet) fail(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.b[id]
+	if br == nil {
+		br = &breaker{}
+		s.b[id] = br
+	}
+	switch br.state {
+	case breakerHalfOpen:
+		br.state = breakerOpen
+		br.trippedAt = s.now()
+		br.trips++
+	case breakerClosed:
+		br.fails++
+		if br.fails >= s.threshold {
+			br.state = breakerOpen
+			br.trippedAt = s.now()
+			br.trips++
+		}
+	}
+}
+
+// ok records a successful run of one pass: a half-open probe closes the
+// breaker, and any Closed-state failure streak resets.
+func (s *breakerSet) ok(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.b[id]
+	if br == nil {
+		return
+	}
+	switch br.state {
+	case breakerHalfOpen:
+		br.state = breakerClosed
+		br.fails = 0
+	case breakerClosed:
+		br.fails = 0
+	}
+}
+
+// snapshot renders every tracked breaker's state and lifetime trip
+// count for /stats.
+func (s *breakerSet) snapshot() map[string]BreakerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerInfo, len(s.b))
+	for id, br := range s.b {
+		out[id] = BreakerInfo{State: br.state.String(), Trips: br.trips, ConsecutiveFails: br.fails}
+	}
+	return out
+}
+
+// BreakerInfo is one pass breaker's /stats rendering.
+type BreakerInfo struct {
+	State            string `json:"state"`
+	Trips            int    `json:"trips"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+}

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"deepmc/internal/report"
+)
+
+// deepChainSource builds a synthetic module whose merged trace size
+// grows exponentially with depth: each level writes a few cells
+// (store/flush/fence) and then calls the level below twice, so the
+// trace-entry count roughly doubles per level.  At depth 8 the root
+// function's merged traces run to thousands of entries — far past a
+// small MaxTraceEntries budget, nowhere near enough to OOM or stall.
+func deepChainSource(depth int) string {
+	var b strings.Builder
+	b.WriteString("module deepchain\n\n")
+	b.WriteString("type obj struct {\n\ta: int\n\tb: int\n}\n\n")
+	line := 1
+	b.WriteString("func f0(p: *obj) {\n\tfile \"deep.c\"\n")
+	for _, f := range []string{"a", "b"} {
+		fmt.Fprintf(&b, "\tstore %%p.%s, 1 @%d\n", f, line)
+		line++
+		fmt.Fprintf(&b, "\tflush %%p.%s @%d\n", f, line)
+		line++
+		fmt.Fprintf(&b, "\tfence @%d\n", line)
+		line++
+	}
+	b.WriteString("\tret\n}\n\n")
+	for d := 1; d <= depth; d++ {
+		fmt.Fprintf(&b, "func f%d(p: *obj) {\n\tfile \"deep.c\"\n", d)
+		fmt.Fprintf(&b, "\tcall f%d(%%p)\n", d-1)
+		fmt.Fprintf(&b, "\tcall f%d(%%p)\n", d-1)
+		b.WriteString("\tret\n}\n\n")
+	}
+	b.WriteString("func main() {\n\tfile \"deep.c\"\n")
+	b.WriteString("\t%p = palloc obj\n")
+	fmt.Fprintf(&b, "\tcall f%d(%%p)\n", depth)
+	b.WriteString("\tret\n}\n")
+	return b.String()
+}
+
+// TestBudgetEnforcement is the satellite-3 gate: a module engineered to
+// exceed the trace-entry budget must come back as a 200 partial report
+// with a budget-attributed skip — never a timeout, 500, or OOM-kill —
+// and identically at every worker count.
+func TestBudgetEnforcement(t *testing.T) {
+	src := deepChainSource(8)
+	_, base := startServer(t, Config{MaxTraceEntries: 64})
+	var first []byte
+	for _, workers := range []int{1, 2, 8} {
+		status, hdr, body := post(t, base, Request{Source: src, Workers: workers})
+		if status != http.StatusOK {
+			t.Fatalf("workers=%d: status %d (%s)", workers, status, body)
+		}
+		if hdr.Get("X-Deepmc-Partial") != "true" {
+			t.Fatalf("workers=%d: report not partial: %s", workers, body)
+		}
+		rep, err := report.ParseJSON(body)
+		if err != nil {
+			t.Fatalf("workers=%d: parse: %v", workers, err)
+		}
+		budgetSkips := 0
+		for _, sk := range rep.Skipped {
+			switch sk.Stage {
+			case report.StageBudget:
+				budgetSkips++
+				if !strings.Contains(sk.Reason, "budget") {
+					t.Errorf("workers=%d: budget skip lacks attribution: %q", workers, sk.Reason)
+				}
+			case report.StageTraces, report.StageScan:
+				t.Errorf("workers=%d: budget exhaustion misattributed to %s: %q",
+					workers, sk.Stage, sk.Reason)
+			}
+			if strings.Contains(sk.Reason, "deadline") || strings.Contains(sk.Reason, "context") {
+				t.Errorf("workers=%d: budget overrun degraded to a timeout: %q", workers, sk.Reason)
+			}
+		}
+		if budgetSkips == 0 {
+			t.Fatalf("workers=%d: no budget-attributed skip in %s", workers, body)
+		}
+		if first == nil {
+			first = body
+		} else if !bytes.Equal(first, body) {
+			// Workers is excluded from the coalescing key precisely
+			// because the merge is deterministic; prove it.
+			t.Fatalf("workers=%d: report differs from workers=1 run", workers)
+		}
+	}
+}
+
+// TestBudgetClamp: a request cannot ask for a bigger budget than the
+// server allows; a smaller one is honored.
+func TestBudgetClamp(t *testing.T) {
+	src := deepChainSource(8)
+	_, base := startServer(t, Config{MaxTraceEntries: 64})
+	// Request tries to blow past the server cap: still clamped to 64,
+	// still partial.
+	status, hdr, _ := post(t, base, Request{Source: src, MaxTraceEntries: 1 << 20})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if hdr.Get("X-Deepmc-Partial") != "true" {
+		t.Fatalf("server budget cap not enforced on greedy request")
+	}
+	// A server with a roomy default honors a request's tighter budget.
+	_, base2 := startServer(t, Config{})
+	status, hdr, _ = post(t, base2, Request{Source: src, MaxTraceEntries: 64})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if hdr.Get("X-Deepmc-Partial") != "true" {
+		t.Fatalf("request budget not honored under roomy server default")
+	}
+}

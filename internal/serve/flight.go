@@ -1,0 +1,52 @@
+package serve
+
+import "sync"
+
+// Request coalescing (singleflight): concurrent requests whose
+// normalized analysis inputs hash to the same key share one execution.
+// The first arrival becomes the leader and runs the analysis; followers
+// park until the leader publishes its result and then return the same
+// bytes.  Followers still occupy admission slots — coalescing saves
+// CPU, not queue capacity, so load shedding keeps its meaning.
+//
+// Unlike golang.org/x/sync/singleflight this keeps zero dependencies
+// and returns the coalesced flag explicitly (surfaced in /stats and the
+// X-Deepmc-Coalesced header).
+
+// flightCall is one in-flight execution.
+type flightCall struct {
+	done chan struct{}
+	res  *result
+}
+
+// flightGroup deduplicates concurrent executions by key.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers.  The second return
+// reports whether this caller coalesced onto another's execution.
+func (g *flightGroup) do(key string, fn func() *result) (*result, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.res, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, false
+}

@@ -1,0 +1,803 @@
+// Package serve is the DeepMC analysis daemon: a long-lived HTTP
+// service that accepts PIR modules (or named corpus targets) and
+// returns machine-readable reports.  Robustness is the product — the
+// paper's own pipeline bounds loops and recursion because analysis cost
+// is input-dependent, and a multi-tenant service must extend the same
+// discipline to itself:
+//
+//   - Admission control: a bounded queue in front of a bounded worker
+//     pool.  When the queue is full, new requests are shed immediately
+//     with 429 + Retry-After instead of growing an unbounded backlog.
+//   - Per-request budgets: every analysis runs under a deadline and a
+//     trace-entry budget (core.Config.MaxTraceEntries).  A pathological
+//     module degrades to a partial report with a budget-attributed skip
+//     — never a hung worker or an OOM kill.
+//   - Per-pass circuit breakers: repeated attributed panics in one
+//     analysis pass trip that pass's breaker; subsequent requests run
+//     with the pass disabled plus a skip annotation naming it, until a
+//     half-open probe succeeds (see breaker.go).
+//   - Request coalescing: concurrent identical requests share a single
+//     execution over the shared warm cache (see flight.go).
+//   - Graceful drain: Shutdown stops admission (flipping /readyz),
+//     waits for in-flight analyses under a deadline (cancelling them
+//     into partial reports if it expires), and flushes the lazy disk
+//     cache tier so a restarted daemon warms from it.
+//
+// Endpoints: POST /analyze, GET /corpus/{name}, GET /healthz,
+// GET /readyz, GET /stats.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepmc/internal/anacache"
+	"deepmc/internal/checker"
+	"deepmc/internal/cli"
+	"deepmc/internal/core"
+	"deepmc/internal/corpus"
+	"deepmc/internal/ir"
+	"deepmc/internal/passes"
+	"deepmc/internal/report"
+)
+
+// Config tunes the daemon.  Zero values select production defaults.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default :7437).
+	Addr string
+	// Workers caps each request's checker worker fan-out
+	// (0 = GOMAXPROCS).  Output is byte-identical for any value.
+	Workers int
+	// MaxInFlight bounds concurrent analyses (0 = GOMAXPROCS).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting beyond the in-flight set
+	// (default 64).  Requests arriving past it are shed with 429.
+	QueueDepth int
+	// RequestTimeout caps each request's total deadline, queue wait
+	// included (default 30s).  Requests may ask for less, never more.
+	RequestTimeout time.Duration
+	// MaxTraceEntries caps each request's trace-entry budget (default
+	// 4096, the batch default).  Requests may lower it, never raise it.
+	MaxTraceEntries int
+	// DrainTimeout bounds Close's graceful drain (default 15s).
+	DrainTimeout time.Duration
+	// CacheDir enables the analysis cache's disk tier in lazy mode:
+	// reads hit it immediately, writes accumulate in memory and flush
+	// on drain.  Empty keeps the cache memory-only.
+	CacheDir string
+	// BreakerThreshold is the consecutive attributed failures that trip
+	// a pass's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the open→half-open probe delay (default 5s).
+	BreakerCooldown time.Duration
+	// Chaos arms deterministic fault injection for the soak/chaos gates.
+	// Zero value injects nothing.
+	Chaos Chaos
+}
+
+// Chaos is the daemon's failpoint surface: deliberately injected
+// failures that let the soak gate prove the breaker and shedding
+// machinery on demand (the serve-side analogue of internal/faultinj).
+type Chaos struct {
+	// FailPass arms per-pass failpoints: the next FailPass[id] analyses
+	// that run with pass id enabled panic inside the analysis, with the
+	// pass ID in the panic value (so attribution is exact).
+	FailPass map[string]int
+	// StallFirst stalls the first N analyses by Stall before they run
+	// (bounded by the request deadline) — deterministic queue pressure
+	// for the shedding gate.
+	StallFirst int
+	// Stall is the per-analysis stall duration.
+	Stall time.Duration
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":7437"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTraceEntries <= 0 {
+		c.MaxTraceEntries = 4096
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Request is the /analyze body.  Exactly one of Source and Corpus must
+// be set.
+type Request struct {
+	// Source is PIR text to analyze.
+	Source string `json:"source,omitempty"`
+	// Corpus names a built-in corpus target (PMDK, PMFS, NVM-Direct,
+	// Mnemosyne) instead of Source.
+	Corpus string `json:"corpus,omitempty"`
+	// Model is the declared persistency model (default: strict, or the
+	// corpus target's own model).
+	Model string `json:"model,omitempty"`
+	// AllFunctions checks every function standalone, not just roots.
+	AllFunctions bool `json:"all_functions,omitempty"`
+	// Passes / DisablePasses select rule passes by stable ID.
+	Passes        []string `json:"passes,omitempty"`
+	DisablePasses []string `json:"disable_passes,omitempty"`
+	// MaxTraceEntries lowers the per-trace entry budget for this
+	// request (clamped to the server's budget).
+	MaxTraceEntries int `json:"max_trace_entries,omitempty"`
+	// Workers lowers the checker fan-out (clamped to the server cap;
+	// output is byte-identical for any value).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs lowers the request deadline (clamped to the server
+	// cap).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// key fingerprints the analysis-relevant request fields for
+// singleflight coalescing.  Workers is deliberately excluded: the
+// checker's deterministic-merge guarantee makes output byte-identical
+// for any worker count, so requests differing only in fan-out coalesce.
+func (r Request) key() string {
+	h := sha256.New()
+	for _, part := range []string{
+		r.Source, r.Corpus, r.Model,
+		fmt.Sprintf("all=%v", r.AllFunctions),
+		"passes=" + strings.Join(r.Passes, ","),
+		"disable=" + strings.Join(r.DisablePasses, ","),
+		fmt.Sprintf("entries=%d", r.MaxTraceEntries),
+		fmt.Sprintf("timeout=%d", r.TimeoutMs),
+	} {
+		h.Write([]byte(part))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// result is one executed request's response.
+type result struct {
+	status     int
+	body       []byte
+	exit       int  // X-Deepmc-Exit (200 responses)
+	partial    bool // X-Deepmc-Partial (200 responses)
+	retryAfter int  // Retry-After seconds (429/503 responses)
+}
+
+// Server is the analysis daemon.
+type Server struct {
+	cfg      Config
+	cache    *anacache.Cache
+	http     *http.Server
+	lis      net.Listener
+	admit    chan struct{} // admission slots: QueueDepth + MaxInFlight
+	work     chan struct{} // concurrent-analysis slots: MaxInFlight
+	flights  *flightGroup
+	breakers *breakerSet
+
+	baseCtx    context.Context // parent of every analysis; cancelled on forced drain
+	cancelBase context.CancelFunc
+	draining   atomic.Bool
+	start      time.Time
+
+	chaosMu    sync.Mutex
+	chaosFail  map[string]int
+	chaosStall int
+
+	stats serverStats
+}
+
+// serverStats are the daemon's traffic counters.
+type serverStats struct {
+	admitted       atomic.Int64
+	completed      atomic.Int64
+	shed           atomic.Int64
+	coalesced      atomic.Int64
+	failures       atomic.Int64
+	breakerRetries atomic.Int64
+	timeouts       atomic.Int64
+	queueTimeouts  atomic.Int64
+	cacheFlushed   atomic.Int64
+	drainForced    atomic.Int64
+	queueHighWater atomic.Int64
+}
+
+// Stats is the /stats snapshot.
+type Stats struct {
+	SchemaVersion int `json:"schema_version"`
+	// Counters.
+	Admitted       int64 `json:"admitted"`
+	Completed      int64 `json:"completed"`
+	Shed           int64 `json:"shed"`
+	Coalesced      int64 `json:"coalesced"`
+	Failures       int64 `json:"failures"`
+	BreakerRetries int64 `json:"breaker_retries"`
+	Timeouts       int64 `json:"timeouts"`
+	QueueTimeouts  int64 `json:"queue_timeouts"`
+	CacheFlushed   int64 `json:"cache_flushed"`
+	DrainForced    int64 `json:"drain_forced"`
+	QueueHighWater int64 `json:"queue_high_water"`
+	// Gauges.
+	Queued        int                    `json:"queued"`
+	InFlight      int                    `json:"in_flight"`
+	QueueCap      int                    `json:"queue_cap"`
+	Draining      bool                   `json:"draining"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Breakers      map[string]BreakerInfo `json:"breakers"`
+	Cache         anacache.Stats         `json:"cache"`
+	CacheHitRate  float64                `json:"cache_hit_rate"`
+}
+
+// NewServer builds a daemon from cfg.  It does not listen yet; call
+// ListenAndServe or Serve.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := anacache.NewLazy(cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache,
+		admit:    make(chan struct{}, cfg.QueueDepth+cfg.MaxInFlight),
+		work:     make(chan struct{}, cfg.MaxInFlight),
+		flights:  newFlightGroup(),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		start:    time.Now(),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	if len(cfg.Chaos.FailPass) > 0 {
+		s.chaosFail = make(map[string]int, len(cfg.Chaos.FailPass))
+		for id, n := range cfg.Chaos.FailPass {
+			s.chaosFail[id] = n
+		}
+	}
+	s.chaosStall = cfg.Chaos.StallFirst
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/corpus/", s.handleCorpus)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/stats", s.handleStats)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s, nil
+}
+
+// Handler exposes the daemon's routes (tests drive it without a
+// listener).
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// Serve accepts connections on l until Shutdown.  Like
+// http.Server.Serve it returns http.ErrServerClosed after a graceful
+// shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.lis = l
+	return s.http.Serve(l)
+}
+
+// ListenAndServe listens on cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Addr returns the bound listener address ("" before Serve) — tests
+// listen on :0 and read the real port back.
+func (s *Server) Addr() string {
+	if s.lis == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Shutdown drains the daemon gracefully: admission stops immediately
+// (/readyz flips to 503, new /analyze requests get 503), in-flight
+// analyses run to completion under ctx's deadline, and the lazy disk
+// cache tier is flushed.  If ctx expires first, in-flight analyses are
+// cancelled — they degrade to partial reports and their responses are
+// still delivered — and only connections that ignore that too are
+// force-closed.  Idempotent; concurrent calls are safe.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	herr := s.http.Shutdown(ctx)
+	if herr != nil {
+		// Deadline expired with handlers still running: cancel their
+		// analyses (they finish fast with partial reports) and give the
+		// responses a short grace period to flush.
+		s.stats.drainForced.Add(1)
+		s.cancelBase()
+		gctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err2 := s.http.Shutdown(gctx); err2 == nil {
+			herr = nil
+		} else {
+			s.http.Close()
+		}
+	}
+	n, ferr := s.cache.Flush()
+	s.stats.cacheFlushed.Add(int64(n))
+	if herr != nil {
+		return herr
+	}
+	return ferr
+}
+
+// Close is Shutdown bounded by cfg.DrainTimeout.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// CacheStats exposes the shared cache's counters (gate assertions).
+func (s *Server) CacheStats() anacache.Stats { return s.cache.Stats() }
+
+// --- HTTP handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// Snapshot assembles the /stats payload.
+func (s *Server) Snapshot() Stats {
+	cs := s.cache.Stats()
+	st := Stats{
+		SchemaVersion:  report.SchemaVersion,
+		Admitted:       s.stats.admitted.Load(),
+		Completed:      s.stats.completed.Load(),
+		Shed:           s.stats.shed.Load(),
+		Coalesced:      s.stats.coalesced.Load(),
+		Failures:       s.stats.failures.Load(),
+		BreakerRetries: s.stats.breakerRetries.Load(),
+		Timeouts:       s.stats.timeouts.Load(),
+		QueueTimeouts:  s.stats.queueTimeouts.Load(),
+		CacheFlushed:   s.stats.cacheFlushed.Load(),
+		DrainForced:    s.stats.drainForced.Load(),
+		QueueHighWater: s.stats.queueHighWater.Load(),
+		InFlight:       len(s.work),
+		QueueCap:       s.cfg.QueueDepth,
+		Draining:       s.draining.Load(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Breakers:       s.breakers.snapshot(),
+		Cache:          cs,
+	}
+	if q := len(s.admit) - len(s.work); q > 0 {
+		st.Queued = q
+	}
+	if total := cs.VerdictHits + cs.VerdictMisses; total > 0 {
+		st.CacheHitRate = float64(cs.VerdictHits) / float64(total)
+	}
+	return st
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "body too large"})
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	if (req.Source == "") == (req.Corpus == "") {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "exactly one of source and corpus must be set"})
+		return
+	}
+	s.serveRequest(w, req)
+}
+
+// handleCorpus maps GET /corpus/{name} to an analysis of the named
+// built-in corpus target.
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, "/corpus/")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "missing corpus name"})
+		return
+	}
+	s.serveRequest(w, Request{Corpus: name})
+}
+
+// serveRequest runs admission control, coalescing and execution for one
+// decoded request.
+func (s *Server) serveRequest(w http.ResponseWriter, req Request) {
+	if s.draining.Load() {
+		w.Header().Set("Connection", "close")
+		writeResult(w, &result{
+			status: http.StatusServiceUnavailable,
+			body:   errBody("draining: not accepting new requests"), retryAfter: 1,
+		}, false)
+		return
+	}
+	// Admission: take a bounded queue slot or shed immediately.
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.stats.shed.Add(1)
+		writeResult(w, &result{
+			status: http.StatusTooManyRequests,
+			body:   errBody("queue full: load shed"), retryAfter: 1,
+		}, false)
+		return
+	}
+	defer func() { <-s.admit }()
+	s.stats.admitted.Add(1)
+	if q := int64(len(s.admit) - len(s.work)); q > 0 {
+		for {
+			hw := s.stats.queueHighWater.Load()
+			if q <= hw || s.stats.queueHighWater.CompareAndSwap(hw, q) {
+				break
+			}
+		}
+	}
+
+	res, coalesced := s.flights.do(req.key(), func() *result { return s.execute(req) })
+	if coalesced {
+		s.stats.coalesced.Add(1)
+	}
+	if res.status == http.StatusOK {
+		s.stats.completed.Add(1)
+	}
+	writeResult(w, res, coalesced)
+}
+
+// execute runs one analysis end to end: worker slot, budgets, breaker
+// gating, chaos failpoints, attribution and degradation.  It always
+// returns a result (panics are recovered into 500s).
+func (s *Server) execute(req Request) *result {
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+
+	// Wait for an analysis slot; the request deadline covers the wait.
+	select {
+	case s.work <- struct{}{}:
+		defer func() { <-s.work }()
+	case <-ctx.Done():
+		s.stats.queueTimeouts.Add(1)
+		return &result{
+			status: http.StatusServiceUnavailable,
+			body:   errBody("timed out waiting for an analysis slot"), retryAfter: 1,
+		}
+	}
+
+	if d := s.takeStall(); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+		}
+	}
+
+	m, model, errRes := s.resolveModule(req)
+	if errRes != nil {
+		return errRes
+	}
+
+	cfg := core.Config{
+		Model:           model,
+		AllFunctions:    req.AllFunctions,
+		Workers:         s.clampWorkers(req.Workers),
+		MaxTraceEntries: s.clampEntries(req.MaxTraceEntries),
+		Passes:          req.Passes,
+		DisablePasses:   req.DisablePasses,
+		Cache:           s.cache,
+	}
+
+	degraded, probes := s.breakers.acquire()
+	runCfg := cfg
+	runCfg.DisablePasses = unionIDs(cfg.DisablePasses, degraded)
+
+	rep, aerr := s.runAnalysis(ctx, m, runCfg)
+	attributed := attributePasses(aerr)
+	for _, id := range attributed {
+		s.breakers.fail(id)
+	}
+	// Every granted probe must resolve, or the pass wedges half-open:
+	// a clean run closes it, anything else reopens it.
+	for _, id := range probes {
+		if aerr == nil {
+			s.breakers.ok(id)
+		} else if !containsID(attributed, id) {
+			s.breakers.fail(id)
+		}
+	}
+	if aerr != nil && len(attributed) > 0 {
+		// Auto-degrade: retry once with the failing passes disabled, so
+		// the client gets a partial report instead of a 500 while the
+		// breaker counts toward tripping.
+		s.stats.breakerRetries.Add(1)
+		runCfg.DisablePasses = unionIDs(runCfg.DisablePasses, attributed)
+		rep, aerr = s.runAnalysis(ctx, m, runCfg)
+	}
+	if aerr != nil {
+		s.stats.failures.Add(1)
+		return &result{status: http.StatusInternalServerError, body: errBody(aerr.Error())}
+	}
+	// A clean full run resets failure streaks for every tracked pass
+	// that actually ran.
+	if len(attributed) == 0 {
+		s.breakers.successExcept(degraded)
+	}
+	for _, id := range degraded {
+		rep.AddSkipStage(m.Name, id,
+			"circuit breaker open: pass degraded after repeated failures (half-open probe pending)")
+	}
+	for _, id := range attributed {
+		rep.AddSkipStage(m.Name, id,
+			"pass panicked and was degraded for this request; breaker counting toward trip")
+	}
+	rep.Sort()
+	if rep.Partial() && ctx.Err() != nil {
+		s.stats.timeouts.Add(1)
+	}
+	body, jerr := rep.JSON()
+	if jerr != nil {
+		s.stats.failures.Add(1)
+		return &result{status: http.StatusInternalServerError, body: errBody(jerr.Error())}
+	}
+	return &result{status: http.StatusOK, body: body, exit: cli.ExitCode(rep), partial: rep.Partial()}
+}
+
+// runAnalysis executes the core analysis with panic isolation and the
+// chaos failpoints armed.
+func (s *Server) runAnalysis(ctx context.Context, m *ir.Module, cfg core.Config) (rep *report.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("serve: analysis panicked: %v", r)
+		}
+	}()
+	s.maybeFailpoint(cfg)
+	return core.AnalyzeCtx(ctx, m, cfg)
+}
+
+// maybeFailpoint consumes one armed per-pass failpoint whose pass is
+// enabled for this run, panicking with the pass ID in the value so
+// attribution is exact.
+func (s *Server) maybeFailpoint(cfg core.Config) {
+	if s.chaosFail == nil {
+		return
+	}
+	enabled, err := passes.ResolveEnabled(cfg.Passes, cfg.DisablePasses)
+	if err != nil {
+		return // the analysis will surface the selection error itself
+	}
+	s.chaosMu.Lock()
+	armed := make([]string, 0, len(s.chaosFail))
+	for id, n := range s.chaosFail {
+		if n > 0 && enabled[id] {
+			armed = append(armed, id)
+		}
+	}
+	sort.Strings(armed)
+	if len(armed) == 0 {
+		s.chaosMu.Unlock()
+		return
+	}
+	id := armed[0]
+	s.chaosFail[id]--
+	s.chaosMu.Unlock()
+	panic(fmt.Sprintf("failpoint: pass %s panicked", id))
+}
+
+// takeStall consumes one chaos stall token.
+func (s *Server) takeStall() time.Duration {
+	if s.cfg.Chaos.Stall <= 0 {
+		return 0
+	}
+	s.chaosMu.Lock()
+	defer s.chaosMu.Unlock()
+	if s.chaosStall <= 0 {
+		return 0
+	}
+	s.chaosStall--
+	return s.cfg.Chaos.Stall
+}
+
+// resolveModule loads the request's module: inline PIR source or a
+// named corpus target.
+func (s *Server) resolveModule(req Request) (*ir.Module, string, *result) {
+	if req.Model != "" {
+		if _, err := checker.ParseModel(req.Model); err != nil {
+			return nil, "", &result{status: http.StatusBadRequest, body: errBody(err.Error())}
+		}
+	}
+	if req.Corpus != "" {
+		for _, p := range corpus.All() {
+			if p.Name == req.Corpus {
+				m, err := p.Module()
+				if err != nil {
+					return nil, "", &result{status: http.StatusInternalServerError, body: errBody(err.Error())}
+				}
+				model := req.Model
+				if model == "" {
+					model = p.Model.String()
+				}
+				return m, model, nil
+			}
+		}
+		return nil, "", &result{status: http.StatusNotFound,
+			body: errBody(fmt.Sprintf("unknown corpus target %q", req.Corpus))}
+	}
+	m, err := ir.Parse(req.Source)
+	if err != nil {
+		return nil, "", &result{status: http.StatusBadRequest, body: errBody("parse: " + err.Error())}
+	}
+	if err := ir.Verify(m); err != nil {
+		return nil, "", &result{status: http.StatusBadRequest, body: errBody("verify: " + err.Error())}
+	}
+	return m, req.Model, nil
+}
+
+// clampWorkers resolves the per-request worker count against the server
+// cap.
+func (s *Server) clampWorkers(reqWorkers int) int {
+	cap := s.cfg.Workers
+	if cap <= 0 {
+		cap = runtime.GOMAXPROCS(0)
+	}
+	if reqWorkers <= 0 || reqWorkers > cap {
+		return cap
+	}
+	return reqWorkers
+}
+
+// clampEntries resolves the per-request trace-entry budget against the
+// server budget (requests may lower it, never raise it).
+func (s *Server) clampEntries(reqEntries int) int {
+	if reqEntries <= 0 || reqEntries > s.cfg.MaxTraceEntries {
+		return s.cfg.MaxTraceEntries
+	}
+	return reqEntries
+}
+
+// attributePasses extracts the pass IDs named in an analysis failure
+// (nil error → nil).  Failpoints and pass-attributed panics embed the
+// stable DMC-xxx code in the message; anything else stays unattributed
+// and surfaces as a plain 500.
+func attributePasses(err error) []string {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	var out []string
+	for _, id := range passes.IDs() {
+		if strings.Contains(msg, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// successExcept resets failure streaks for every tracked pass that ran
+// (everything not in the degraded list).
+func (s *breakerSet) successExcept(degraded []string) {
+	skip := make(map[string]bool, len(degraded))
+	for _, id := range degraded {
+		skip[id] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, br := range s.b {
+		if !skip[id] && br.state == breakerClosed {
+			br.fails = 0
+		}
+	}
+}
+
+// unionIDs merges two ID lists, deduplicated and sorted.
+func unionIDs(a, b []string) []string {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, l := range [][]string{a, b} {
+		for _, id := range l {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func containsID(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// errBody renders a JSON error payload.
+func errBody(msg string) []byte {
+	b, _ := json.Marshal(map[string]string{"error": msg})
+	return b
+}
+
+// writeJSON writes a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+// writeResult writes an executed request's response with the exit-code
+// contract mirrored into headers: X-Deepmc-Exit carries the 0/1/2 code
+// the batch CLI would have exited with, X-Deepmc-Partial flags degraded
+// reports, X-Deepmc-Coalesced marks singleflight followers.
+func writeResult(w http.ResponseWriter, res *result, coalesced bool) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if res.retryAfter > 0 {
+		h.Set("Retry-After", strconv.Itoa(res.retryAfter))
+	}
+	if res.status == http.StatusOK {
+		h.Set("X-Deepmc-Exit", strconv.Itoa(res.exit))
+		h.Set("X-Deepmc-Partial", strconv.FormatBool(res.partial))
+	}
+	if coalesced {
+		h.Set("X-Deepmc-Coalesced", "true")
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}

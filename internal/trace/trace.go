@@ -169,6 +169,13 @@ type Collector struct {
 	// incremental-cache tests assert on ("exactly the mutated function's
 	// artifacts were recomputed").
 	computed map[string]bool
+	// truncated records the functions whose merged traces hit the
+	// trace-entry budget (MaxTraceEntries), directly or through a
+	// truncated callee splice.  Their traces cover only a bounded prefix
+	// of the function's behavior, so downstream verdicts must be
+	// reported as partial (budget-attributed skips), never memoized as
+	// complete.
+	truncated map[string]bool
 }
 
 // NewCollector creates a collector over a finished DSA.
@@ -186,10 +193,11 @@ func NewCollector(a *dsa.Analysis, opts Options) *Collector {
 		opts.MaxTraceEntries = 4096
 	}
 	return &Collector{
-		Analysis: a,
-		Opts:     opts,
-		memo:     make(map[string][]*Trace),
-		computed: make(map[string]bool),
+		Analysis:  a,
+		Opts:      opts,
+		memo:      make(map[string][]*Trace),
+		computed:  make(map[string]bool),
+		truncated: make(map[string]bool),
 	}
 }
 
@@ -199,13 +207,27 @@ func NewCollector(a *dsa.Analysis, opts Options) *Collector {
 // identical (function closure, DSA options, trace options) fingerprint:
 // entries reference the abstract cells of the run that produced them,
 // which is sound because rule scanning compares cells only within one
-// trace set.  A seed never overwrites an already-computed entry.
-func (c *Collector) Seed(fn string, ts []*Trace) {
+// trace set.  truncated must carry the producing run's budget flag so a
+// warm scan degrades exactly like the cold one did.  A seed never
+// overwrites an already-computed entry.
+func (c *Collector) Seed(fn string, ts []*Trace, truncated bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.memo[fn]; !ok {
 		c.memo[fn] = ts
+		if truncated {
+			c.truncated[fn] = true
+		}
 	}
+}
+
+// Truncated reports whether fn's memoized traces hit the trace-entry
+// budget (directly or via a truncated callee): its findings cover a
+// bounded prefix only.  False for functions not yet collected.
+func (c *Collector) Truncated(fn string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.truncated[fn]
 }
 
 // ComputedFuncs returns (sorted) the functions whose traces this
@@ -280,6 +302,9 @@ func (c *Collector) collect(fn string, visiting map[string]bool) []*Trace {
 	} else {
 		c.memo[fn] = paths
 		c.computed[fn] = true
+		if e.truncated {
+			c.truncated[fn] = true
+		}
 	}
 	c.mu.Unlock()
 	return paths
@@ -308,6 +333,9 @@ type explorer struct {
 	// reach[block] reports whether any persistent op is reachable from
 	// the block within this function (prioritization metric).
 	reach map[string]bool
+	// truncated latches when any continuation hits the trace-entry
+	// budget, or a spliced callee's traces were themselves truncated.
+	truncated bool
 }
 
 // computeReach marks blocks from which a persistent operation is
@@ -443,12 +471,16 @@ func (e *explorer) expandBlock(b *ir.Block, prefix []Entry) [][]Entry {
 					if len(cont) >= cap {
 						// The path already hit the entry budget; keep it
 						// as-is instead of splicing further callees.
+						e.truncated = true
 						next = append(next, cont)
 						break
 					}
 					room := cap - len(cont)
-					if room > len(v) {
+					if room >= len(v) {
 						room = len(v)
+					} else {
+						// Only a prefix of the callee trace fits.
+						e.truncated = true
 					}
 					merged := make([]Entry, 0, len(cont)+room)
 					merged = append(merged, cont...)
@@ -468,6 +500,9 @@ func (e *explorer) expandBlock(b *ir.Block, prefix []Entry) [][]Entry {
 				for ci := range conts {
 					if len(conts[ci]) < e.c.Opts.MaxTraceEntries {
 						conts[ci] = append(conts[ci], entry)
+					} else {
+						// Entry dropped: the budget is exhausted.
+						e.truncated = true
 					}
 				}
 			}
@@ -483,6 +518,11 @@ func (e *explorer) calleeVariants(in *ir.Instr, ref ir.InstrRef) [][]Entry {
 		return nil
 	}
 	calleeTraces := e.c.collect(in.Callee, e.visiting)
+	if e.c.Truncated(in.Callee) {
+		// The splice inherits the callee's budget exhaustion: the merged
+		// caller trace covers only a prefix of the callee's behavior.
+		e.truncated = true
+	}
 	if len(calleeTraces) == 0 {
 		return nil
 	}
