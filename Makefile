@@ -4,12 +4,13 @@
 #   make test        tier-1 gate: build + full test suite
 #   make race        test suite under the race detector
 #   make vet         go vet
-#   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze, FuzzEnumerate)
+#   make fuzz-short  30s per fuzz target (FuzzParse, FuzzAnalyze, FuzzEnumerate, FuzzGenome)
 #   make bench       speedup benchmark for the parallel checker
 #   make cache-gate  incremental-cache byte-identity gate (cold vs warm, workers 1/2/8)
 #   make serve-gate  analysis-daemon chaos/soak gate (graceful restarts, shedding, breakers)
 #   make crashsim    cross-validate the static checker against crash enumeration
 #   make faults      per-class fault-injection differential gate
+#   make fuzz-gate   schedule-fuzzer gate: witness replay + planted-bug re-discovery
 #   make stress      cancellation / timeout / partial-report stress tests
 #   make ci          everything above, in order
 
@@ -17,7 +18,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults stress ci clean
+.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate stress ci clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/ir
 	$(GO) test -run '^$$' -fuzz FuzzAnalyze -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzEnumerate -fuzztime $(FUZZTIME) ./internal/crashsim
+	$(GO) test -run '^$$' -fuzz FuzzGenome -fuzztime $(FUZZTIME) ./internal/fuzzsched
 
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkAnalyzeParallel -benchtime 200x .
@@ -61,12 +63,19 @@ crashsim: build
 faults: build
 	$(GO) run ./cmd/deepmc crashsim -faults all -fault-seed $(FAULTSEED) -jobs 0
 
+# The fuzz gate: every checked-in witness must replay byte-identically
+# (schedule + crash evidence), and a default-budget seed-1 fuzz run must
+# re-find every planted inter-thread bug while fixed targets stay clean.
+fuzz-gate: build
+	$(GO) run ./cmd/deepmc-bench -fuzz
+	$(GO) test -race -count=1 ./internal/fuzzsched ./internal/dynamic
+
 # A short robustness run: the cancellation, deadline, partial-report and
 # panic-isolation tests across every hardened package.
 stress:
 	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
 
-ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults stress
+ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate stress
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@
 //	deepmc-bench -crashsim -jobs 4      # legacy vs. pruned-parallel crash enumeration
 //	deepmc-bench -faultinj -fault-seed 42  # per-class fault-injection differential
 //	deepmc-bench -serve                 # serve daemon chaos/soak gate (restarts, shedding, breakers)
+//	deepmc-bench -fuzz                  # schedule-fuzzer gate (witness replay + planted-bug re-discovery)
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
 package main
 
@@ -45,6 +46,7 @@ func main() {
 	crashsim := flag.Bool("crashsim", false, "time legacy vs. pruned-parallel crash enumeration")
 	faultinj := flag.Bool("faultinj", false, "run the per-class fault-injection differential")
 	serveGate := flag.Bool("serve", false, "run the serve chaos/soak gate (graceful restarts, serve==batch byte-identity, breaker trip/recover, load shedding)")
+	fuzzGate := flag.Bool("fuzz", false, "run the schedule-fuzzer gate (witness corpus replays byte-identically, planted bugs re-found, fixed targets clean)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
 
@@ -103,6 +105,13 @@ func main() {
 	}
 	if *serveGate {
 		s, ok := tables.ServeGate()
+		emit(s)
+		if !ok {
+			os.Exit(cli.ExitViolations)
+		}
+	}
+	if *fuzzGate {
+		s, ok := tables.FuzzGate()
 		emit(s)
 		if !ok {
 			os.Exit(cli.ExitViolations)

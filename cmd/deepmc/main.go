@@ -10,6 +10,7 @@
 //	deepmc fix    [-model strict] [-o fixed.pir] prog.pir
 //	deepmc fmt    prog.pir
 //	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [prog.pir]
+//	deepmc fuzz   [-seed N] [-budget N] [-corpus-dir DIR] [-target NAME] [-timeout D]
 //
 // Exit codes: 0 = clean, 1 = violations found (or a differential gate
 // disagreed), 2 = the analysis itself failed, timed out, or produced
@@ -39,6 +40,7 @@ import (
 	"deepmc/internal/crashsim"
 	"deepmc/internal/faultinj"
 	"deepmc/internal/fixer"
+	"deepmc/internal/fuzzsched"
 	"deepmc/internal/ir"
 	"deepmc/internal/passes"
 	"deepmc/internal/serve"
@@ -67,6 +69,8 @@ func main() {
 		err = cmdFmt(os.Args[2:])
 	case "crashsim":
 		err = cmdCrashsim(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
@@ -117,6 +121,14 @@ commands:
           against crash enumeration over the built-in bug corpus, or —
           with -faults — run the per-class fault-injection differential
           gate over the same corpus
+  fuzz    [-seed N] [-budget N] [-corpus-dir DIR] [-target NAME] [-timeout D]
+          coverage-guided schedule fuzzing: mutate a seed-replayable
+          genome of fault classes, delay-injection choice points, and a
+          decision tape, executed under the dynamic runtime; every
+          candidate finding is post-validated through crash simulation
+          and reported with a replayable witness.  -target selects one
+          built-in inter-thread target or a .pir file (default: all
+          built-ins); -corpus-dir persists interesting genomes
   serve   [-addr :7437] [-jobs N] [-inflight N] [-queue N] [-timeout D]
           [-max-trace-entries N] [-drain D] [-cache-dir DIR]
           [-breaker-threshold N] [-breaker-cooldown D]
@@ -458,11 +470,19 @@ func cmdCrashsim(args []string) error {
 			return err
 		}
 		fmt.Print(rep)
+		// The inter-thread pairs run the same three-way differential,
+		// with the dynamic runtime standing in for the static checker
+		// (their bugs are invisible to single-strand static analysis).
+		itRep, err := corpus.CrossValidateInterThreadCtx(ctx, o)
+		if err != nil {
+			return err
+		}
+		fmt.Print(itRep)
 		if ctx.Err() != nil {
 			fmt.Println("cross-validation incomplete: deadline expired")
 			os.Exit(cli.ExitFailed)
 		}
-		if !rep.Agree() {
+		if !rep.Agree() || !itRep.Agree() {
 			os.Exit(cli.ExitViolations)
 		}
 		return nil
@@ -492,6 +512,71 @@ func cmdCrashsim(args []string) error {
 		os.Exit(cli.ExitFailed)
 	}
 	return nil
+}
+
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "fuzzing seed (same seed -> same corpus, findings, witnesses)")
+	budget := fs.Int("budget", 0, "schedule executions per target (0 = default)")
+	corpusDir := fs.String("corpus-dir", "", "persist coverage-increasing genomes here and seed from them")
+	target := fs.String("target", "", "built-in target name or a .pir file (empty = all built-ins)")
+	timeout := fs.Duration("timeout", 0, "fuzzing deadline (0 = none)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("fuzz: unexpected arguments %q (use -target)", fs.Args())
+	}
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+
+	var targets []fuzzsched.Target
+	if *target != "" {
+		t, err := fuzzsched.LookupTarget(*target)
+		if err != nil {
+			return err
+		}
+		targets = []fuzzsched.Target{t}
+	} else {
+		var err error
+		targets, err = fuzzsched.Targets()
+		if err != nil {
+			return err
+		}
+	}
+
+	found := false
+	for _, t := range targets {
+		res, err := fuzzsched.Fuzz(ctx, t, fuzzsched.Options{
+			Seed: *seed, Budget: *budget, CorpusDir: *corpusDir,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		for _, f := range res.Findings {
+			found = true
+			fmt.Printf("finding %s %s genome=%s\n", f.Target, f.Code, f.Genome)
+			fmt.Print(indent(string(f.Witness.Encode())))
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Println("fuzzing incomplete: deadline expired")
+		os.Exit(cli.ExitFailed)
+	}
+	if found {
+		os.Exit(cli.ExitViolations)
+	}
+	return nil
+}
+
+// indent prefixes every non-empty line with two spaces.
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = "  " + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 func cmdServe(args []string) error {

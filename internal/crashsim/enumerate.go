@@ -39,6 +39,33 @@ type Options struct {
 	// planning run's injection log; in unpruned mode those two classes
 	// are inert (no PartialFencer) and the log is not aggregated.
 	Faults *faultinj.Config
+	// Injector, when set, decorates the planning run's hook stack with a
+	// custom injection schedule (the schedule fuzzer's genome-driven
+	// faults + targeted flush delays) instead of Faults.  Injector
+	// implies pruned enumeration: the decorated planning run is the one
+	// execution whose crash surface the genome describes, and per-point
+	// re-execution would need the wrapper re-armed mid-stream.  The
+	// injector's log lands in Result.FaultLog, so a witness replay can
+	// assert byte-identity against it.
+	Injector Injector
+	// MinStep / MaxStep, when MaxStep > 0, restrict pruned enumeration
+	// to crash points with MinStep <= step <= MaxStep — the targeted
+	// validation entry the fuzzer uses to re-check one implicated
+	// persist boundary without re-enumerating the whole program.
+	// Points outside the window count into Result.Pruned.  Ignored by
+	// unpruned enumeration.
+	MinStep, MaxStep int
+}
+
+// Injector decorates an execution's hook stack with a replayable
+// injection schedule.  Wrap must build a FRESH decoration each call
+// (enumeration may execute the program several times); Injections and
+// Log report the most recently wrapped execution's schedule, in the
+// same byte-replayable format as faultinj.Schedule.Log.
+type Injector interface {
+	Wrap(inner interp.Hooks) interp.Hooks
+	Injections() int
+	Log() string
 }
 
 // EnumerateOpts is Enumerate with pruning, a worker pool, and optional
@@ -67,11 +94,14 @@ func EnumerateCtx(ctx context.Context, m *ir.Module, entry string, inv Invariant
 	}
 
 	res := &Result{}
-	if o.Prune {
+	if o.Prune || o.Injector != nil {
 		p := newPlanner()
 		var hooks interp.Hooks = p
 		var sched *faultinj.Schedule
-		if o.Faults != nil {
+		switch {
+		case o.Injector != nil:
+			hooks = o.Injector.Wrap(p)
+		case o.Faults != nil:
 			sched = faultinj.New(*o.Faults)
 			hooks = faultinj.Wrap(p, sched)
 		}
@@ -92,12 +122,16 @@ func EnumerateCtx(ctx context.Context, m *ir.Module, entry string, inv Invariant
 				return nil, fmt.Errorf("crashsim: planning run: %w", err)
 			}
 		}
-		if sched != nil {
+		if o.Injector != nil {
+			res.Injections = o.Injector.Injections()
+			res.FaultLog = o.Injector.Log()
+		} else if sched != nil {
 			res.Injections = sched.Injections()
 			res.FaultLog = sched.Log()
 		}
 		res.TotalSteps = completedSteps(ip, o)
 		var points []planPoint
+		windowed := 0
 		seen := make(map[string]bool, len(p.points))
 		for _, pt := range p.points {
 			if seen[pt.key] {
@@ -105,6 +139,10 @@ func EnumerateCtx(ctx context.Context, m *ir.Module, entry string, inv Invariant
 				continue
 			}
 			seen[pt.key] = true
+			if o.MaxStep > 0 && (pt.step < o.MinStep || pt.step > o.MaxStep) {
+				windowed++
+				continue
+			}
 			points = append(points, pt)
 		}
 		res.Pruned = res.TotalSteps - len(p.points)
@@ -113,6 +151,7 @@ func EnumerateCtx(ctx context.Context, m *ir.Module, entry string, inv Invariant
 			// count; nothing was pruned then.
 			res.Pruned = 0
 		}
+		res.Pruned += windowed
 		var sel []planPoint
 		for i := 0; i < len(points); i += stride {
 			sel = append(sel, points[i])

@@ -74,6 +74,13 @@ type access struct {
 type shadowCell struct {
 	hasWrite bool
 	write    access
+	// flushed reports whether a flush covered this address since the
+	// last write; flushSite is that flush's site.  A racing read of an
+	// unflushed write is the deep variant of RAW (DMC-D03): the value
+	// consumed never even reached the write-back stage, so a durable
+	// side effect built on it is guaranteed inconsistent after a crash.
+	flushed   bool
+	flushSite access
 	// reads holds at most one entry per strand since the last write.
 	reads []access
 }
@@ -101,6 +108,7 @@ type Stats struct {
 	Cells      int
 	Writes     uint64
 	Reads      uint64
+	Flushes    uint64
 	RacesFound int
 }
 
@@ -124,12 +132,13 @@ type Checker struct {
 
 	clocks sync.Map // int64 -> *strandState
 
-	mu     sync.Mutex // guards locks and rep
-	locks  map[any]VC
-	rep    *report.Report
-	races  int
-	writes atomic.Uint64
-	reads  atomic.Uint64
+	mu      sync.Mutex // guards locks and rep
+	locks   map[any]VC
+	rep     *report.Report
+	races   int
+	writes  atomic.Uint64
+	reads   atomic.Uint64
+	flushes atomic.Uint64
 }
 
 // NewChecker creates an empty runtime checker.
@@ -166,6 +175,7 @@ func (c *Checker) StatsSnapshot() Stats {
 	return Stats{
 		Segments: segs, Cells: cells,
 		Writes: c.writes.Load(), Reads: c.reads.Load(),
+		Flushes:    c.flushes.Load(),
 		RacesFound: races,
 	}
 }
@@ -216,13 +226,20 @@ func (c *Checker) Acquire(id int64, lock any) {
 	c.mu.Unlock()
 }
 
-// Release publishes the thread's clock through the lock.
+// Release publishes the thread's clock through the lock, then advances
+// it.  The snapshot is taken BEFORE the bump (standard FastTrack
+// release): accesses the thread performs after the release carry the
+// new, unpublished clock and stay racy with a later acquirer.  (The
+// previous bump-then-snapshot order published the post-release clock,
+// silently ordering the releaser's subsequent accesses — a missed-race
+// window the epoch/VC agreement property test caught.)
 func (c *Checker) Release(id int64, lock any) {
 	st := c.strand(id)
-	st.bump()
 	st.mu.Lock()
+	st.vc[st.id] = st.own.Load()
 	snapshot := st.vc.Copy()
 	st.mu.Unlock()
+	st.bump()
 	c.mu.Lock()
 	lv, ok := c.locks[lock]
 	if !ok {
@@ -299,11 +316,31 @@ func (c *Checker) Write(id int64, addr uint64, persistent bool, fn, file string,
 	}
 	sc.hasWrite = true
 	sc.write = access{strand: id, clock: st.own.Load(), gepoch: now, fn: fn, file: file, line: line}
+	sc.flushed = false
 	sc.reads = sc.reads[:0]
 	s.mu.Unlock()
 	for _, cf := range raceWith {
-		c.race(cf.kind, cf.prev, access{strand: id, fn: fn, file: file, line: line}, addr)
+		c.race(cf.kind, cf.prev, access{strand: id, fn: fn, file: file, line: line}, addr, false)
 	}
+}
+
+// Flush records a write-back covering addr: the pending write (if any)
+// is now staged, so later racing reads observe an at-least-flushed
+// value and report ordinary RAW (DMC-D02) instead of unflushed RAW
+// (DMC-D03).  Flushes carry no dependence edge of their own — they
+// only refine what a subsequent race means.
+func (c *Checker) Flush(id int64, addr uint64, persistent bool, fn, file string, line int) {
+	if !persistent && !c.TrackAll {
+		return
+	}
+	c.flushes.Add(1)
+	s := c.seg(addr)
+	s.mu.Lock()
+	if sc := s.cells[addr]; sc != nil && sc.hasWrite && !sc.flushed {
+		sc.flushed = true
+		sc.flushSite = access{strand: id, fn: fn, file: file, line: line}
+	}
+	s.mu.Unlock()
 }
 
 // Read records a persistent read and checks RAW races against unordered
@@ -323,9 +360,11 @@ func (c *Checker) Read(id int64, addr uint64, persistent bool, fn, file string, 
 		s.cells[addr] = sc
 	}
 	var raced *access
+	racedUnflushed := false
 	if sc.hasWrite && !c.ordered(st, now, &sc.write) {
 		cp := sc.write
 		raced = &cp
+		racedUnflushed = !sc.flushed
 	}
 	rec := access{strand: id, clock: st.own.Load(), gepoch: now, fn: fn, file: file, line: line}
 	updated := false
@@ -341,14 +380,25 @@ func (c *Checker) Read(id int64, addr uint64, persistent bool, fn, file string, 
 	}
 	s.mu.Unlock()
 	if raced != nil {
-		c.race("RAW", *raced, access{strand: id, fn: fn, file: file, line: line}, addr)
+		c.race("RAW", *raced, access{strand: id, fn: fn, file: file, line: line}, addr, racedUnflushed)
 	}
 }
 
-func (c *Checker) race(kind string, prev, cur access, addr uint64) {
+// race emits a dependence warning.  unflushed marks a RAW whose racing
+// write was never flushed before the read consumed it — reported under
+// its own code (DMC-D03) so the fuzzer and reports can distinguish
+// "durable side effect on non-persisted data" from an ordinary
+// ordering race; when DMC-D03 is disabled by pass selection the race
+// degrades to the plain RAW code rather than disappearing.
+func (c *Checker) race(kind string, prev, cur access, addr uint64, unflushed bool) {
 	code := report.CodeDynWAW
+	detail := ""
 	if kind == "RAW" {
 		code = report.CodeDynRAW
+		if unflushed && !c.Disabled[report.CodeDynUnflushedRAW] {
+			code = report.CodeDynUnflushedRAW
+			detail = "; the value read was never flushed, so durable effects built on it do not survive a crash"
+		}
 	}
 	if c.Disabled[code] {
 		return
@@ -360,8 +410,8 @@ func (c *Checker) race(kind string, prev, cur access, addr uint64) {
 		Rule: report.RuleStrandDependence,
 		Code: code,
 		Message: fmt.Sprintf(
-			"%s dependence between strands %d and %d on persistent address %#x (previous access at %s:%d): dependent persists must share a strand or be ordered by a barrier",
-			kind, prev.strand, cur.strand, addr, prev.file, prev.line),
+			"%s dependence between strands %d and %d on persistent address %#x (previous access at %s:%d): dependent persists must share a strand or be ordered by a barrier%s",
+			kind, prev.strand, cur.strand, addr, prev.file, prev.line, detail),
 		Func:    cur.fn,
 		File:    cur.file,
 		Line:    cur.line,

@@ -15,6 +15,13 @@ type Runtime struct {
 	// regions (the paper's default).  When false every persistent access
 	// is tracked (ablation: full instrumentation).
 	OnlyAnnotated bool
+	// Cov, when non-nil, accumulates the execution's persistency-event
+	// edge coverage (site × strand transitions) — the feedback signal
+	// the schedule fuzzer steers by.  Coverage sees every event the
+	// checker would consider, including ones outside annotated regions,
+	// so delay mutations that move events across region boundaries
+	// still register.
+	Cov *Coverage
 
 	curStrand   int64
 	strandDepth int
@@ -87,6 +94,9 @@ func (r *Runtime) tracked() bool {
 
 // OnWrite records each 8-byte granule of the write.
 func (r *Runtime) OnWrite(obj *interp.Object, off, size int, fn, file string, line int) {
+	if r.Cov != nil {
+		r.Cov.hit(fn, file, line, covWrite, r.curStrand)
+	}
 	if !r.tracked() {
 		return
 	}
@@ -97,6 +107,9 @@ func (r *Runtime) OnWrite(obj *interp.Object, off, size int, fn, file string, li
 
 // OnRead records each 8-byte granule of the read.
 func (r *Runtime) OnRead(obj *interp.Object, off, size int, fn, file string, line int) {
+	if r.Cov != nil {
+		r.Cov.hit(fn, file, line, covRead, r.curStrand)
+	}
 	if !r.tracked() {
 		return
 	}
@@ -105,13 +118,30 @@ func (r *Runtime) OnRead(obj *interp.Object, off, size int, fn, file string, lin
 	}
 }
 
-// OnFlush is not a dependence-carrying access; nothing to track.
-func (r *Runtime) OnFlush(*interp.Object, int, int, string, string, int) {}
+// OnFlush marks each covered granule's pending write as flushed, so a
+// later racing read is ordinary RAW rather than unflushed RAW
+// (DMC-D03).  A delayed (deferred-to-fence) flush therefore widens the
+// window in which reads observe never-flushed data — exactly the state
+// the schedule fuzzer's delay injection hunts for.
+func (r *Runtime) OnFlush(obj *interp.Object, off, size int, fn, file string, line int) {
+	if r.Cov != nil {
+		r.Cov.hit(fn, file, line, covFlush, r.curStrand)
+	}
+	if !r.tracked() {
+		return
+	}
+	for g := 0; g < size; g += 8 {
+		r.Checker.Flush(r.curStrand, r.addrOf(obj, off+g), obj.Persistent, fn, file, line)
+	}
+}
 
 // OnFence outside strand regions orders all strands (a global persist
 // barrier); inside a strand it only orders that strand's own persists,
 // which the per-strand clock already captures.
-func (r *Runtime) OnFence(string, string, int) {
+func (r *Runtime) OnFence(fn, file string, line int) {
+	if r.Cov != nil {
+		r.Cov.hit(fn, file, line, covFence, r.curStrand)
+	}
 	if r.strandDepth == 0 {
 		r.Checker.GlobalFence()
 	}
@@ -128,13 +158,19 @@ func (r *Runtime) OnEpochEnd(string, string, int) {
 	}
 }
 
-func (r *Runtime) OnStrandBegin(id int64, _, _ string, _ int) {
+func (r *Runtime) OnStrandBegin(id int64, fn, file string, line int) {
 	r.curStrand = id
 	r.strandDepth++
+	if r.Cov != nil {
+		r.Cov.hit(fn, file, line, covStrand, id)
+	}
 	r.Checker.StrandBegin(id)
 }
 
-func (r *Runtime) OnStrandEnd(id int64, _, _ string, _ int) {
+func (r *Runtime) OnStrandEnd(id int64, fn, file string, line int) {
+	if r.Cov != nil {
+		r.Cov.hit(fn, file, line, covStrand, -id)
+	}
 	r.Checker.StrandEnd(id)
 	if r.strandDepth > 0 {
 		r.strandDepth--

@@ -130,6 +130,25 @@ func (r Record) String() string {
 	return fmt.Sprintf("#%d %s @ %s: %s", r.Seq, r.Class, r.Site, r.Detail)
 }
 
+// Source supplies the decision stream a Schedule draws from.  The
+// default source is a seeded *rand.Rand (which satisfies Source
+// natively); the schedule fuzzer substitutes a genome byte tape so that
+// every injection decision — which classes fire where, which drain
+// orders a fence exposes — becomes fuzzer-mutable state instead of
+// derived randomness.  Implementations must be deterministic: the same
+// source state and call sequence must yield the same decisions, or
+// schedules stop being replayable.
+type Source interface {
+	// Float64 returns a decision draw in [0, 1).
+	Float64() float64
+	// Intn returns a uniform draw in [0, n); n >= 1.
+	Intn(n int) int
+	// Perm returns a permutation of [0, n).
+	Perm(n int) []int
+}
+
+var _ Source = (*rand.Rand)(nil)
+
 // Schedule draws injection decisions for one execution.  Use a fresh
 // Schedule (same Config) for every execution that must replay the same
 // faults — for example the crash simulator's planning run.  Not safe
@@ -137,14 +156,22 @@ func (r Record) String() string {
 type Schedule struct {
 	enabled [numClasses]bool
 	rate    float64
-	rng     *rand.Rand
+	src     Source
 	records []Record
 	perCls  [numClasses]int
 }
 
-// New builds a Schedule from cfg.
+// New builds a Schedule from cfg, drawing decisions from a fresh RNG
+// seeded with cfg.Seed.
 func New(cfg Config) *Schedule {
-	s := &Schedule{rate: cfg.Rate, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return NewWithSource(cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// NewWithSource builds a Schedule whose decisions come from src instead
+// of cfg.Seed's RNG (cfg.Seed is ignored then).  Replays are
+// byte-identical iff src replays the same decision stream.
+func NewWithSource(cfg Config, src Source) *Schedule {
+	s := &Schedule{rate: cfg.Rate, src: src}
 	if s.rate <= 0 || s.rate > 1 {
 		s.rate = 1
 	}
@@ -157,26 +184,26 @@ func New(cfg Config) *Schedule {
 }
 
 // Fire decides whether to inject cl at the current eligible event.  It
-// consumes RNG state only when the class is enabled, keeping the
-// decision stream a pure function of (seed, event stream).
+// consumes source state only when the class is enabled, keeping the
+// decision stream a pure function of (source, event stream).
 func (s *Schedule) Fire(cl Class) bool {
 	if !s.enabled[cl] {
 		return false
 	}
-	return s.rng.Float64() < s.rate
+	return s.src.Float64() < s.rate
 }
 
-// Intn draws a uniform int in [0, n) from the schedule RNG.
-func (s *Schedule) Intn(n int) int { return s.rng.Intn(n) }
+// Intn draws a uniform int in [0, n) from the schedule source.
+func (s *Schedule) Intn(n int) int { return s.src.Intn(n) }
 
-// Perm draws a random permutation of [0, n) from the schedule RNG.
-func (s *Schedule) Perm(n int) []int { return s.rng.Perm(n) }
+// Perm draws a permutation of [0, n) from the schedule source.
+func (s *Schedule) Perm(n int) []int { return s.src.Perm(n) }
 
 // Subset draws a nonempty proper subset of {0..n-1} (n >= 2), returned
 // sorted.
 func (s *Schedule) Subset(n int) []int {
-	k := 1 + s.rng.Intn(n-1)
-	sel := append([]int(nil), s.rng.Perm(n)[:k]...)
+	k := 1 + s.src.Intn(n-1)
+	sel := append([]int(nil), s.src.Perm(n)[:k]...)
 	sort.Ints(sel)
 	return sel
 }

@@ -1,0 +1,53 @@
+package fuzzsched
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SaveGenome persists one genome to dir as <id>.genome (hex of the
+// canonical encoding).  Content-hashed names make saves idempotent:
+// re-running the same seed rewrites the same files.
+func SaveGenome(dir string, g *Genome) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fuzzsched: corpus dir: %w", err)
+	}
+	path := filepath.Join(dir, g.ID()+".genome")
+	return os.WriteFile(path, []byte(g.Hex()+"\n"), 0o644)
+}
+
+// LoadCorpus reads every *.genome file in dir, in name order (content
+// hashes, so the order is stable regardless of discovery history).  A
+// missing dir is an empty corpus.
+func LoadCorpus(dir string) ([]*Genome, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("fuzzsched: corpus dir: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".genome") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Genome
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, fmt.Errorf("fuzzsched: corpus read: %w", err)
+		}
+		g, err := ParseHex(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("fuzzsched: corpus %s: %w", n, err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

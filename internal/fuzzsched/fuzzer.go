@@ -1,0 +1,291 @@
+package fuzzsched
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"deepmc/internal/crashsim"
+	"deepmc/internal/dynamic"
+	"deepmc/internal/interp"
+	"deepmc/internal/report"
+)
+
+var _ crashsim.Injector = (*Injector)(nil)
+
+// Options configures one fuzz run.
+type Options struct {
+	// Seed seeds every random decision (mutation choice, parent pick).
+	// The same (Seed, Budget, Target) triple reproduces the same corpus,
+	// findings, and byte-identical witness logs.
+	Seed int64
+	// Budget is the number of schedule executions (0 = DefaultBudget).
+	Budget int
+	// MaxSteps bounds each execution (0 = interpreter default).
+	MaxSteps int
+	// CorpusDir, when set, persists coverage-increasing genomes (one
+	// file per genome, content-hashed names) and seeds the run from any
+	// genomes already there.
+	CorpusDir string
+}
+
+// DefaultBudget executes enough schedules to re-find every planted
+// inter-thread bug from the built-in seeds with margin, while keeping
+// `make fuzz-gate` in CI seconds.
+const DefaultBudget = 400
+
+// Finding is one validated bug: a schedule that provably damages the
+// target's durable state, with its replayable witness.
+type Finding struct {
+	Target string
+	// Code is the dynamic diagnostic that implicated the schedule
+	// (DMC-D01/D02/D03), or "image-diff" for findings whose evidence is
+	// a final-image divergence without a dynamic warning.
+	Code string
+	// Warning is the implicating dynamic warning (zero for image-diff
+	// findings).
+	Warning report.Warning
+	Genome  *Genome
+	Witness *Witness
+}
+
+// Result summarizes one fuzz run.
+type Result struct {
+	Target     string
+	Execs      int
+	CorpusSize int
+	Edges      int
+	// Candidates counts dynamic warnings that implicated a schedule;
+	// Findings holds only the ones crash validation confirmed.  The gap
+	// (Candidates - len(Findings)) is the speculative-report count the
+	// witness discipline suppressed.
+	Candidates int
+	Findings   []Finding
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("fuzz %s: %d execs, corpus %d, %d edges, %d candidates -> %d witnessed findings",
+		r.Target, r.Execs, r.CorpusSize, r.Edges, r.Candidates, len(r.Findings))
+}
+
+// seedGenomes is the initial corpus when the corpus dir supplies none:
+// the empty schedule (fault-free baseline coverage), each class armed
+// alone with a modest all-fire tape, and an all-classes schedule.
+func seedGenomes() []*Genome {
+	tape := make([]byte, 64) // zero bytes: every decision fires (0 < 128)
+	seeds := []*Genome{{}}
+	for i := 0; i < 4; i++ {
+		seeds = append(seeds, &Genome{Classes: 1 << uint(i), Tape: append([]byte(nil), tape...)})
+	}
+	seeds = append(seeds, &Genome{Classes: 0x0f, Tape: append([]byte(nil), tape...)})
+	return seeds
+}
+
+// Fuzz runs the coverage-guided loop over one target.  Deterministic:
+// all randomness flows from o.Seed, corpus order is discovery order,
+// and findings are reported in discovery order with stable keys.
+func Fuzz(ctx context.Context, t Target, o Options) (*Result, error) {
+	budget := o.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	res := &Result{Target: t.Name}
+
+	corpus := seedGenomes()
+	if o.CorpusDir != "" {
+		loaded, err := LoadCorpus(o.CorpusDir)
+		if err != nil {
+			return nil, err
+		}
+		corpus = append(corpus, loaded...)
+	}
+
+	global := dynamic.NewCoverage()
+	seenWarn := make(map[string]bool)
+
+	// Execute the seeds first (they are part of the budget), then mutate.
+	for exec := 0; exec < budget; exec++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		var g *Genome
+		if exec < len(corpus) {
+			g = corpus[exec]
+		} else {
+			parent := corpus[rng.Intn(len(corpus))]
+			other := corpus[rng.Intn(len(corpus))]
+			g = Mutate(parent, other, rng)
+		}
+		res.Execs++
+
+		cov, warns, err := execute(ctx, t, g, o.MaxSteps)
+		if err != nil {
+			// A schedule that makes the program fault (not a budget stop)
+			// is discarded; faults here are interpreter-level errors, not
+			// persistency findings.
+			continue
+		}
+		if n := cov.NewEdges(global); n > 0 {
+			cov.MergeInto(global)
+			if exec >= len(corpus) {
+				corpus = append(corpus, g)
+			}
+			if o.CorpusDir != "" {
+				if err := SaveGenome(o.CorpusDir, g); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		for _, w := range warns {
+			key := w.EffectiveCode() + "|" + w.Key()
+			if seenWarn[key] {
+				continue
+			}
+			seenWarn[key] = true
+			res.Candidates++
+			wit, err := Validate(ctx, t, g, w, o.MaxSteps)
+			if err != nil {
+				return nil, err
+			}
+			if wit == nil {
+				continue // speculative: crash validation could not confirm
+			}
+			res.Findings = append(res.Findings, Finding{
+				Target:  t.Name,
+				Code:    w.EffectiveCode(),
+				Warning: w,
+				Genome:  g.Clone(),
+				Witness: wit,
+			})
+		}
+	}
+
+	// Image-diff oracle for targets without an invariant: compare the
+	// final corpus' most adversarial schedules against the fault-free
+	// image.  (Invariant targets get strictly stronger evidence above.)
+	if t.Invariant == nil {
+		if err := imageDiffFindings(ctx, t, corpus, o.MaxSteps, res); err != nil {
+			return nil, err
+		}
+	}
+
+	res.CorpusSize = len(corpus)
+	res.Edges = global.Count()
+	return res, nil
+}
+
+// execute runs one schedule with the dynamic runtime attached and
+// returns its coverage and the dynamic warnings it triggered.
+func execute(ctx context.Context, t Target, g *Genome, maxSteps int) (*dynamic.Coverage, []report.Warning, error) {
+	rt := dynamic.NewRuntime(false)
+	rt.Cov = dynamic.NewCoverage()
+	hooks := NewInjector(g).Wrap(rt)
+	ip := interp.New(t.Module, hooks)
+	if maxSteps > 0 {
+		ip.MaxSteps = maxSteps
+	}
+	ip.SetContext(ctx)
+	if _, err := ip.Run(t.Entry); err != nil && !ip.BudgetExhausted() {
+		return nil, nil, err
+	}
+	return rt.Cov, rt.Checker.Report().Warnings, nil
+}
+
+// imageDiffFindings validates corpus genomes of an invariant-less
+// target against the fault-free final image.  One finding per distinct
+// diff: a genome under which the end-of-run durable state differs from
+// the baseline proves the program's durability depends on the schedule.
+func imageDiffFindings(ctx context.Context, t Target, corpus []*Genome, maxSteps int, res *Result) error {
+	base, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{MaxSteps: maxSteps})
+	if err != nil {
+		return fmt.Errorf("fuzzsched: baseline image: %w", err)
+	}
+	seen := make(map[string]bool)
+	for _, g := range corpus {
+		inj := NewInjector(g)
+		img, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{Injector: inj, MaxSteps: maxSteps})
+		if err != nil {
+			continue
+		}
+		diff := base.Diff(img)
+		if diff == "" || seen[diff] {
+			continue
+		}
+		seen[diff] = true
+		res.Candidates++
+		res.Findings = append(res.Findings, Finding{
+			Target: t.Name,
+			Code:   "image-diff",
+			Genome: g.Clone(),
+			Witness: &Witness{
+				Target:   t.Name,
+				Kind:     WitnessImageDiff,
+				Genome:   g.Clone(),
+				Detail:   diff,
+				FaultLog: inj.Log(),
+			},
+		})
+	}
+	return nil
+}
+
+// Validate post-validates one dynamic warning through crash
+// enumeration under the implicating genome.  Returns nil (no witness)
+// when enumeration stays clean — the warning was speculative for this
+// schedule.  On confirmation it re-enumerates the single implicated
+// crash step (MinStep = MaxStep = first violating step) and records
+// that targeted run's violation and injection log in the witness, so a
+// replay can assert byte-identity.
+func Validate(ctx context.Context, t Target, g *Genome, w report.Warning, maxSteps int) (*Witness, error) {
+	if t.Invariant == nil {
+		return nil, nil // image-diff targets validate in imageDiffFindings
+	}
+	full, err := crashsim.EnumerateCtx(ctx, t.Module, t.Entry, t.Invariant, crashsim.Options{
+		Injector: NewInjector(g), Workers: 1, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fuzzsched: validate %s: %w", t.Name, err)
+	}
+	if full.Clean() {
+		return nil, nil
+	}
+	step := full.Violations[0].Step
+	inj := NewInjector(g)
+	targeted, err := crashsim.EnumerateCtx(ctx, t.Module, t.Entry, t.Invariant, crashsim.Options{
+		Injector: inj, Workers: 1, MaxSteps: maxSteps, MinStep: step, MaxStep: step,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fuzzsched: targeted validate %s step %d: %w", t.Name, step, err)
+	}
+	if targeted.Clean() {
+		// The full run violated but the windowed replay did not — treat as
+		// unconfirmed rather than shipping an unreplayable witness.
+		return nil, nil
+	}
+	return &Witness{
+		Target:   t.Name,
+		Kind:     WitnessInvariant,
+		Code:     w.EffectiveCode(),
+		Step:     step,
+		Genome:   g.Clone(),
+		Detail:   renderViolations(targeted),
+		FaultLog: inj.Log(),
+	}, nil
+}
+
+// renderViolations renders a result's violations deterministically for
+// witness byte-comparison.
+func renderViolations(r *crashsim.Result) string {
+	vs := append([]crashsim.Violation(nil), r.Violations...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Step < vs[j].Step })
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "step %d: %v\n", v.Step, v.Err)
+	}
+	return b.String()
+}

@@ -1,0 +1,308 @@
+// Package fuzzsched is the coverage-guided interleaving + fault-schedule
+// fuzzer (ROADMAP item: schedule fuzzing).  Its input is not program
+// data but a schedule genome: a compact, seed-replayable encoding of the
+// persistency-schedule decisions an execution is subjected to —
+//
+//   - which faultinj classes are armed (class mask),
+//   - a byte tape that drives every injection decision (whether a fault
+//     fires at an eligible event, which drain orders a fence exposes,
+//     which granules of a store tear), and
+//   - a set of delay points: choice-point ordinals (interp.ChoicePointer
+//     addressing) whose flush delivery is deferred to the next fence —
+//     PMRace-style active delay injection, legal under the clwb/sfence
+//     contract.
+//
+// Executions are driven through the interpreter with the dynamic
+// happens-before runtime attached; the feedback signal is the runtime's
+// persistency-event edge coverage (dynamic.Coverage), so mutation climbs
+// toward unexplored interleaving/fault schedules rather than unexplored
+// code alone.  Every candidate finding is post-validated through
+// crashsim at the implicated persist boundary before it is reported:
+// a finding ships with a replayable witness (genome + crash evidence),
+// never as a speculative warning (WITCHER's lesson).
+package fuzzsched
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"deepmc/internal/faultinj"
+)
+
+// genomeVersion is the first byte of every encoded genome.  Decoding
+// rejects other versions: witnesses embed encoded genomes, and a silent
+// format drift would make old witnesses replay different schedules.
+const genomeVersion = 1
+
+// maxTape bounds the decision tape; mutations never grow past it.  The
+// tape feeds one or two bytes per injection decision, so 4 KiB covers
+// thousands of persist events — far beyond the corpus harnesses.
+const maxTape = 4096
+
+// maxDelays bounds the delay-point set.
+const maxDelays = 64
+
+// Genome is one schedule: the complete, replayable description of the
+// adversarial persistency behavior an execution is subjected to.
+type Genome struct {
+	// Classes is the armed faultinj class bitmask (bit i = faultinj.Class(i)).
+	Classes uint8
+	// Delays lists choice-point ordinals (1-based, interp.ChoicePointer
+	// sequence) whose flush delivery defers to the next fence.  Sorted,
+	// deduplicated.
+	Delays []uint32
+	// Tape drives every faultinj decision in event order.  An exhausted
+	// tape stops firing deterministically (see tapeSource), so the tape
+	// length bounds the injection count and genomes stay finite.
+	Tape []byte
+}
+
+// ArmedClasses decodes the class mask.
+func (g *Genome) ArmedClasses() []faultinj.Class {
+	var out []faultinj.Class
+	for _, cl := range faultinj.AllClasses() {
+		if g.Classes&(1<<uint8(cl)) != 0 {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// Encode serializes the genome: version, class mask, delay count +
+// delays (LE32), tape length (LE32) + tape.  The encoding is canonical
+// (delays sorted/deduped first), so equal schedules encode equal bytes
+// and the corpus-dir content hash dedupes them.
+func (g *Genome) Encode() []byte {
+	g.normalize()
+	buf := make([]byte, 0, 2+4+4*len(g.Delays)+4+len(g.Tape))
+	buf = append(buf, genomeVersion, g.Classes)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.Delays)))
+	for _, d := range g.Delays {
+		buf = binary.LittleEndian.AppendUint32(buf, d)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.Tape)))
+	buf = append(buf, g.Tape...)
+	return buf
+}
+
+// Decode parses an encoded genome, validating version and lengths.
+func Decode(b []byte) (*Genome, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("fuzzsched: genome too short (%d bytes)", len(b))
+	}
+	if b[0] != genomeVersion {
+		return nil, fmt.Errorf("fuzzsched: genome version %d, want %d", b[0], genomeVersion)
+	}
+	g := &Genome{Classes: b[1]}
+	nd := binary.LittleEndian.Uint32(b[2:])
+	if nd > maxDelays {
+		return nil, fmt.Errorf("fuzzsched: genome has %d delay points, max %d", nd, maxDelays)
+	}
+	p := 6
+	if len(b) < p+4*int(nd)+4 {
+		return nil, fmt.Errorf("fuzzsched: genome truncated in delay list")
+	}
+	for i := 0; i < int(nd); i++ {
+		g.Delays = append(g.Delays, binary.LittleEndian.Uint32(b[p:]))
+		p += 4
+	}
+	nt := binary.LittleEndian.Uint32(b[p:])
+	p += 4
+	if nt > maxTape {
+		return nil, fmt.Errorf("fuzzsched: genome tape %d bytes, max %d", nt, maxTape)
+	}
+	if len(b) != p+int(nt) {
+		return nil, fmt.Errorf("fuzzsched: genome length %d, want %d", len(b), p+int(nt))
+	}
+	g.Tape = append([]byte(nil), b[p:]...)
+	g.normalize()
+	return g, nil
+}
+
+// Hex renders the canonical encoding as a hex string (witness format).
+func (g *Genome) Hex() string { return hex.EncodeToString(g.Encode()) }
+
+// ParseHex decodes a Hex-rendered genome.
+func ParseHex(s string) (*Genome, error) {
+	b, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return nil, fmt.Errorf("fuzzsched: genome hex: %w", err)
+	}
+	return Decode(b)
+}
+
+// ID content-hashes the canonical encoding — the corpus file name and
+// the dedup key.
+func (g *Genome) ID() string {
+	h := fnv.New64a()
+	h.Write(g.Encode())
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// String summarizes the schedule for logs.
+func (g *Genome) String() string {
+	var cls []string
+	for _, cl := range g.ArmedClasses() {
+		cls = append(cls, cl.String())
+	}
+	if len(cls) == 0 {
+		cls = []string{"none"}
+	}
+	return fmt.Sprintf("genome{classes=%s delays=%v tape=%dB}", strings.Join(cls, ","), g.Delays, len(g.Tape))
+}
+
+// Clone deep-copies the genome.
+func (g *Genome) Clone() *Genome {
+	return &Genome{
+		Classes: g.Classes,
+		Delays:  append([]uint32(nil), g.Delays...),
+		Tape:    append([]byte(nil), g.Tape...),
+	}
+}
+
+// normalize sorts and dedupes the delay set and clamps lengths, making
+// the encoding canonical.
+func (g *Genome) normalize() {
+	if len(g.Delays) > 0 {
+		sort.Slice(g.Delays, func(i, j int) bool { return g.Delays[i] < g.Delays[j] })
+		out := g.Delays[:1]
+		for _, d := range g.Delays[1:] {
+			if d != out[len(out)-1] {
+				out = append(out, d)
+			}
+		}
+		g.Delays = out
+	}
+	if len(g.Delays) > maxDelays {
+		g.Delays = g.Delays[:maxDelays]
+	}
+	if len(g.Tape) > maxTape {
+		g.Tape = g.Tape[:maxTape]
+	}
+}
+
+// Mutation operators.  Each takes the fuzzer's RNG and returns a fresh
+// mutant; the parent is never modified.  All randomness flows through
+// rng, so a seeded fuzz run replays the exact mutation sequence.
+
+// mutOp names one operator, for the fuzzer's pick table.
+type mutOp int
+
+const (
+	opTapeAppend mutOp = iota
+	opTapeFlip
+	opTruncate
+	opClassFlip
+	opDelayShift
+	opSplice
+	numMutOps
+)
+
+// Mutate applies one random operator.  other supplies splice material
+// (pass the parent itself when the corpus has a single genome).
+func Mutate(parent, other *Genome, rng *rand.Rand) *Genome {
+	switch mutOp(rng.Intn(int(numMutOps))) {
+	case opTapeAppend:
+		return mutTapeAppend(parent, rng)
+	case opTapeFlip:
+		return mutTapeFlip(parent, rng)
+	case opTruncate:
+		return mutTruncate(parent, rng)
+	case opClassFlip:
+		return mutClassFlip(parent, rng)
+	case opDelayShift:
+		return mutDelayShift(parent, rng)
+	default:
+		return mutSplice(parent, other, rng)
+	}
+}
+
+// mutTapeAppend grows the decision tape with random bytes, extending
+// how deep into the event stream injections keep firing.
+func mutTapeAppend(g *Genome, rng *rand.Rand) *Genome {
+	m := g.Clone()
+	n := 1 + rng.Intn(16)
+	for i := 0; i < n && len(m.Tape) < maxTape; i++ {
+		m.Tape = append(m.Tape, byte(rng.Intn(256)))
+	}
+	return m
+}
+
+// mutTapeFlip rewrites one existing tape byte, changing a single
+// injection decision (fire/skip, or a different drain order).
+func mutTapeFlip(g *Genome, rng *rand.Rand) *Genome {
+	m := g.Clone()
+	if len(m.Tape) == 0 {
+		m.Tape = append(m.Tape, byte(rng.Intn(256)))
+		return m
+	}
+	m.Tape[rng.Intn(len(m.Tape))] = byte(rng.Intn(256))
+	return m
+}
+
+// mutTruncate shortens the schedule: the suffix of decisions reverts to
+// the deterministic no-fire default.  Minimizes witnesses naturally —
+// truncated children that keep their coverage displace longer parents.
+func mutTruncate(g *Genome, rng *rand.Rand) *Genome {
+	m := g.Clone()
+	if len(m.Tape) > 0 {
+		m.Tape = m.Tape[:rng.Intn(len(m.Tape))]
+	}
+	if len(m.Delays) > 0 && rng.Intn(2) == 0 {
+		m.Delays = m.Delays[:rng.Intn(len(m.Delays))]
+	}
+	return m
+}
+
+// mutClassFlip toggles one fault class in the mask.
+func mutClassFlip(g *Genome, rng *rand.Rand) *Genome {
+	m := g.Clone()
+	cls := faultinj.AllClasses()
+	m.Classes ^= 1 << uint8(cls[rng.Intn(len(cls))])
+	return m
+}
+
+// mutDelayShift adds, removes, or nudges one delay point — moving WHERE
+// in the choice-point sequence a flush is deferred, the fuzzer's lever
+// over interleaving windows.
+func mutDelayShift(g *Genome, rng *rand.Rand) *Genome {
+	m := g.Clone()
+	switch {
+	case len(m.Delays) == 0 || (rng.Intn(3) == 0 && len(m.Delays) < maxDelays):
+		m.Delays = append(m.Delays, uint32(1+rng.Intn(64)))
+	case rng.Intn(3) == 0:
+		i := rng.Intn(len(m.Delays))
+		m.Delays = append(m.Delays[:i], m.Delays[i+1:]...)
+	default:
+		i := rng.Intn(len(m.Delays))
+		d := int64(m.Delays[i]) + int64(rng.Intn(9)-4)
+		if d < 1 {
+			d = 1
+		}
+		m.Delays[i] = uint32(d)
+	}
+	m.normalize()
+	return m
+}
+
+// mutSplice crosses two genomes: a's tape prefix + b's tape suffix,
+// delay sets merged from a random split, class masks OR'd.
+func mutSplice(a, b *Genome, rng *rand.Rand) *Genome {
+	m := &Genome{Classes: a.Classes | b.Classes}
+	ca, cb := 0, 0
+	if len(a.Tape) > 0 {
+		ca = rng.Intn(len(a.Tape) + 1)
+	}
+	if len(b.Tape) > 0 {
+		cb = rng.Intn(len(b.Tape) + 1)
+	}
+	m.Tape = append(append([]byte(nil), a.Tape[:ca]...), b.Tape[cb:]...)
+	m.Delays = append(append([]uint32(nil), a.Delays...), b.Delays...)
+	m.normalize()
+	return m
+}

@@ -1,0 +1,82 @@
+package fuzzsched
+
+import (
+	"fmt"
+	"os"
+
+	"deepmc/internal/corpus"
+	"deepmc/internal/crashsim"
+	"deepmc/internal/ir"
+)
+
+// Target is one program the fuzzer explores.
+type Target struct {
+	// Name identifies the target in findings, witnesses, and the corpus
+	// dir; witness replay resolves targets by name, so built-in names
+	// are stable.
+	Name   string
+	Module *ir.Module
+	Entry  string
+	// Invariant, when set, is the witness oracle: a candidate finding
+	// validates iff crash enumeration under the genome violates it.
+	// When nil the oracle is the final-image diff: the end-of-run
+	// durable image under the genome must differ from the fault-free
+	// baseline (a correct program's final durable state is
+	// schedule-independent, so any diff is durable evidence).
+	Invariant crashsim.Invariant
+	// WantClean marks a planted-fixed target: the fuzz gate asserts the
+	// fuzzer finds NOTHING here (the differential half of the gate).
+	WantClean bool
+}
+
+// Targets returns the built-in fuzz targets: the planted inter-thread
+// bug pairs.  Buggy variants must be re-found, fixed variants must stay
+// clean — the same differential discipline as the corpus fault gate.
+func Targets() ([]Target, error) {
+	cases, err := corpus.InterThreadCases()
+	if err != nil {
+		return nil, err
+	}
+	var out []Target
+	for i := range cases {
+		c := &cases[i]
+		out = append(out,
+			Target{Name: c.Program + "-buggy", Module: c.Buggy, Entry: c.Entry, Invariant: c.Invariant},
+			Target{Name: c.Program + "-fixed", Module: c.Fixed, Entry: c.Entry, Invariant: c.Invariant, WantClean: true},
+		)
+	}
+	return out, nil
+}
+
+// LookupTarget resolves a built-in target by name, or loads a PIR file
+// when name ends in .pir (entry "main", image-diff oracle).
+func LookupTarget(name string) (Target, error) {
+	ts, err := Targets()
+	if err != nil {
+		return Target{}, err
+	}
+	for _, t := range ts {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	if len(name) > 4 && name[len(name)-4:] == ".pir" {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return Target{}, fmt.Errorf("fuzzsched: load target: %w", err)
+		}
+		m, err := ir.Parse(string(src))
+		if err != nil {
+			return Target{}, fmt.Errorf("fuzzsched: parse target %s: %w", name, err)
+		}
+		if err := ir.Verify(m); err != nil {
+			return Target{}, fmt.Errorf("fuzzsched: verify target %s: %w", name, err)
+		}
+		return Target{Name: name, Module: m, Entry: "main"}, nil
+	}
+	var names []string
+	for _, t := range ts {
+		names = append(names, t.Name)
+	}
+	return Target{}, fmt.Errorf("fuzzsched: unknown target %q (built-ins: %v, or a .pir file)", name, names)
+}

@@ -113,6 +113,23 @@ type StepObserver interface {
 	OnStep(step int, op ir.Op)
 }
 
+// ChoicePointer is an optional Hooks extension for schedule fuzzing.
+// When the installed Hooks value also implements ChoicePointer, the
+// interpreter calls OnChoicePoint immediately BEFORE executing each
+// persistency-schedule-relevant instruction (flush, fence, transaction
+// end, strand begin/end), with a 1-based sequence number that counts
+// only choice points.  The sequence is a pure function of the control
+// flow taken, so a genome that names choice-point ordinals addresses
+// the same program sites on every replay of the same schedule — that
+// stable addressing is what makes delay-injection points mutable
+// (shift by one = previous/next persistency event) without re-deriving
+// site tables.  The corresponding memory/persistency hook for the same
+// instruction fires after OnChoicePoint, while the instruction
+// executes.
+type ChoicePointer interface {
+	OnChoicePoint(seq int, op ir.Op, fn, file string, line int)
+}
+
 // NopHooks is an embeddable no-op Hooks implementation.
 type NopHooks struct{}
 
@@ -137,10 +154,12 @@ type Interp struct {
 
 	steps          int
 	nextObj        int
+	choiceSeq      int
 	budgetExceeded bool
 	canceled       bool
 	ctx            context.Context
 	obs            StepObserver
+	cp             ChoicePointer
 }
 
 // New creates an interpreter; hooks may be nil.
@@ -150,6 +169,7 @@ func New(m *ir.Module, hooks Hooks) *Interp {
 	}
 	ip := &Interp{Module: m, Hooks: hooks, MaxSteps: 1 << 22}
 	ip.obs, _ = hooks.(StepObserver)
+	ip.cp, _ = hooks.(ChoicePointer)
 	return ip
 }
 
@@ -290,6 +310,13 @@ func slotCount(t *ir.Type) int {
 func (ip *Interp) step(fr *frame, in *ir.Instr) error {
 	f := fr.fn
 	loc := func() (string, string, int) { return f.Name, f.File, in.Line }
+	if ip.cp != nil {
+		switch in.Op {
+		case ir.OpFlush, ir.OpFence, ir.OpTxEnd, ir.OpStrandBegin, ir.OpStrandEnd:
+			ip.choiceSeq++
+			ip.cp.OnChoicePoint(ip.choiceSeq, in.Op, f.Name, f.File, in.Line)
+		}
+	}
 	switch in.Op {
 	case ir.OpConst:
 		fr.regs[in.Dst] = fr.val(in.Args[0])

@@ -32,7 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("pass %s has no doc string", p.ID)
 		}
 	}
-	for _, id := range []string{report.CodeDynWAW, report.CodeDynRAW} {
+	for _, id := range []string{report.CodeDynWAW, report.CodeDynRAW, report.CodeDynUnflushedRAW} {
 		p, ok := ByID(id)
 		if !ok {
 			t.Errorf("dynamic detector %s not registered", id)
@@ -55,8 +55,8 @@ func TestIDsUniqueAndStable(t *testing.T) {
 			t.Errorf("pass ID %s outside the DMC-Sxx/DMC-Dxx namespace", p.ID)
 		}
 	}
-	if len(seen) != 13 {
-		t.Errorf("registry has %d passes, want 13 (11 static + 2 dynamic)", len(seen))
+	if len(seen) != 14 {
+		t.Errorf("registry has %d passes, want 14 (11 static + 3 dynamic)", len(seen))
 	}
 }
 

@@ -72,4 +72,9 @@ var registry = []Pass{
 		Kind: Dynamic, Models: MStrand, Severity: SevError,
 		Doc: "runtime read-write dependence between unordered strands",
 	},
+	{
+		ID: report.CodeDynUnflushedRAW, Rule: report.RuleStrandDependence,
+		Kind: Dynamic, Models: MStrand, Severity: SevError,
+		Doc: "runtime read of another strand's never-flushed write (durable side effects built on it are lost by a crash)",
+	},
 }

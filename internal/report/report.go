@@ -96,6 +96,12 @@ const (
 	// Dynamic detectors (happens-before races between strands).
 	CodeDynWAW = "DMC-D01"
 	CodeDynRAW = "DMC-D02"
+	// CodeDynUnflushedRAW refines CodeDynRAW: the racing read consumed a
+	// value another strand wrote but never flushed — a durable side
+	// effect built on it is inconsistent after a crash (PMRace's
+	// inter-thread inconsistency), strictly worse than an ordinary RAW
+	// whose writer at least staged the line.
+	CodeDynUnflushedRAW = "DMC-D03"
 )
 
 // staticCodes maps each rule to its static pass code.

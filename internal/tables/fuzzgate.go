@@ -1,0 +1,16 @@
+package tables
+
+import (
+	"context"
+
+	"deepmc/internal/fuzzsched"
+)
+
+// FuzzGate is the CI gate for the schedule fuzzer: the checked-in
+// witness corpus must replay byte-identically, and a default-budget
+// seed-1 fuzz run must re-find every planted inter-thread bug while
+// leaving every fixed variant clean.  A stale witness or a lost bug
+// fails the gate.
+func FuzzGate() (string, bool) {
+	return fuzzsched.Gate(context.Background())
+}
