@@ -11,6 +11,8 @@
 #   make crashsim    cross-validate the static checker against crash enumeration
 #   make faults      per-class fault-injection differential gate
 #   make fuzz-gate   schedule-fuzzer gate: witness replay + planted-bug re-discovery
+#   make soak-short  bounded heavy-traffic soak gate (crash+recover audits, sharded checker)
+#   make soak        full soak gate (same checks, bigger op budgets; writes BENCH_soak.json)
 #   make stress      cancellation / timeout / partial-report stress tests
 #   make ci          everything above, in order
 
@@ -18,7 +20,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate stress ci clean
+.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate soak-short soak stress ci clean
 
 build:
 	$(GO) build ./...
@@ -70,12 +72,24 @@ fuzz-gate: build
 	$(GO) run ./cmd/deepmc-bench -fuzz
 	$(GO) test -race -count=1 ./internal/fuzzsched ./internal/dynamic
 
+# The soak gate: drive the instrumented apps at production shape with
+# concurrent clients, crash every partition mid-workload under every
+# fault class, recover, and audit that every acknowledged write is
+# durable (fixed apps clean, planted bugs witnessed); the sharded
+# checker must beat the pre-shard global-mutex build at 8 clients.
+soak-short: build
+	$(GO) run ./cmd/deepmc-bench -soak-short
+	$(GO) test -race -count=1 ./internal/soak ./internal/workload ./internal/apps/driver
+
+soak: build
+	$(GO) run ./cmd/deepmc-bench -soak
+
 # A short robustness run: the cancellation, deadline, partial-report and
 # panic-isolation tests across every hardened package.
 stress:
 	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
 
-ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate stress
+ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate soak-short stress
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,8 @@
 //	deepmc-bench -faultinj -fault-seed 42  # per-class fault-injection differential
 //	deepmc-bench -serve                 # serve daemon chaos/soak gate (restarts, shedding, breakers)
 //	deepmc-bench -fuzz                  # schedule-fuzzer gate (witness replay + planted-bug re-discovery)
+//	deepmc-bench -soak                  # heavy-traffic soak gate (overhead + crash/recover audits, BENCH_soak.json)
+//	deepmc-bench -soak-short            # bounded soak gate for CI
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
 package main
 
@@ -46,6 +48,8 @@ func main() {
 	crashsim := flag.Bool("crashsim", false, "time legacy vs. pruned-parallel crash enumeration")
 	faultinj := flag.Bool("faultinj", false, "run the per-class fault-injection differential")
 	serveGate := flag.Bool("serve", false, "run the serve chaos/soak gate (graceful restarts, serve==batch byte-identity, breaker trip/recover, load shedding)")
+	soakGate := flag.Bool("soak", false, "run the heavy-traffic soak gate (tracked/untracked overhead, sharded vs global-mutex checker, crash+recover audits; writes BENCH_soak.json)")
+	soakShort := flag.Bool("soak-short", false, "bounded soak gate for CI (same checks, smaller op budgets)")
 	fuzzGate := flag.Bool("fuzz", false, "run the schedule-fuzzer gate (witness corpus replays byte-identically, planted bugs re-found, fixed targets clean)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
@@ -112,6 +116,13 @@ func main() {
 	}
 	if *fuzzGate {
 		s, ok := tables.FuzzGate()
+		emit(s)
+		if !ok {
+			os.Exit(cli.ExitViolations)
+		}
+	}
+	if *soakGate || *soakShort {
+		s, ok := tables.SoakGate(*soakShort)
 		emit(s)
 		if !ok {
 			os.Exit(cli.ExitViolations)

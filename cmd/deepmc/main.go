@@ -11,6 +11,7 @@
 //	deepmc fmt    prog.pir
 //	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [prog.pir]
 //	deepmc fuzz   [-seed N] [-budget N] [-corpus-dir DIR] [-target NAME] [-timeout D]
+//	deepmc soak   [-app memcache|redis|nstore] [-clients N] [-partitions N] [-keys N] [-ops N] [-phases N] [-mix NAME] [-faults CLASSES] [-fault-rate R] [-seed N] [-tracked] [-stripes N] [-buggy]
 //
 // Exit codes: 0 = clean, 1 = violations found (or a differential gate
 // disagreed), 2 = the analysis itself failed, timed out, or produced
@@ -44,6 +45,8 @@ import (
 	"deepmc/internal/ir"
 	"deepmc/internal/passes"
 	"deepmc/internal/serve"
+	"deepmc/internal/soak"
+	"deepmc/internal/workload"
 )
 
 func main() {
@@ -73,6 +76,8 @@ func main() {
 		err = cmdFuzz(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -129,6 +134,16 @@ commands:
           and reported with a replayable witness.  -target selects one
           built-in inter-thread target or a .pir file (default: all
           built-ins); -corpus-dir persists interesting genomes
+  soak    [-app memcache|redis|nstore] [-clients N] [-partitions N] [-keys N]
+          [-ops N] [-phases N] [-mix NAME] [-faults CLASSES] [-fault-rate R]
+          [-seed N] [-tracked] [-stripes N] [-buggy]
+          drive the instrumented app at production shape with concurrent
+          clients, crash every partition between phases, run recovery,
+          and audit the recovered image against every acknowledged
+          write; -buggy plants the app's crash-consistency bug (exit 1
+          when the audit witnesses an inconsistency); -tracked attaches
+          the sharded dynamic checker (-stripes 1 = the pre-shard
+          global-mutex baseline)
   serve   [-addr :7437] [-jobs N] [-inflight N] [-queue N] [-timeout D]
           [-max-trace-entries N] [-drain D] [-cache-dir DIR]
           [-breaker-threshold N] [-breaker-cooldown D]
@@ -629,6 +644,70 @@ func cmdServe(args []string) error {
 	}
 	fmt.Fprintln(os.Stderr, "deepmc serve: drained")
 	return nil
+}
+
+func cmdSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	app := fs.String("app", "memcache", "store under soak: memcache, redis, or nstore")
+	clients := fs.Int("clients", 4, "concurrent client count")
+	partitions := fs.Int("partitions", 2, "independent store partitions")
+	keys := fs.Uint64("keys", 1024, "preloaded key-space size")
+	opsPerClient := fs.Int("ops", 500, "operations per client per phase")
+	phases := fs.Int("phases", 2, "traffic->crash->recover->audit cycles")
+	mixName := fs.String("mix", "", "workload mix preset (memslap or YCSB name; empty = soak default)")
+	faults := fs.String("faults", "", "fault classes to inject: torn,dropped,reordered,delayed or all")
+	faultRate := fs.Float64("fault-rate", 0.2, "per-opportunity injection probability")
+	seed := fs.Int64("seed", 1, "workload and fault-schedule seed")
+	tracked := fs.Bool("tracked", false, "attach the sharded dynamic checker to every partition")
+	stripes := fs.Int("stripes", 0, "checker shadow-directory stripes (0 = default, 1 = global-mutex baseline)")
+	buggy := fs.Bool("buggy", false, "plant the app's crash-consistency bug (memcache, nstore)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("soak: unexpected arguments %q", fs.Args())
+	}
+	cfg := soak.Config{
+		App: *app, Clients: *clients, Partitions: *partitions,
+		Keys: *keys, OpsPerClient: *opsPerClient, Phases: *phases,
+		FaultRate: *faultRate, Seed: *seed,
+		Tracked: *tracked, Stripes: *stripes, Buggy: *buggy,
+	}
+	if *mixName != "" {
+		mix, err := lookupMix(*mixName)
+		if err != nil {
+			return err
+		}
+		cfg.Mix = mix
+	}
+	cls, err := faultinj.ParseClasses(*faults)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = cls
+	res, err := soak.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	// Witnesses on a supposedly-fixed app are violations; a buggy run
+	// is expected to witness, and silence there is the failure.
+	if (res.TotalWitnesses > 0) != cfg.Buggy {
+		os.Exit(cli.ExitViolations)
+	}
+	return nil
+}
+
+// lookupMix resolves a workload preset by name (memslap and YCSB sets).
+func lookupMix(name string) (workload.Mix, error) {
+	var names []string
+	for _, set := range [][]workload.Mix{workload.MemslapMixes(), workload.YCSBMixes()} {
+		for _, m := range set {
+			if strings.EqualFold(m.Name, name) {
+				return m, nil
+			}
+			names = append(names, m.Name)
+		}
+	}
+	return workload.Mix{}, fmt.Errorf("soak: unknown mix %q (have %s)", name, strings.Join(names, ", "))
 }
 
 // splitIDs parses a comma-separated -passes value (empty = all passes).

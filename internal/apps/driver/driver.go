@@ -88,9 +88,10 @@ type RetryPolicy struct {
 	// behaves as 1).
 	MaxAttempts int
 	// BaseDelay is the backoff before the first retry; each further
-	// retry doubles it, capped at MaxDelay (0 = no cap).  The actual
-	// sleep is jittered uniformly in [delay/2, delay) so clients
-	// desynchronize.
+	// retry doubles it, capped at MaxDelay (0 = a one-minute ceiling,
+	// so the doubling series can never overflow into a zero sleep).
+	// The actual sleep is jittered uniformly in [delay/2, delay) so
+	// clients desynchronize.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
 	// Transient classifies retryable errors; nil retries every error.
@@ -100,14 +101,32 @@ type RetryPolicy struct {
 	Seed int64
 }
 
+// backoffCeiling caps the backoff when the policy sets no MaxDelay and
+// the doubling series overflows int64 nanoseconds.
+const backoffCeiling = time.Minute
+
 // backoff returns the jittered sleep before retry attempt (0-based).
+// The doubling series saturates at MaxDelay (or backoffCeiling when no
+// cap is set) instead of overflowing: BaseDelay << attempt wraps to a
+// non-positive value around attempt 62, which used to read as "no
+// delay configured" and silently disabled backoff exactly when a store
+// had been failing longest.
 func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
-	d := p.BaseDelay << uint(attempt)
+	d := p.BaseDelay
 	if d <= 0 {
 		return 0
 	}
-	if p.MaxDelay > 0 && d > p.MaxDelay {
-		d = p.MaxDelay
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = backoffCeiling
+	}
+	overflowed := attempt >= 63
+	if !overflowed {
+		d <<= uint(attempt)
+		overflowed = d <= 0 || d>>uint(attempt) != p.BaseDelay
+	}
+	if overflowed || d > cap {
+		d = cap
 	}
 	// Uniform in [d/2, d).
 	return d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
@@ -127,6 +146,9 @@ func Run(kv KV, mix workload.Mix, clients, opsPerClient int, keyspace uint64) (R
 // immediately.  Result.Retries counts the extra attempts across all
 // clients.
 func RunRetry(kv KV, mix workload.Mix, clients, opsPerClient int, keyspace uint64, pol RetryPolicy) (Result, error) {
+	if err := mix.Validate(); err != nil {
+		return Result{}, err
+	}
 	if pol.MaxAttempts < 1 {
 		pol.MaxAttempts = 1
 	}
@@ -138,7 +160,11 @@ func RunRetry(kv KV, mix workload.Mix, clients, opsPerClient int, keyspace uint6
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			gen := workload.NewGenerator(mix, keyspace, int64(id)*7919+1)
+			gen, err := workload.NewGenerator(mix, keyspace, int64(id)*7919+1)
+			if err != nil {
+				errs[id] = err
+				return
+			}
 			rng := rand.New(rand.NewSource(pol.Seed ^ int64(id)*-0x61c8864680b583eb))
 			for i := 0; i < opsPerClient; i++ {
 				op := gen.Next()

@@ -112,3 +112,79 @@ func TestBackoffBounds(t *testing.T) {
 		}
 	}
 }
+
+// Regression: BaseDelay << attempt overflows int64 around attempt 62
+// and the old `d <= 0` guard then returned 0, silently disabling
+// backoff for the longest-failing operations.  Overflow must saturate
+// at MaxDelay instead.
+func TestBackoffOverflowClampsToMaxDelay(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: 8 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	rng := rand.New(rand.NewSource(2))
+	for _, attempt := range []int{62, 63, 64, 100, 1 << 20} {
+		d := pol.backoff(attempt, rng)
+		if d < pol.MaxDelay/2 || d > pol.MaxDelay {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, pol.MaxDelay/2, pol.MaxDelay)
+		}
+	}
+}
+
+// Without a MaxDelay, overflow must saturate at the documented ceiling
+// rather than returning 0.
+func TestBackoffOverflowWithoutCapUsesCeiling(t *testing.T) {
+	pol := RetryPolicy{BaseDelay: time.Nanosecond}
+	rng := rand.New(rand.NewSource(3))
+	for _, attempt := range []int{62, 63, 127} {
+		d := pol.backoff(attempt, rng)
+		if d <= 0 {
+			t.Fatalf("attempt %d: backoff %v — overflow disabled backoff", attempt, d)
+		}
+		if d > backoffCeiling {
+			t.Fatalf("attempt %d: backoff %v exceeds ceiling %v", attempt, d, backoffCeiling)
+		}
+	}
+}
+
+// Equal-seed determinism across RunRetry: two runs over an engine that
+// records the op stream must issue identical per-client sequences.
+func TestRunRetryDeterministicStreams(t *testing.T) {
+	record := func() map[int64][]workload.Op {
+		rec := &recordingKV{ops: map[int64][]workload.Op{}}
+		if _, err := RunRetry(rec, workload.Mix{Read: 60, Update: 30, Insert: 10}, 3, 200, 128, RetryPolicy{Seed: 7}); err != nil {
+			t.Fatal(err)
+		}
+		return rec.ops
+	}
+	a, b := record(), record()
+	if len(a) != len(b) {
+		t.Fatalf("client counts differ: %d vs %d", len(a), len(b))
+	}
+	for th, ops := range a {
+		if len(ops) != len(b[th]) {
+			t.Fatalf("client %d op counts differ: %d vs %d", th, len(ops), len(b[th]))
+		}
+		for i := range ops {
+			if ops[i] != b[th][i] {
+				t.Fatalf("client %d op %d diverged: %+v vs %+v", th, i, ops[i], b[th][i])
+			}
+		}
+	}
+}
+
+func TestRunRetryRejectsMalformedMix(t *testing.T) {
+	kv := &flakyKV{}
+	if _, err := RunRetry(kv, workload.Mix{Read: 50}, 1, 1, 64, RetryPolicy{}); err == nil {
+		t.Fatal("RunRetry accepted a mix summing to 50")
+	}
+}
+
+type recordingKV struct {
+	mu  sync.Mutex
+	ops map[int64][]workload.Op
+}
+
+func (r *recordingKV) Do(thread int64, op workload.Op) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops[thread] = append(r.ops[thread], op)
+	return nil
+}

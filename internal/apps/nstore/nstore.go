@@ -27,6 +27,12 @@ type Config struct {
 	Tracker  pmem.Tracker
 	Capacity uint64 // max tuples (default 1<<16)
 	LogBytes int    // WAL capacity (default 1<<20)
+	// BuggyNoApplyPersist skips the post-apply flush+fence on the
+	// write path, leaving in-place tuple updates dirty in the cache
+	// forever (later fences drain only staged lines).  NStore has no
+	// recovery pass, so every acknowledged write vanishes on crash — a
+	// planted deep persistency bug for the soak engine's audit.
+	BuggyNoApplyPersist bool
 }
 
 // Engine is the tuple store.
@@ -122,6 +128,9 @@ func (e *Engine) write(thread int64, key uint64, words []uint64) error {
 	}
 	if t := e.cfg.Tracker; t != nil {
 		t.Write(thread, uint64(ta), "nstore_apply")
+	}
+	if e.cfg.BuggyNoApplyPersist {
+		return nil
 	}
 	if err := e.nv.Flush(ta, tupleBytes); err != nil {
 		return err

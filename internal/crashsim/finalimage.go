@@ -44,6 +44,17 @@ func FinalImage(ctx context.Context, m *ir.Module, entry string, o Options) (*Im
 	return s.image(), nil
 }
 
+// NewImage builds a durable image directly from a word map — the soak
+// engine renders its expected-vs-recovered audits through Image.Diff
+// without an interpreter run behind either side.  The map is adopted,
+// not copied; nil yields an empty image.
+func NewImage(words map[Word]int64) *Image {
+	if words == nil {
+		words = map[Word]int64{}
+	}
+	return &Image{durable: words}
+}
+
 // Diff renders a deterministic word-level comparison of two durable
 // images, one line per differing word ("obj.off: a=.. b=.."), sorted by
 // (object, offset).  Empty string means the images agree on every word

@@ -91,6 +91,32 @@ type segment struct {
 	cells map[uint64]*shadowCell
 }
 
+// segTable is one stripe of the segment directory.  The padding keeps
+// neighbouring stripes off each other's cache line, so uncontended
+// stripe locks stay uncontended at the hardware level too.
+type segTable struct {
+	mu       sync.RWMutex
+	segments map[uint64]*segment
+	_        [96]byte
+}
+
+// segRef caches one strand's recent segment lookups.  Segments are
+// created once and never deleted or replaced, so a cached pointer can
+// never go stale — at worst it misses and the stripe resolves it.
+// The cache is plain (non-atomic, allocation-free) state: a strand's
+// memory events are issued by its owning thread only, which is the
+// same single-writer discipline the rest of strandState relies on.
+type segRef struct {
+	key uint64
+	s   *segment
+}
+
+// segCacheSlots sizes the per-strand direct-mapped segment cache
+// (power of two).  One slot is not enough: a transactional store
+// alternates between the log, index, and home segments, and a single
+// entry thrashes on exactly that pattern.
+const segCacheSlots = 4
+
 // strandState is one strand/thread's clock state.  The vc map is guarded
 // by mu; own mirrors vc[id] for lock-free fast-path reads (only the
 // owning thread and strand/lock operations advance it).
@@ -100,6 +126,11 @@ type strandState struct {
 	vc   VC
 	next uint64
 	own  atomic.Uint64
+	// lastSeg short-circuits the stripe directory for the common case
+	// of accesses landing in recently used shadow segments
+	// (direct-mapped by the segment key's low bits; owned by the
+	// strand's issuing thread, see segRef).
+	lastSeg [segCacheSlots]segRef
 }
 
 // Stats surfaces the checker's footprint for the scalability evaluation.
@@ -127,13 +158,20 @@ type Checker struct {
 
 	gepoch atomic.Uint64 // global fence counter
 
-	segMu    sync.RWMutex
-	segments map[uint64]*segment
+	// stripes shards the shadow-segment directory; len is a power of
+	// two so stripe selection is a mask.  segCache enables the
+	// per-strand last-segment shortcut (off in the single-stripe
+	// configuration, which reproduces the historical global-mutex
+	// behaviour for A/B measurement).
+	stripes  []segTable
+	segCache bool
 
 	clocks sync.Map // int64 -> *strandState
 
-	mu      sync.Mutex // guards locks and rep
-	locks   map[any]VC
+	lockMu sync.Mutex // guards locks (off the report path)
+	locks  map[any]VC
+
+	mu      sync.Mutex // guards rep and races
 	rep     *report.Report
 	races   int
 	writes  atomic.Uint64
@@ -141,13 +179,36 @@ type Checker struct {
 	flushes atomic.Uint64
 }
 
-// NewChecker creates an empty runtime checker.
-func NewChecker() *Checker {
-	return &Checker{
-		segments: make(map[uint64]*segment),
+// defaultStripes is the shard count of the shadow-segment directory.
+const defaultStripes = 64
+
+// NewChecker creates an empty runtime checker with the default
+// directory sharding.
+func NewChecker() *Checker { return NewCheckerStripes(defaultStripes) }
+
+// NewCheckerStripes creates a checker whose shadow-segment directory is
+// sharded across n stripes (rounded up to a power of two).  n <= 1
+// yields the historical single-global-mutex layout with the per-strand
+// segment cache disabled — the pre-shard baseline the soak bench
+// compares against.
+func NewCheckerStripes(n int) *Checker {
+	if n < 1 {
+		n = 1
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Checker{
+		stripes:  make([]segTable, pow),
+		segCache: pow > 1,
 		locks:    make(map[any]VC),
 		rep:      report.New(),
 	}
+	for i := range c.stripes {
+		c.stripes[i].segments = make(map[uint64]*segment)
+	}
+	return c
 }
 
 // Report returns the accumulated warnings.
@@ -160,15 +221,18 @@ func (c *Checker) Report() *report.Report {
 
 // StatsSnapshot returns current footprint counters.
 func (c *Checker) StatsSnapshot() Stats {
-	c.segMu.RLock()
-	segs := len(c.segments)
-	cells := 0
-	for _, s := range c.segments {
-		s.mu.Lock()
-		cells += len(s.cells)
-		s.mu.Unlock()
+	segs, cells := 0, 0
+	for i := range c.stripes {
+		t := &c.stripes[i]
+		t.mu.RLock()
+		segs += len(t.segments)
+		for _, s := range t.segments {
+			s.mu.Lock()
+			cells += len(s.cells)
+			s.mu.Unlock()
+		}
+		t.mu.RUnlock()
 	}
-	c.segMu.RUnlock()
 	c.mu.Lock()
 	races := c.races
 	c.mu.Unlock()
@@ -216,14 +280,14 @@ func (c *Checker) GlobalFence() { c.gepoch.Add(1) }
 // Acquire orders the thread after the last Release of the lock.
 func (c *Checker) Acquire(id int64, lock any) {
 	st := c.strand(id)
-	c.mu.Lock()
+	c.lockMu.Lock()
 	lv, ok := c.locks[lock]
 	if ok {
 		st.mu.Lock()
 		st.vc.Join(lv)
 		st.mu.Unlock()
 	}
-	c.mu.Unlock()
+	c.lockMu.Unlock()
 }
 
 // Release publishes the thread's clock through the lock, then advances
@@ -240,30 +304,42 @@ func (c *Checker) Release(id int64, lock any) {
 	snapshot := st.vc.Copy()
 	st.mu.Unlock()
 	st.bump()
-	c.mu.Lock()
+	c.lockMu.Lock()
 	lv, ok := c.locks[lock]
 	if !ok {
 		lv = make(VC)
 		c.locks[lock] = lv
 	}
 	lv.Join(snapshot)
-	c.mu.Unlock()
+	c.lockMu.Unlock()
 }
 
-// seg returns (creating) the shadow segment for an address.
-func (c *Checker) seg(addr uint64) *segment {
+// seg returns (creating) the shadow segment for an address.  The
+// strand's last-segment cache answers repeat hits without touching the
+// stripe lock; misses fall through to the owning stripe.
+func (c *Checker) seg(st *strandState, addr uint64) *segment {
 	key := addr >> segmentShift
-	c.segMu.RLock()
-	s := c.segments[key]
-	c.segMu.RUnlock()
-	if s != nil {
-		return s
+	var slot *segRef
+	if c.segCache && st != nil {
+		slot = &st.lastSeg[key&(segCacheSlots-1)]
+		if slot.s != nil && slot.key == key {
+			return slot.s
+		}
 	}
-	c.segMu.Lock()
-	defer c.segMu.Unlock()
-	if s = c.segments[key]; s == nil {
-		s = &segment{cells: make(map[uint64]*shadowCell)}
-		c.segments[key] = s
+	t := &c.stripes[key&uint64(len(c.stripes)-1)]
+	t.mu.RLock()
+	s := t.segments[key]
+	t.mu.RUnlock()
+	if s == nil {
+		t.mu.Lock()
+		if s = t.segments[key]; s == nil {
+			s = &segment{cells: make(map[uint64]*shadowCell)}
+			t.segments[key] = s
+		}
+		t.mu.Unlock()
+	}
+	if slot != nil {
+		*slot = segRef{key: key, s: s}
 	}
 	return s
 }
@@ -293,7 +369,7 @@ func (c *Checker) Write(id int64, addr uint64, persistent bool, fn, file string,
 	c.writes.Add(1)
 	st := c.strand(id)
 	now := c.gepoch.Load()
-	s := c.seg(addr)
+	s := c.seg(st, addr)
 	s.mu.Lock()
 	sc := s.cells[addr]
 	if sc == nil {
@@ -334,7 +410,7 @@ func (c *Checker) Flush(id int64, addr uint64, persistent bool, fn, file string,
 		return
 	}
 	c.flushes.Add(1)
-	s := c.seg(addr)
+	s := c.seg(c.strand(id), addr)
 	s.mu.Lock()
 	if sc := s.cells[addr]; sc != nil && sc.hasWrite && !sc.flushed {
 		sc.flushed = true
@@ -352,7 +428,7 @@ func (c *Checker) Read(id int64, addr uint64, persistent bool, fn, file string, 
 	c.reads.Add(1)
 	st := c.strand(id)
 	now := c.gepoch.Load()
-	s := c.seg(addr)
+	s := c.seg(st, addr)
 	s.mu.Lock()
 	sc := s.cells[addr]
 	if sc == nil {

@@ -28,6 +28,13 @@ type Config struct {
 	// BuggyRewriteSameWord re-stores unchanged words in a transaction
 	// (the chhash.c "multiple writes to the same object" bug).
 	BuggyRewriteSameWord bool
+	// BuggyNoCommitFence drops both commit-path fences (the epoch
+	// boundary after the redo log and the post-truncate barrier), so
+	// flushed lines only ever stage and nothing reaches durable media
+	// before a crash — a planted deep persistency bug: every
+	// acknowledged transaction is lost, which the soak engine's
+	// crash+recover audit must witness.
+	BuggyNoCommitFence bool
 }
 
 // Region is a persistent memory region with a word log.
@@ -187,9 +194,11 @@ func (tx *Tx) Commit() error {
 	r.mu.Unlock()
 	// Epoch boundary: the log (including the commit record) must be
 	// durable before home updates.
-	r.nv.Fence()
-	if t := r.cfg.Tracker; t != nil {
-		t.Fence(tx.thread)
+	if !r.cfg.BuggyNoCommitFence {
+		r.nv.Fence()
+		if t := r.cfg.Tracker; t != nil {
+			t.Fence(tx.thread)
+		}
 	}
 	for _, w := range tx.writes {
 		if err := r.nv.Store64(w.addr, w.val); err != nil {
@@ -207,7 +216,9 @@ func (tx *Tx) Commit() error {
 	if err := r.nv.Flush(r.tailAddr, 8); err != nil {
 		return err
 	}
-	r.nv.Fence()
+	if !r.cfg.BuggyNoCommitFence {
+		r.nv.Fence()
+	}
 	return nil
 }
 

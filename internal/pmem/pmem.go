@@ -42,6 +42,13 @@ func NewCheckerTracker() *CheckerTracker {
 	return &CheckerTracker{C: dynamic.NewChecker()}
 }
 
+// NewCheckerTrackerStripes wraps a checker with an explicit
+// shadow-directory stripe count (1 = the pre-shard global-mutex
+// layout, used as the soak bench baseline).
+func NewCheckerTrackerStripes(n int) *CheckerTracker {
+	return &CheckerTracker{C: dynamic.NewCheckerStripes(n)}
+}
+
 // Write forwards a store to the checker.
 func (t *CheckerTracker) Write(thread int64, addr uint64, fn string) {
 	t.C.Write(thread, addr, true, fn, fn, 0)

@@ -1,0 +1,109 @@
+package soak
+
+import (
+	"sort"
+	"sync"
+)
+
+// TraceKind enumerates the checker-facing tracker calls.
+type TraceKind uint8
+
+const (
+	TraceWrite TraceKind = iota
+	TraceRead
+	TraceFence
+	TraceAcquire
+	TraceRelease
+)
+
+// TraceEvent is one recorded tracker call.  Lock identities are
+// interned to small ints so a stream replays against a fresh checker.
+type TraceEvent struct {
+	Kind TraceKind
+	Addr uint64
+	Lock int
+}
+
+// TraceStream is one client thread's ordered checker-event stream.
+type TraceStream struct {
+	Thread int64
+	Events []TraceEvent
+}
+
+// recordingTracker captures the tracker call stream of a soak run.
+// The recording run is not timed, so the mutex cost doesn't matter.
+type recordingTracker struct {
+	mu      sync.Mutex
+	lockIDs map[any]int
+	streams map[int64][]TraceEvent
+}
+
+func newRecordingTracker() *recordingTracker {
+	return &recordingTracker{
+		lockIDs: make(map[any]int),
+		streams: make(map[int64][]TraceEvent),
+	}
+}
+
+func (r *recordingTracker) add(thread int64, ev TraceEvent) {
+	r.mu.Lock()
+	r.streams[thread] = append(r.streams[thread], ev)
+	r.mu.Unlock()
+}
+
+func (r *recordingTracker) Write(thread int64, addr uint64, fn string) {
+	r.add(thread, TraceEvent{Kind: TraceWrite, Addr: addr})
+}
+
+func (r *recordingTracker) Read(thread int64, addr uint64, fn string) {
+	r.add(thread, TraceEvent{Kind: TraceRead, Addr: addr})
+}
+
+func (r *recordingTracker) Fence(thread int64) {
+	r.add(thread, TraceEvent{Kind: TraceFence})
+}
+
+func (r *recordingTracker) lockID(lock any) int {
+	id, ok := r.lockIDs[lock]
+	if !ok {
+		id = len(r.lockIDs)
+		r.lockIDs[lock] = id
+	}
+	return id
+}
+
+func (r *recordingTracker) Acquire(thread int64, lock any) {
+	r.mu.Lock()
+	ev := TraceEvent{Kind: TraceAcquire, Lock: r.lockID(lock)}
+	r.streams[thread] = append(r.streams[thread], ev)
+	r.mu.Unlock()
+}
+
+func (r *recordingTracker) Release(thread int64, lock any) {
+	r.mu.Lock()
+	ev := TraceEvent{Kind: TraceRelease, Lock: r.lockID(lock)}
+	r.streams[thread] = append(r.streams[thread], ev)
+	r.mu.Unlock()
+}
+
+// TraceCheckerEvents runs the soak with a recording tracker in place of
+// the dynamic checker and returns every thread's ordered checker-event
+// stream.  Replaying the streams (one goroutine per thread) against a
+// fresh checker reproduces exactly the shadow-tracking load the tracked
+// soak generates, isolated from the store's own cost — the input for
+// the sharded-vs-global checker benchmark.
+func TraceCheckerEvents(cfg Config) ([]TraceStream, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rec := newRecordingTracker()
+	if _, err := run(cfg, rec); err != nil {
+		return nil, err
+	}
+	streams := make([]TraceStream, 0, len(rec.streams))
+	for th, evs := range rec.streams {
+		streams = append(streams, TraceStream{Thread: th, Events: evs})
+	}
+	sort.Slice(streams, func(i, j int) bool { return streams[i].Thread < streams[j].Thread })
+	return streams, nil
+}

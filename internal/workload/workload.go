@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -52,6 +53,29 @@ type Mix struct {
 	Zipfian bool // zipfian key popularity (YCSB default); uniform otherwise
 }
 
+// Validate rejects malformed mixes.  The percentages must be
+// non-negative and sum to exactly 100: Next draws a percentile and
+// routes anything past the listed ratios to OpScan (the switch
+// default), so a mix summing to less than 100 would silently issue
+// scans against stores that treat scan as unsupported.
+func (m Mix) Validate() error {
+	for _, p := range []struct {
+		name string
+		pct  int
+	}{
+		{"read", m.Read}, {"update", m.Update}, {"insert", m.Insert},
+		{"rmw", m.RMW}, {"scan", m.Scan},
+	} {
+		if p.pct < 0 {
+			return fmt.Errorf("workload: mix %q: negative %s ratio %d", m.Name, p.name, p.pct)
+		}
+	}
+	if sum := m.Read + m.Update + m.Insert + m.RMW + m.Scan; sum != 100 {
+		return fmt.Errorf("workload: mix %q: ratios sum to %d, want exactly 100 (the remainder would silently become scans)", m.Name, sum)
+	}
+	return nil
+}
+
 // MemslapMixes are the five Memcached workloads of Figure 12.
 func MemslapMixes() []Mix {
 	return []Mix{
@@ -89,16 +113,27 @@ type Generator struct {
 	zipf    *Zipf
 }
 
-// NewGenerator creates a generator over a key space of n keys.
-func NewGenerator(mix Mix, n uint64, seed int64) *Generator {
+// NewGenerator creates a generator over a key space of n keys.  The
+// mix must validate; an empty initial space is widened to one key so
+// read-heavy mixes have something to draw before the first insert.
+func NewGenerator(mix Mix, n uint64, seed int64) (*Generator, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		n = 1
+	}
 	g := &Generator{mix: mix, rng: rand.New(rand.NewSource(seed)), keys: n, nextIns: n}
 	if mix.Zipfian {
 		g.zipf = NewZipf(n, 0.99, seed^0x5eed)
 	}
-	return g
+	return g, nil
 }
 
 // key draws a key according to the mix's popularity distribution.
+// Zipfian popularity ranks stay over the initial space (YCSB keeps the
+// hot set stable); uniform mixes — including YCSB-D — draw from the
+// grown space so inserted records get read.
 func (g *Generator) key() uint64 {
 	if g.zipf != nil {
 		return g.zipf.Next()
@@ -118,6 +153,7 @@ func (g *Generator) Next() Op {
 	case p < m.Read+m.Update+m.Insert:
 		k := g.nextIns
 		g.nextIns++
+		g.keys = g.nextIns // inserted key joins the readable space
 		return Op{Kind: OpInsert, Key: k}
 	case p < m.Read+m.Update+m.Insert+m.RMW:
 		return Op{Kind: OpRMW, Key: g.key()}
