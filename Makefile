@@ -13,6 +13,7 @@
 #   make fuzz-gate   schedule-fuzzer gate: witness replay + planted-bug re-discovery
 #   make soak-short  bounded heavy-traffic soak gate (crash+recover audits, sharded checker)
 #   make soak        full soak gate (same checks, bigger op budgets; writes BENCH_soak.json)
+#   make fleet-gate  sharded-fleet chaos gate (fleet == batch bytes at shards 1/4/8 with kills)
 #   make stress      cancellation / timeout / partial-report stress tests
 #   make ci          everything above, in order
 
@@ -20,7 +21,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate soak-short soak stress ci clean
+.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate soak-short soak fleet-gate stress ci clean
 
 build:
 	$(GO) build ./...
@@ -84,12 +85,21 @@ soak-short: build
 soak: build
 	$(GO) run ./cmd/deepmc-bench -soak
 
+# The fleet gate: the sharded coordinator's merged output must be
+# byte-identical to a single-node batch run at shards 1, 4 and 8 — with
+# shards killed and restarted mid-traffic — and no acknowledged job may
+# be dropped (lost executions requeue, survivors steal the dead shard's
+# queue, breakers eject and re-admit via health probes).
+fleet-gate: build
+	$(GO) run ./cmd/deepmc-bench -fleet
+	$(GO) test -race -count=1 ./internal/fleet
+
 # A short robustness run: the cancellation, deadline, partial-report and
 # panic-isolation tests across every hardened package.
 stress:
 	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
 
-ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate soak-short stress
+ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate soak-short fleet-gate stress
 
 clean:
 	$(GO) clean ./...

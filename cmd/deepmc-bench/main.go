@@ -51,6 +51,7 @@ func main() {
 	soakGate := flag.Bool("soak", false, "run the heavy-traffic soak gate (tracked/untracked overhead, sharded vs global-mutex checker, crash+recover audits; writes BENCH_soak.json)")
 	soakShort := flag.Bool("soak-short", false, "bounded soak gate for CI (same checks, smaller op budgets)")
 	fuzzGate := flag.Bool("fuzz", false, "run the schedule-fuzzer gate (witness corpus replays byte-identically, planted bugs re-found, fixed targets clean)")
+	fleetGate := flag.Bool("fleet", false, "run the sharded-fleet chaos gate (fleet == batch byte-identity at shards 1/4/8, with mid-run kills and restarts; writes BENCH_fleet.json)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
 
@@ -116,6 +117,13 @@ func main() {
 	}
 	if *fuzzGate {
 		s, ok := tables.FuzzGate()
+		emit(s)
+		if !ok {
+			os.Exit(cli.ExitViolations)
+		}
+	}
+	if *fleetGate {
+		s, ok := tables.FleetGate()
 		emit(s)
 		if !ok {
 			os.Exit(cli.ExitViolations)

@@ -12,6 +12,7 @@
 //	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [prog.pir]
 //	deepmc fuzz   [-seed N] [-budget N] [-corpus-dir DIR] [-target NAME] [-timeout D]
 //	deepmc soak   [-app memcache|redis|nstore] [-clients N] [-partitions N] [-keys N] [-ops N] [-phases N] [-mix NAME] [-faults CLASSES] [-fault-rate R] [-seed N] [-tracked] [-stripes N] [-buggy]
+//	deepmc fleet  [-shards N] [-model ...] [-all] [-jobs N] [-cache-dir DIR] [-cache-cap N] [-retries N] [-hedge D] [-kill N] [-seed N] [-timeout D] [prog.pir...]
 //
 // Exit codes: 0 = clean, 1 = violations found (or a differential gate
 // disagreed), 2 = the analysis itself failed, timed out, or produced
@@ -27,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"strconv"
@@ -41,6 +43,7 @@ import (
 	"deepmc/internal/crashsim"
 	"deepmc/internal/faultinj"
 	"deepmc/internal/fixer"
+	"deepmc/internal/fleet"
 	"deepmc/internal/fuzzsched"
 	"deepmc/internal/ir"
 	"deepmc/internal/passes"
@@ -76,6 +79,8 @@ func main() {
 		err = cmdFuzz(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "soak":
 		err = cmdSoak(os.Args[2:])
 	case "-h", "--help", "help":
@@ -153,6 +158,16 @@ commands:
           429, per-request budgets degrade to partial reports, per-pass
           circuit breakers isolate crashing rules, and SIGINT/SIGTERM
           drains in-flight requests before flushing the disk cache
+  fleet   [-shards N] [-model ...] [-all] [-jobs N] [-cache-dir DIR]
+          [-cache-cap N] [-retries N] [-hedge D] [-kill N] [-seed N]
+          [-timeout D] [-passes IDS] [-disable-pass ID]... [prog.pir...]
+          shard a batch analysis across N failure-independent workers
+          (no files: the built-in corpus): consistent-hash placement,
+          work-stealing, bounded retries with jittered backoff, hedged
+          stragglers, circuit-breaker shard ejection with health-probe
+          recovery, and a shared read-through/write-behind verdict
+          tier; output is byte-identical to a single-node run at any
+          shard count, -kill chaos included
 
 exit codes: 0 clean, 1 violations/gate failure, 2 analysis failed or
 timed out (partial report)
@@ -643,6 +658,127 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "deepmc serve: drained")
+	return nil
+}
+
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	shards := fs.Int("shards", 4, "failure-independent shard workers")
+	model := fs.String("model", "strict", "persistency model for .pir inputs")
+	all := fs.Bool("all", false, "check every function standalone")
+	jobsN := fs.Int("jobs", 1, "per-analysis checker workers (0 = GOMAXPROCS; shard fan-out carries throughput)")
+	cacheDir := fs.String("cache-dir", "", "shared verdict tier directory (read-through/write-behind)")
+	cacheCap := fs.Int("cache-cap", 0, "max disk entries in the shared tier, LRU-evicted (0 = unbounded)")
+	retries := fs.Int("retries", 2, "attributed-failure retries per job (0 = none); shard-death requeues are always free")
+	hedge := fs.Duration("hedge", 500*time.Millisecond, "re-dispatch a straggling job to an idle shard after this long (0 = off)")
+	kill := fs.Int("kill", 0, "chaos: kill and restart this many random shards mid-run")
+	seed := fs.Int64("seed", 1, "chaos and backoff-jitter seed")
+	timeout := fs.Duration("timeout", 0, "whole-run deadline (0 = none)")
+	passIDs := fs.String("passes", "", "comma-separated pass IDs to enable (default: all)")
+	var disable stringList
+	fs.Var(&disable, "disable-pass", "pass ID to disable (repeatable)")
+	fs.Parse(args)
+
+	base := core.Config{
+		Model:         *model,
+		AllFunctions:  *all,
+		Workers:       *jobsN,
+		Passes:        splitIDs(*passIDs),
+		DisablePasses: disable,
+	}
+	var jobs []fleet.Job
+	if fs.NArg() == 0 {
+		for _, p := range corpus.All() {
+			m, err := p.Module()
+			if err != nil {
+				return err
+			}
+			pcfg := base
+			pcfg.Model = p.Model.String()
+			jobs = append(jobs, fleet.Job{Name: p.Name, Module: m, Config: pcfg})
+		}
+	} else {
+		for _, path := range fs.Args() {
+			m, err := loadModule(path)
+			if err != nil {
+				return err
+			}
+			jobs = append(jobs, fleet.Job{Name: path, Module: m, Config: base})
+		}
+	}
+
+	maxRetries := *retries
+	if maxRetries <= 0 {
+		maxRetries = -1 // fleet.Config: negative disables, zero selects the default
+	}
+	f, err := fleet.New(fleet.Config{
+		Shards:     *shards,
+		CacheDir:   *cacheDir,
+		CacheCap:   *cacheCap,
+		MaxRetries: maxRetries,
+		HedgeAfter: *hedge,
+		Seed:       *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := runContext(*timeout)
+	defer cancel()
+
+	chaosDone := make(chan struct{})
+	if *kill > 0 {
+		go func() {
+			rng := rand.New(rand.NewSource(*seed))
+			for i := 0; i < *kill; i++ {
+				select {
+				case <-chaosDone:
+					return
+				default:
+				}
+				s := rng.Intn(*shards)
+				f.KillShard(s)
+				time.Sleep(10 * time.Millisecond)
+				if err := f.RestartShard(s); err != nil {
+					fmt.Fprintf(os.Stderr, "deepmc fleet: restart shard %d: %v\n", s, err)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+	}
+	res := f.Run(ctx, jobs)
+	close(chaosDone)
+
+	sawViol, sawFail := false, false
+	for i, name := range res.Names {
+		if res.Errs[i] != nil {
+			fmt.Printf("== %s\nFAILED: %v\n", name, res.Errs[i])
+			sawFail = true
+			continue
+		}
+		fmt.Printf("== %s\n%s", name, res.Reports[i])
+		if len(res.Reports[i].Warnings) > 0 {
+			sawViol = true
+		}
+		if res.Reports[i].Partial() {
+			sawFail = true
+		}
+	}
+	st := f.StatsSnapshot()
+	fmt.Printf("fleet: %d jobs over %d shards: completed=%d retries=%d steals=%d requeues=%d hedges=%d kills=%d restarts=%d\n",
+		len(jobs), *shards, st.Completed, st.Retries, st.Steals, st.Requeues, st.Hedges, st.Kills, st.Restarts)
+	// Close before exiting: os.Exit skips defers, and Close is what
+	// flushes the write-behind tier to -cache-dir.
+	if cerr := f.Close(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "deepmc fleet: close: %v\n", cerr)
+	}
+	if sawViol {
+		os.Exit(cli.ExitViolations)
+	}
+	if sawFail {
+		os.Exit(cli.ExitFailed)
+	}
 	return nil
 }
 

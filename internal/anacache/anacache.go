@@ -33,7 +33,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"deepmc/internal/dsa"
 	"deepmc/internal/report"
@@ -67,6 +70,27 @@ type Stats struct {
 	TraceMisses   uint64 `json:"trace_misses"`
 	DiskHits      uint64 `json:"disk_hits"`
 	Stores        uint64 `json:"stores"`
+	// BackingHits counts verdict lookups served read-through from the
+	// shared backing tier (the fleet's network verdict store).
+	BackingHits uint64 `json:"backing_hits"`
+	// Evictions counts disk-tier entries removed by the size cap's
+	// LRU-by-mtime eviction.
+	Evictions uint64 `json:"evictions"`
+}
+
+// Backing is a shared verdict tier behind a Cache: read-through on
+// verdict lookups that miss both local tiers, write-behind on verdict
+// stores.  The fleet coordinator implements it over one shared
+// content-addressed store so every shard warms from (and feeds) the
+// same tier while keeping its own failure-independent local cache.
+// Implementations must be safe for concurrent use.
+type Backing interface {
+	// Load returns the warning list memoized under k, if any.
+	Load(k Key) ([]report.Warning, bool)
+	// Store forwards a complete per-function verdict for sharing.
+	// It must not block on durability — writes behind are the
+	// implementation's concern.
+	Store(k Key, ws []report.Warning, sum dsa.FuncSummary)
 }
 
 // Cache is the two-tier artifact cache.  Safe for concurrent use; one
@@ -78,13 +102,24 @@ type Cache struct {
 	traces   map[Key]*TraceArtifact
 	verdicts map[Key][]report.Warning
 	dir      string // "" = memory only
+	// diskMu guards the disk tier's size bookkeeping (locked after mu
+	// when both are held).
+	diskMu sync.Mutex
 	// lazy defers disk writes: StoreVerdicts parks entries in pending
 	// and Flush writes them out in one batch (the serve daemon's drain
 	// path — requests never pay disk latency, a graceful shutdown
 	// persists the warm tier for the next process).
 	lazy    bool
 	pending map[Key]diskEntry
-	stats   Stats
+	// backing is the optional shared read-through/write-behind tier.
+	backing Backing
+	// diskCap bounds the disk tier's entry count (0 = unbounded);
+	// diskCount is the tracked entry count, -1 until first scanned;
+	// evictions counts cap-driven removals.  All under diskMu.
+	diskCap   int
+	diskCount int
+	evictions uint64
+	stats     Stats
 }
 
 // diskFormat versions the on-disk entry layout.
@@ -106,10 +141,36 @@ func New(dir string) (*Cache, error) {
 		}
 	}
 	return &Cache{
-		traces:   make(map[Key]*TraceArtifact),
-		verdicts: make(map[Key][]report.Warning),
-		dir:      dir,
+		traces:    make(map[Key]*TraceArtifact),
+		verdicts:  make(map[Key][]report.Warning),
+		dir:       dir,
+		diskCount: -1, // unknown until the cap first needs it
 	}, nil
+}
+
+// SetBacking attaches a shared read-through/write-behind verdict tier:
+// lookups that miss memory and disk consult it, and stores are
+// forwarded to it.  Call before sharing the cache across goroutines.
+func (c *Cache) SetBacking(b Backing) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backing = b
+}
+
+// SetDiskCap bounds the disk tier to at most max entries (0 removes
+// the bound).  When the tier exceeds the cap — immediately, or after a
+// later write — the least-recently-used entries by mtime are evicted
+// (read hits touch their entry, so recently served verdicts survive).
+// A long-lived daemon or fleet tier otherwise grows the cache
+// directory without bound.
+func (c *Cache) SetDiskCap(max int) {
+	if c.dir == "" {
+		return
+	}
+	c.diskMu.Lock()
+	c.diskCap = max
+	c.diskMu.Unlock()
+	c.evictOverCap()
 }
 
 // NewLazy creates a cache whose disk tier is read-enabled but
@@ -179,6 +240,22 @@ func (c *Cache) LookupVerdicts(k Key) ([]report.Warning, bool) {
 			c.verdicts[k] = ws
 			c.stats.VerdictHits++
 			c.stats.DiskHits++
+			// Touch the entry so LRU-by-mtime eviction treats a served
+			// verdict as recently used (best effort — a failed touch
+			// only makes the entry evictable sooner).
+			now := time.Now()
+			_ = os.Chtimes(c.path(k), now, now)
+			return ws, true
+		}
+	}
+	if c.backing != nil {
+		if ws, ok := c.backing.Load(k); ok {
+			if ws == nil {
+				ws = []report.Warning{}
+			}
+			c.verdicts[k] = ws
+			c.stats.VerdictHits++
+			c.stats.BackingHits++
 			return ws, true
 		}
 	}
@@ -187,12 +264,13 @@ func (c *Cache) LookupVerdicts(k Key) ([]report.Warning, bool) {
 }
 
 // StoreVerdicts memoizes a complete per-function warning list under a
-// verdict key, in memory and (when enabled) on disk.
+// verdict key, in memory, (when enabled) on disk, and — write-behind —
+// in the shared backing tier.
 func (c *Cache) StoreVerdicts(k Key, ws []report.Warning, sum dsa.FuncSummary) {
 	cp := append([]report.Warning(nil), ws...)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.verdicts[k]; ok {
+		c.mu.Unlock()
 		return
 	}
 	c.verdicts[k] = cp
@@ -204,6 +282,13 @@ func (c *Cache) StoreVerdicts(k Key, ws []report.Warning, sum dsa.FuncSummary) {
 		} else {
 			c.writeDisk(k, e)
 		}
+	}
+	b := c.backing
+	c.mu.Unlock()
+	// Forwarded outside the lock: the backing tier's durability is its
+	// own concern and must not serialize local cache traffic.
+	if b != nil {
+		b.Store(k, cp, sum)
 	}
 }
 
@@ -232,8 +317,12 @@ func (c *Cache) StoreTraces(k Key, a *TraceArtifact) {
 // Stats snapshots the traffic counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	c.mu.Unlock()
+	c.diskMu.Lock()
+	st.Evictions = c.evictions
+	c.diskMu.Unlock()
+	return st
 }
 
 // path maps a key to its disk file.
@@ -278,9 +367,90 @@ func (c *Cache) writeDisk(k Key, e diskEntry) error {
 		}
 		return fmt.Errorf("anacache: write %s: %w", k.Hex(), werr)
 	}
-	if err := os.Rename(name, c.path(k)); err != nil {
+	dst := c.path(k)
+	_, statErr := os.Stat(dst)
+	if err := os.Rename(name, dst); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("anacache: %w", err)
 	}
+	if statErr != nil { // a new entry, not an overwrite
+		c.diskMu.Lock()
+		if c.diskCount >= 0 {
+			c.diskCount++
+		}
+		c.diskMu.Unlock()
+	}
+	c.evictOverCap()
 	return nil
+}
+
+// evictOverCap enforces the disk cap: when the tier holds more than
+// diskCap entries, the least-recently-used (oldest mtime) entries are
+// removed until it fits.  Temp files from in-flight writers are never
+// touched.  Called after writes and from SetDiskCap; cheap while under
+// the cap (one counter check).
+func (c *Cache) evictOverCap() {
+	c.diskMu.Lock()
+	defer c.diskMu.Unlock()
+	if c.diskCap <= 0 || c.dir == "" {
+		return
+	}
+	if c.diskCount < 0 {
+		c.diskCount = c.scanDiskLocked()
+	}
+	if c.diskCount <= c.diskCap {
+		return
+	}
+	type entry struct {
+		name  string
+		mtime time.Time
+	}
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	var entries []entry
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{de.Name(), info.ModTime()})
+	}
+	// Oldest first; name as the tiebreaker keeps eviction order
+	// deterministic on filesystems with coarse mtime granularity.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].name < entries[j].name
+	})
+	c.diskCount = len(entries)
+	for _, e := range entries {
+		if c.diskCount <= c.diskCap {
+			break
+		}
+		if os.Remove(filepath.Join(c.dir, e.name)) == nil {
+			c.diskCount--
+			c.evictions++
+		}
+	}
+}
+
+// scanDiskLocked counts the disk tier's entries (diskMu held).
+func (c *Cache) scanDiskLocked() int {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			n++
+		}
+	}
+	return n
 }

@@ -1,10 +1,13 @@
 package anacache
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"deepmc/internal/dsa"
 	"deepmc/internal/ir"
@@ -256,6 +259,161 @@ func TestCacheDiskCorruption(t *testing.T) {
 	}
 	if _, ok := c.LookupVerdicts(k); ok {
 		t.Fatal("wrong-format entry served as a hit")
+	}
+}
+
+// keyN builds a distinct key from an index.
+func keyN(i int) Key {
+	var k Key
+	k[0], k[1], k[2] = byte(i), byte(i>>8), 0xEE
+	return k
+}
+
+// TestCacheDiskCapEviction: with a cap set, the disk tier holds at most
+// cap entries, the oldest-by-mtime entries go first, and the eviction
+// counter surfaces in Stats.
+func TestCacheDiskCapEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetDiskCap(4)
+	for i := 0; i < 10; i++ {
+		ws := []report.Warning{{Rule: report.RuleUnflushedWrite, Func: fmt.Sprintf("f%d", i), Line: i, Message: "m"}}
+		c.StoreVerdicts(keyN(i), ws, dsa.FuncSummary{})
+		// Distinct mtimes even on filesystems with coarse granularity
+		// would need sleeps; the name tiebreaker keeps order stable, so
+		// a short settle is enough for most platforms.
+		time.Sleep(2 * time.Millisecond)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) > 4 {
+		t.Fatalf("disk tier holds %d entries, cap is 4", len(ents))
+	}
+	if st := c.Stats(); st.Evictions < 6 {
+		t.Fatalf("expected >= 6 evictions, stats = %+v", st)
+	}
+	// The newest entry survived; a fresh cache over the dir serves it.
+	c2, _ := New(dir)
+	if _, ok := c2.LookupVerdicts(keyN(9)); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	// The oldest did not.
+	if _, ok := c2.LookupVerdicts(keyN(0)); ok {
+		t.Fatal("oldest entry survived past the cap")
+	}
+}
+
+// TestCacheDiskCapTrimsExisting: pointing a capped cache at an
+// oversized directory trims it immediately.
+func TestCacheDiskCapTrimsExisting(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := New(dir)
+	for i := 0; i < 8; i++ {
+		c1.StoreVerdicts(keyN(i), nil, dsa.FuncSummary{})
+	}
+	c2, _ := New(dir)
+	c2.SetDiskCap(3)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 3 {
+		t.Fatalf("existing dir not trimmed to cap: %d entries", len(ents))
+	}
+	if st := c2.Stats(); st.Evictions != 5 {
+		t.Fatalf("expected 5 evictions, stats = %+v", st)
+	}
+}
+
+// TestCacheDiskReadTouches: a disk hit refreshes the entry's mtime, so
+// LRU eviction spares recently served verdicts.
+func TestCacheDiskReadTouches(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := New(dir)
+	c.StoreVerdicts(keyN(1), nil, dsa.FuncSummary{})
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(c.path(keyN(1)), old, old); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh cache reads it from disk, which must touch the file.
+	c2, _ := New(dir)
+	if _, ok := c2.LookupVerdicts(keyN(1)); !ok {
+		t.Fatal("expected disk hit")
+	}
+	info, err := os.Stat(c.path(keyN(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.ModTime().After(old.Add(30 * time.Minute)) {
+		t.Fatalf("disk hit did not refresh mtime: %v", info.ModTime())
+	}
+}
+
+// memBacking is a Backing for tests: a map plus traffic counters.
+type memBacking struct {
+	mu     sync.Mutex
+	m      map[Key][]report.Warning
+	loads  int
+	stores int
+}
+
+func newMemBacking() *memBacking { return &memBacking{m: make(map[Key][]report.Warning)} }
+
+func (b *memBacking) Load(k Key) ([]report.Warning, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.loads++
+	ws, ok := b.m[k]
+	return ws, ok
+}
+
+func (b *memBacking) Store(k Key, ws []report.Warning, _ dsa.FuncSummary) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stores++
+	b.m[k] = ws
+}
+
+// TestCacheBackingReadThroughWriteBehind: misses consult the backing
+// tier, hits promote into memory, and stores are forwarded.
+func TestCacheBackingReadThroughWriteBehind(t *testing.T) {
+	b := newMemBacking()
+	b.m[keyN(1)] = []report.Warning{{Rule: report.RuleRedundantFlush, Func: "shared", Message: "m"}}
+
+	c, _ := New("")
+	c.SetBacking(b)
+
+	// Read-through on miss.
+	got, ok := c.LookupVerdicts(keyN(1))
+	if !ok || len(got) != 1 || got[0].Func != "shared" {
+		t.Fatalf("backing read-through: ok=%v got=%+v", ok, got)
+	}
+	// Promoted: the second lookup must not touch the backing again.
+	c.LookupVerdicts(keyN(1))
+	if b.loads != 1 {
+		t.Fatalf("expected 1 backing load, got %d", b.loads)
+	}
+	if st := c.Stats(); st.BackingHits != 1 || st.VerdictHits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Write-behind: a local store is forwarded to the backing.
+	c.StoreVerdicts(keyN(2), []report.Warning{{Rule: report.RuleUnflushedWrite, Func: "w"}}, dsa.FuncSummary{})
+	if b.stores != 1 {
+		t.Fatalf("expected 1 backing store, got %d", b.stores)
+	}
+	if ws, ok := b.m[keyN(2)]; !ok || len(ws) != 1 || ws[0].Func != "w" {
+		t.Fatalf("forwarded store missing: %+v", ws)
+	}
+
+	// A genuine miss everywhere stays a miss.
+	if _, ok := c.LookupVerdicts(keyN(3)); ok {
+		t.Fatal("phantom hit")
 	}
 }
 

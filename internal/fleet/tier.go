@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+
+	"deepmc/internal/anacache"
+	"deepmc/internal/dsa"
+	"deepmc/internal/report"
+)
+
+// VerdictTier is the fleet's shared content-addressed verdict store:
+// one lazy anacache over a common directory, sitting behind every
+// shard's local cache as its anacache.Backing.  Shards read through it
+// on local misses (so a verdict computed anywhere warms everywhere)
+// and write behind it on stores (the flusher goroutine batches the
+// deferred disk writes, keeping shard hot paths off disk I/O).
+//
+// Loads are singleflight-coalesced per key: when several shards miss
+// on the same fingerprint at once — the common case right after a
+// popular component changes — only one disk read happens and the rest
+// share its result.
+type VerdictTier struct {
+	shared *anacache.Cache
+
+	mu       sync.Mutex
+	inflight map[anacache.Key]*tierCall
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type tierCall struct {
+	done chan struct{}
+	ws   []report.Warning
+	ok   bool
+}
+
+// NewVerdictTier opens the shared tier over dir (lazy writes, flushed
+// every flushEvery), bounded to cap disk entries when cap > 0.
+func NewVerdictTier(dir string, cap int, flushEvery time.Duration) (*VerdictTier, error) {
+	shared, err := anacache.NewLazy(dir)
+	if err != nil {
+		return nil, err
+	}
+	if cap > 0 {
+		shared.SetDiskCap(cap)
+	}
+	t := &VerdictTier{
+		shared:   shared,
+		inflight: make(map[anacache.Key]*tierCall),
+		stop:     make(chan struct{}),
+	}
+	if dir != "" && flushEvery > 0 {
+		t.wg.Add(1)
+		go t.flusher(flushEvery)
+	}
+	return t, nil
+}
+
+// Load implements anacache.Backing: a coalesced read of the shared
+// tier.  Concurrent loads of the same key share one lookup.
+func (t *VerdictTier) Load(k anacache.Key) ([]report.Warning, bool) {
+	t.mu.Lock()
+	if c, ok := t.inflight[k]; ok {
+		t.mu.Unlock()
+		<-c.done
+		return c.ws, c.ok
+	}
+	c := &tierCall{done: make(chan struct{})}
+	t.inflight[k] = c
+	t.mu.Unlock()
+
+	c.ws, c.ok = t.shared.LookupVerdicts(k)
+
+	t.mu.Lock()
+	delete(t.inflight, k)
+	t.mu.Unlock()
+	close(c.done)
+	return c.ws, c.ok
+}
+
+// Store implements anacache.Backing: the write-behind half.  The
+// shared cache is lazy, so this buffers in memory; the flusher (or
+// Close) persists it.
+func (t *VerdictTier) Store(k anacache.Key, ws []report.Warning, sum dsa.FuncSummary) {
+	t.shared.StoreVerdicts(k, ws, sum)
+}
+
+// Stats exposes the shared cache's counters.
+func (t *VerdictTier) Stats() anacache.Stats { return t.shared.Stats() }
+
+// Close stops the flusher and performs a final flush so a restarted
+// fleet warms from everything this one computed.
+func (t *VerdictTier) Close() error {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	t.wg.Wait()
+	_, err := t.shared.Flush()
+	return err
+}
+
+func (t *VerdictTier) flusher(every time.Duration) {
+	defer t.wg.Done()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			t.shared.Flush()
+		case <-t.stop:
+			return
+		}
+	}
+}

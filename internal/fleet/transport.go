@@ -1,0 +1,51 @@
+package fleet
+
+import (
+	"context"
+
+	"deepmc/internal/anacache"
+	"deepmc/internal/core"
+	"deepmc/internal/report"
+)
+
+// Transport is the shard execution boundary.  The coordinator only
+// ever talks to shards through it, so the in-process goroutine shards
+// shipped here and a future HTTP transport (one serve daemon per
+// shard) are interchangeable: Analyze must honor ctx — a canceled
+// shard context is how the coordinator kills a shard out from under
+// its work — and Close releases whatever the transport holds.
+type Transport interface {
+	Analyze(ctx context.Context, job Job) (*report.Report, error)
+	Close() error
+}
+
+// localTransport runs analyses in-process with a shard-local
+// memory-only cache backed by the fleet's shared verdict tier.  This
+// mirrors the deployment shape exactly — per-shard hot cache, shared
+// warm tier — with the network hop elided.
+type localTransport struct {
+	cache *anacache.Cache
+}
+
+// newLocalTransport builds a fresh shard cache wired to the tier.  A
+// restarted shard gets a new one: its memory is gone (that is what a
+// restart means) but it re-warms from the tier on first touch.
+func newLocalTransport(tier *VerdictTier) (*localTransport, error) {
+	c, err := anacache.New("")
+	if err != nil {
+		return nil, err
+	}
+	if tier != nil {
+		c.SetBacking(tier)
+	}
+	return &localTransport{cache: c}, nil
+}
+
+func (t *localTransport) Analyze(ctx context.Context, job Job) (*report.Report, error) {
+	cfg := job.Config
+	cfg.Cache = t.cache
+	cfg.CacheDir = "" // the shard cache already layers over the tier
+	return core.AnalyzeCtx(ctx, job.Module, cfg)
+}
+
+func (t *localTransport) Close() error { return nil }

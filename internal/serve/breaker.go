@@ -6,26 +6,36 @@ import (
 	"time"
 )
 
-// Circuit breakers, one per analysis pass.  A pass that keeps panicking
-// on production traffic (a rule bug tickled by a particular input
-// shape) must not take the whole daemon down with it: after Threshold
-// consecutive attributed failures the pass's breaker opens, and every
-// subsequent request runs with the pass disabled plus a skip annotation
-// attributing exactly what is missing (report stage = the pass ID).
-// After Cooldown one request is admitted as a half-open probe with the
-// pass re-enabled; its success closes the breaker, its failure reopens
-// it for another cooldown.
+// Circuit breakers, one per protected unit.  The serve daemon keys them
+// by analysis pass: a pass that keeps panicking on production traffic
+// (a rule bug tickled by a particular input shape) must not take the
+// whole daemon down with it.  The fleet coordinator reuses the same
+// state machine keyed by shard ID: a shard that keeps failing work is
+// ejected from new-work routing until a health probe recovers it.
 //
-// The state machine per pass:
+// After Threshold consecutive attributed failures the unit's breaker
+// opens, and the owner stops routing to it (serve: the pass is disabled
+// with a skip annotation; fleet: the shard is skipped by the hash
+// ring).  After Cooldown one caller is admitted as a half-open probe;
+// its success closes the breaker, its failure reopens it for another
+// cooldown.
+//
+// The state machine per unit:
 //
 //	Closed --(Threshold consecutive failures)--> Open
 //	Open --(Cooldown elapsed; one probe granted)--> HalfOpen
 //	HalfOpen --(probe succeeds)--> Closed
 //	HalfOpen --(probe fails)--> Open
 //
-// Any success in Closed resets the consecutive-failure count.
+// Any success in Closed resets the consecutive-failure count.  The
+// half-open probe is exclusive: concurrent Acquire calls grant it to
+// exactly one caller, and late resolutions against an already-resolved
+// probe degrade to the Closed/Open rules (a late failure after a
+// successful probe counts one Closed-state failure; a late success
+// after a failed probe is ignored) — one deterministic transition per
+// probe, never a lost update.
 
-// breakerState is one pass breaker's position in the state machine.
+// breakerState is one breaker's position in the state machine.
 type breakerState uint8
 
 const (
@@ -45,7 +55,7 @@ func (s breakerState) String() string {
 	return "closed"
 }
 
-// breaker is one pass's record.  Guarded by the owning set's mutex.
+// breaker is one unit's record.  Guarded by the owning set's mutex.
 type breaker struct {
 	state     breakerState
 	fails     int       // consecutive attributed failures while Closed
@@ -53,9 +63,10 @@ type breaker struct {
 	trips     int       // lifetime trip count (stats)
 }
 
-// breakerSet holds the per-pass breakers.  Entries are created lazily
-// on the first failure or trip, so a healthy daemon carries no state.
-type breakerSet struct {
+// BreakerSet holds the per-unit breakers.  Entries are created lazily
+// on the first failure or trip, so a healthy owner carries no state.
+// Safe for concurrent use.
+type BreakerSet struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
@@ -63,8 +74,10 @@ type breakerSet struct {
 	b         map[string]*breaker
 }
 
-func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
-	return &breakerSet{
+// NewBreakerSet builds a set that trips a unit after threshold
+// consecutive failures and grants a half-open probe after cooldown.
+func NewBreakerSet(threshold int, cooldown time.Duration) *BreakerSet {
+	return &BreakerSet{
 		threshold: threshold,
 		cooldown:  cooldown,
 		now:       time.Now,
@@ -72,12 +85,12 @@ func newBreakerSet(threshold int, cooldown time.Duration) *breakerSet {
 	}
 }
 
-// acquire partitions the tracked passes for one request: degraded lists
-// the passes the request must run without (breaker open, or half-open
-// with the probe already owned by another request); probes lists the
-// passes this request re-enables as the half-open probe.  Both are
-// sorted for deterministic skip annotations.
-func (s *breakerSet) acquire() (degraded, probes []string) {
+// Acquire partitions the tracked units for one caller: degraded lists
+// the units the caller must route around (breaker open, or half-open
+// with the probe already owned by another caller); probes lists the
+// units this caller re-enables as the half-open probe.  Both are sorted
+// for deterministic annotations.
+func (s *BreakerSet) Acquire() (degraded, probes []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id, br := range s.b {
@@ -90,7 +103,7 @@ func (s *breakerSet) acquire() (degraded, probes []string) {
 				degraded = append(degraded, id)
 			}
 		case breakerHalfOpen:
-			// Another request holds the probe; stay degraded until it
+			// Another caller holds the probe; stay degraded until it
 			// reports back.
 			degraded = append(degraded, id)
 		}
@@ -100,10 +113,10 @@ func (s *breakerSet) acquire() (degraded, probes []string) {
 	return degraded, probes
 }
 
-// fail records an attributed failure of one pass.  While Closed it
+// Fail records an attributed failure of one unit.  While Closed it
 // counts toward the trip threshold; a failed half-open probe reopens
 // immediately.
-func (s *breakerSet) fail(id string) {
+func (s *BreakerSet) Fail(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	br := s.b[id]
@@ -126,9 +139,9 @@ func (s *breakerSet) fail(id string) {
 	}
 }
 
-// ok records a successful run of one pass: a half-open probe closes the
+// OK records a successful run of one unit: a half-open probe closes the
 // breaker, and any Closed-state failure streak resets.
-func (s *breakerSet) ok(id string) {
+func (s *BreakerSet) OK(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	br := s.b[id]
@@ -144,9 +157,18 @@ func (s *breakerSet) ok(id string) {
 	}
 }
 
-// snapshot renders every tracked breaker's state and lifetime trip
+// Tripped reports whether a unit's breaker is currently not Closed —
+// the routing predicate ("is this unit ejected right now?").
+func (s *BreakerSet) Tripped(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	br := s.b[id]
+	return br != nil && br.state != breakerClosed
+}
+
+// Snapshot renders every tracked breaker's state and lifetime trip
 // count for /stats.
-func (s *breakerSet) snapshot() map[string]BreakerInfo {
+func (s *BreakerSet) Snapshot() map[string]BreakerInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]BreakerInfo, len(s.b))
@@ -156,7 +178,7 @@ func (s *breakerSet) snapshot() map[string]BreakerInfo {
 	return out
 }
 
-// BreakerInfo is one pass breaker's /stats rendering.
+// BreakerInfo is one breaker's /stats rendering.
 type BreakerInfo struct {
 	State            string `json:"state"`
 	Trips            int    `json:"trips"`

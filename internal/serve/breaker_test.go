@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives BreakerSet.now deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTrippedSet(t *testing.T, clk *fakeClock) *BreakerSet {
+	t.Helper()
+	s := NewBreakerSet(3, time.Second)
+	s.now = clk.now
+	for i := 0; i < 3; i++ {
+		s.Fail("unit")
+	}
+	if !s.Tripped("unit") {
+		t.Fatal("breaker did not trip after threshold failures")
+	}
+	return s
+}
+
+// TestBreakerHalfOpenSingleProbe: after the cooldown, many concurrent
+// Acquire calls grant the half-open probe to exactly one caller; every
+// other caller sees the unit as degraded.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	s := newTrippedSet(t, clk)
+	clk.advance(2 * time.Second)
+
+	const callers = 32
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		probed   int
+		degraded int
+	)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			deg, probes := s.Acquire()
+			mu.Lock()
+			probed += len(probes)
+			degraded += len(deg)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if probed != 1 {
+		t.Fatalf("probe granted %d times, want exactly 1", probed)
+	}
+	if degraded != callers-1 {
+		t.Fatalf("%d callers saw the unit degraded, want %d", degraded, callers-1)
+	}
+}
+
+// TestBreakerProbeOutcomeRaces: concurrent successes and failures
+// against a single half-open probe resolve to one deterministic
+// transition — the first report wins, and late reports degrade to the
+// ordinary Closed/Open rules.
+func TestBreakerProbeOutcomeRaces(t *testing.T) {
+	t.Run("success then late failure", func(t *testing.T) {
+		clk := &fakeClock{t: time.Unix(100, 0)}
+		s := newTrippedSet(t, clk)
+		clk.advance(2 * time.Second)
+		if _, probes := s.Acquire(); len(probes) != 1 {
+			t.Fatalf("probe not granted: %v", probes)
+		}
+		s.OK("unit")   // probe succeeds: HalfOpen -> Closed
+		s.Fail("unit") // late failure counts as one Closed-state failure
+		if s.Tripped("unit") {
+			t.Fatal("one late failure after a successful probe must not reopen")
+		}
+		if info := s.Snapshot()["unit"]; info.State != "closed" || info.ConsecutiveFails != 1 {
+			t.Fatalf("want closed with fails=1, got %+v", info)
+		}
+	})
+
+	t.Run("failure then late success", func(t *testing.T) {
+		clk := &fakeClock{t: time.Unix(100, 0)}
+		s := newTrippedSet(t, clk)
+		clk.advance(2 * time.Second)
+		if _, probes := s.Acquire(); len(probes) != 1 {
+			t.Fatalf("probe not granted: %v", probes)
+		}
+		s.Fail("unit") // probe fails: HalfOpen -> Open, new cooldown
+		s.OK("unit")   // late success against the reopened breaker is ignored
+		if !s.Tripped("unit") {
+			t.Fatal("late success must not close a breaker whose probe failed")
+		}
+		if info := s.Snapshot()["unit"]; info.State != "open" || info.Trips != 2 {
+			t.Fatalf("want open with trips=2, got %+v", info)
+		}
+		// And before the new cooldown elapses, no second probe.
+		clk.advance(500 * time.Millisecond)
+		if deg, probes := s.Acquire(); len(probes) != 0 || len(deg) != 1 {
+			t.Fatalf("probe granted before cooldown: deg=%v probes=%v", deg, probes)
+		}
+	})
+}
+
+// TestBreakerConcurrentResolutions hammers a half-open probe with mixed
+// OK/Fail reports under the race detector: the set must end in a legal
+// state (closed or open) with consistent snapshot fields, never a
+// half-open breaker nobody owns.
+func TestBreakerConcurrentResolutions(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	s := newTrippedSet(t, clk)
+	clk.advance(2 * time.Second)
+	if _, probes := s.Acquire(); len(probes) != 1 {
+		t.Fatal("probe not granted")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(fail bool) {
+			defer wg.Done()
+			if fail {
+				s.Fail("unit")
+			} else {
+				s.OK("unit")
+			}
+		}(i%2 == 0)
+	}
+	wg.Wait()
+	if st := s.Snapshot()["unit"].State; st == "half-open" {
+		t.Fatal("probe resolution left the breaker half-open")
+	}
+}
+
+// TestFlightDetachOnCancel: a coalesced waiter whose context expires
+// while the leader is still running detaches immediately instead of
+// inheriting the leader's latency, and the leader's eventual result is
+// unaffected.
+func TestFlightDetachOnCancel(t *testing.T) {
+	g := newFlightGroup()
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	want := &result{status: 200}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderRes *result
+	var leaderCoalesced bool
+	go func() {
+		defer wg.Done()
+		leaderRes, leaderCoalesced = g.do(context.Background(), "k", func() *result {
+			close(leaderStarted)
+			<-release
+			return want
+		})
+	}()
+	<-leaderStarted
+
+	// The waiter's deadline is its own: it must return well before the
+	// leader is released.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	done := make(chan struct{})
+	var waiterRes *result
+	var waiterCoalesced bool
+	go func() {
+		waiterRes, waiterCoalesced = g.do(ctx, "k", func() *result {
+			t.Error("waiter must coalesce, not execute")
+			return nil
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("detached waiter blocked behind the leader")
+	}
+	if waiterRes != nil || !waiterCoalesced {
+		t.Fatalf("detached waiter: res=%v coalesced=%v, want nil/true", waiterRes, waiterCoalesced)
+	}
+
+	close(release)
+	wg.Wait()
+	if leaderRes != want || leaderCoalesced {
+		t.Fatalf("leader: res=%v coalesced=%v", leaderRes, leaderCoalesced)
+	}
+
+	// The key is free again: a later caller leads a fresh execution.
+	res, coalesced := g.do(context.Background(), "k", func() *result { return want })
+	if res != want || coalesced {
+		t.Fatal("key not released after leader completion")
+	}
+}

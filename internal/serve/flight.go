@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Request coalescing (singleflight): concurrent requests whose
 // normalized analysis inputs hash to the same key share one execution.
@@ -8,6 +11,12 @@ import "sync"
 // park until the leader publishes its result and then return the same
 // bytes.  Followers still occupy admission slots — coalescing saves
 // CPU, not queue capacity, so load shedding keeps its meaning.
+//
+// Followers honor their own deadline: a waiter whose context is done
+// detaches from the leader and returns immediately instead of blocking
+// until the leader finishes.  Fleet retries depend on this — a caller
+// with a tight retry budget must be able to give up on a slow leader
+// and hedge elsewhere, not inherit the leader's latency.
 //
 // Unlike golang.org/x/sync/singleflight this keeps zero dependencies
 // and returns the coalesced flag explicitly (surfaced in /stats and the
@@ -30,13 +39,22 @@ func newFlightGroup() *flightGroup {
 }
 
 // do runs fn once per key among concurrent callers.  The second return
-// reports whether this caller coalesced onto another's execution.
-func (g *flightGroup) do(key string, fn func() *result) (*result, bool) {
+// reports whether this caller coalesced onto another's execution.  A
+// coalesced caller whose ctx ends before the leader publishes detaches
+// and returns (nil, true): its deadline is its own, never the
+// leader's.  The leader itself always runs fn to completion — fn is
+// responsible for honoring the leader's context internally — so a
+// detached waiter never cancels work other callers are still parked on.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() *result) (*result, bool) {
 	g.mu.Lock()
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
-		<-c.done
-		return c.res, true
+		select {
+		case <-c.done:
+			return c.res, true
+		case <-ctx.Done():
+			return nil, true
+		}
 	}
 	c := &flightCall{done: make(chan struct{})}
 	g.calls[key] = c

@@ -198,7 +198,7 @@ type Server struct {
 	admit    chan struct{} // admission slots: QueueDepth + MaxInFlight
 	work     chan struct{} // concurrent-analysis slots: MaxInFlight
 	flights  *flightGroup
-	breakers *breakerSet
+	breakers *BreakerSet
 
 	baseCtx    context.Context // parent of every analysis; cancelled on forced drain
 	cancelBase context.CancelFunc
@@ -267,7 +267,7 @@ func NewServer(cfg Config) (*Server, error) {
 		admit:    make(chan struct{}, cfg.QueueDepth+cfg.MaxInFlight),
 		work:     make(chan struct{}, cfg.MaxInFlight),
 		flights:  newFlightGroup(),
-		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		breakers: NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		start:    time.Now(),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
@@ -399,7 +399,7 @@ func (s *Server) Snapshot() Stats {
 		QueueCap:       s.cfg.QueueDepth,
 		Draining:       s.draining.Load(),
 		UptimeSeconds:  time.Since(s.start).Seconds(),
-		Breakers:       s.breakers.snapshot(),
+		Breakers:       s.breakers.Snapshot(),
 		Cache:          cs,
 	}
 	if q := len(s.admit) - len(s.work); q > 0 {
@@ -477,9 +477,24 @@ func (s *Server) serveRequest(w http.ResponseWriter, req Request) {
 		}
 	}
 
-	res, coalesced := s.flights.do(req.key(), func() *result { return s.execute(req) })
+	// The request's deadline is fixed here, before coalescing, so a
+	// follower parked behind a slow leader still times out on its own
+	// clock (flight.go detaches it) rather than inheriting the leader's.
+	ctx, cancel := context.WithTimeout(s.baseCtx, s.requestTimeout(req))
+	defer cancel()
+	res, coalesced := s.flights.do(ctx, req.key(), func() *result { return s.execute(ctx, req) })
 	if coalesced {
 		s.stats.coalesced.Add(1)
+	}
+	if res == nil {
+		// Detached waiter: its deadline expired while coalesced behind
+		// the leader.  The leader's result will still serve the other
+		// followers; this caller gets a clean, retryable rejection.
+		s.stats.timeouts.Add(1)
+		res = &result{
+			status: http.StatusServiceUnavailable,
+			body:   errBody("deadline expired while coalesced behind an identical request"), retryAfter: 1,
+		}
 	}
 	if res.status == http.StatusOK {
 		s.stats.completed.Add(1)
@@ -487,19 +502,23 @@ func (s *Server) serveRequest(w http.ResponseWriter, req Request) {
 	writeResult(w, res, coalesced)
 }
 
-// execute runs one analysis end to end: worker slot, budgets, breaker
-// gating, chaos failpoints, attribution and degradation.  It always
-// returns a result (panics are recovered into 500s).
-func (s *Server) execute(req Request) *result {
+// requestTimeout clamps the per-request deadline against the server
+// cap (requests may ask for less, never more).
+func (s *Server) requestTimeout(req Request) time.Duration {
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMs > 0 {
 		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
 			timeout = d
 		}
 	}
-	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-	defer cancel()
+	return timeout
+}
 
+// execute runs one analysis end to end: worker slot, budgets, breaker
+// gating, chaos failpoints, attribution and degradation.  It always
+// returns a result (panics are recovered into 500s).  ctx carries the
+// request deadline, established by the caller before coalescing.
+func (s *Server) execute(ctx context.Context, req Request) *result {
 	// Wait for an analysis slot; the request deadline covers the wait.
 	select {
 	case s.work <- struct{}{}:
@@ -534,22 +553,22 @@ func (s *Server) execute(req Request) *result {
 		Cache:           s.cache,
 	}
 
-	degraded, probes := s.breakers.acquire()
+	degraded, probes := s.breakers.Acquire()
 	runCfg := cfg
 	runCfg.DisablePasses = unionIDs(cfg.DisablePasses, degraded)
 
 	rep, aerr := s.runAnalysis(ctx, m, runCfg)
 	attributed := attributePasses(aerr)
 	for _, id := range attributed {
-		s.breakers.fail(id)
+		s.breakers.Fail(id)
 	}
 	// Every granted probe must resolve, or the pass wedges half-open:
 	// a clean run closes it, anything else reopens it.
 	for _, id := range probes {
 		if aerr == nil {
-			s.breakers.ok(id)
+			s.breakers.OK(id)
 		} else if !containsID(attributed, id) {
-			s.breakers.fail(id)
+			s.breakers.Fail(id)
 		}
 	}
 	if aerr != nil && len(attributed) > 0 {
@@ -721,7 +740,7 @@ func attributePasses(err error) []string {
 
 // successExcept resets failure streaks for every tracked pass that ran
 // (everything not in the degraded list).
-func (s *breakerSet) successExcept(degraded []string) {
+func (s *BreakerSet) successExcept(degraded []string) {
 	skip := make(map[string]bool, len(degraded))
 	for _, id := range degraded {
 		skip[id] = true

@@ -1,0 +1,200 @@
+package tables
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"deepmc/internal/core"
+	"deepmc/internal/corpus"
+	"deepmc/internal/fleet"
+)
+
+// FleetGate is the CI gate for the sharded analysis fleet: the merged
+// fleet output must be byte-identical to a single-node batch run at
+// every shard count, with and without shards being killed and
+// restarted mid-traffic, and no acknowledged job may be dropped.
+//
+// Each round runs the same mixed workload (the four corpus programs
+// plus a spread of generated apps) through a fresh fleet over a fresh
+// shared cache directory:
+//
+//	shards=1            — degenerate fleet, the baseline sanity check
+//	shards=4, shards=8  — real sharding, work-stealing in play
+//	shards=4/8 + chaos  — a killer loop cycles kill → restart through
+//	                      the shards while the run is in flight; lost
+//	                      executions requeue, survivors steal the dead
+//	                      shard's queue, breakers trip and re-close
+//
+// Every round asserts: zero per-job errors, and Render() equal to the
+// batch reference byte for byte.  BENCH_fleet.json records the rows.
+func FleetGate() (string, bool) {
+	var b strings.Builder
+	ok := true
+	b.WriteString("Fleet gate\n")
+	b.WriteString("----------\n")
+
+	jobs, err := fleetJobs()
+	if err != nil {
+		return fmt.Sprintf("fleet gate: %v\n", err), false
+	}
+	ref, err := fleetBatchRef(jobs)
+	if err != nil {
+		return fmt.Sprintf("fleet gate: %v\n", err), false
+	}
+
+	type round struct {
+		shards int
+		kills  int
+	}
+	rounds := []round{{1, 0}, {4, 0}, {8, 0}, {4, 6}, {8, 6}}
+	var rows []fleetBenchRow
+	for _, r := range rounds {
+		row, line, roundOK := fleetRound(jobs, ref, r.shards, r.kills)
+		fmt.Fprintf(&b, "  shards=%d kills=%d: %s\n", r.shards, r.kills, line)
+		rows = append(rows, row)
+		ok = ok && roundOK
+	}
+
+	if bts, err := json.MarshalIndent(rows, "", "  "); err == nil {
+		_ = os.WriteFile("BENCH_fleet.json", append(bts, '\n'), 0o644)
+	}
+
+	if ok {
+		b.WriteString("fleet gate passed: fleet == batch byte-for-byte at shards 1/4/8, through mid-run kills and restarts, zero dropped jobs\n")
+	} else {
+		b.WriteString("fleet gate FAILED\n")
+	}
+	return b.String(), ok
+}
+
+// fleetBenchRow is one BENCH_fleet.json record.
+type fleetBenchRow struct {
+	Shards    int                 `json:"shards"`
+	Kills     int                 `json:"kills"`
+	Jobs      int                 `json:"jobs"`
+	Ns        int64               `json:"ns"`
+	Identical bool                `json:"identical"`
+	Errors    int                 `json:"errors"`
+	Stats     fleet.StatsSnapshot `json:"stats"`
+}
+
+// fleetJobs builds the gate workload: the corpus programs plus enough
+// generated apps that an 8-shard fleet has real queues to steal from.
+func fleetJobs() ([]fleet.Job, error) {
+	var jobs []fleet.Job
+	for _, p := range corpus.All() {
+		m, err := p.Module()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, fleet.Job{
+			Name:   p.Name,
+			Module: m,
+			Config: core.Config{Model: p.Model.String(), Workers: 1},
+		})
+	}
+	for i := 0; i < 24; i++ {
+		name := fmt.Sprintf("app-%02d", i)
+		m := core.GenerateApp(core.AppSpec{Name: name, Funcs: 12 + i%9, CallDepth: 2, Seed: int64(4000 + i)})
+		jobs = append(jobs, fleet.Job{
+			Name:   name,
+			Module: m,
+			Config: core.Config{Model: "epoch", AllFunctions: true, Workers: 1},
+		})
+	}
+	return jobs, nil
+}
+
+// fleetBatchRef renders the single-node reference bytes.
+func fleetBatchRef(jobs []fleet.Job) (string, error) {
+	var b strings.Builder
+	for _, j := range jobs {
+		rep, err := core.AnalyzeCtx(context.Background(), j.Module, j.Config)
+		if err != nil {
+			return "", fmt.Errorf("batch %s: %w", j.Name, err)
+		}
+		b.WriteString("== ")
+		b.WriteString(j.Name)
+		b.WriteString("\n")
+		b.WriteString(rep.String())
+	}
+	return b.String(), nil
+}
+
+// fleetRound runs one fleet configuration against the reference.
+func fleetRound(jobs []fleet.Job, ref string, shards, kills int) (fleetBenchRow, string, bool) {
+	row := fleetBenchRow{Shards: shards, Kills: kills, Jobs: len(jobs)}
+	dir, err := os.MkdirTemp("", "deepmc-fleet-gate-")
+	if err != nil {
+		return row, fmt.Sprintf("FAIL: %v", err), false
+	}
+	defer os.RemoveAll(dir)
+
+	f, err := fleet.New(fleet.Config{
+		Shards:     shards,
+		CacheDir:   dir,
+		Seed:       int64(shards*100 + kills),
+		ProbeEvery: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return row, fmt.Sprintf("FAIL: %v", err), false
+	}
+	defer f.Close()
+
+	start := time.Now()
+	done := make(chan *fleet.Result, 1)
+	go func() { done <- f.Run(context.Background(), jobs) }()
+
+	// The killer cycles kill → short gap → restart through the shards
+	// while the run is in flight.  One shard down at a time, always
+	// restarted, so the fleet never loses every worker.
+	rng := rand.New(rand.NewSource(int64(shards + kills)))
+	performed := 0
+	var res *fleet.Result
+killer:
+	for kills == 0 || performed < kills {
+		select {
+		case res = <-done:
+			break killer
+		default:
+		}
+		if kills == 0 {
+			res = <-done
+			break killer
+		}
+		s := rng.Intn(shards)
+		f.KillShard(s)
+		performed++
+		time.Sleep(8 * time.Millisecond)
+		if err := f.RestartShard(s); err != nil {
+			return row, fmt.Sprintf("FAIL: restart: %v", err), false
+		}
+		time.Sleep(8 * time.Millisecond)
+	}
+	if res == nil {
+		res = <-done
+	}
+	row.Ns = time.Since(start).Nanoseconds()
+	row.Stats = f.StatsSnapshot()
+
+	for _, e := range res.Errs {
+		if e != nil {
+			row.Errors++
+		}
+	}
+	row.Identical = res.Render() == ref
+	switch {
+	case row.Errors > 0:
+		return row, fmt.Sprintf("FAIL: %d job errors (first: %v)", row.Errors, res.Err()), false
+	case !row.Identical:
+		return row, fmt.Sprintf("FAIL: output diverges from batch (%d vs %d bytes)", len(res.Render()), len(ref)), false
+	}
+	return row, fmt.Sprintf("ok: %d jobs in %v (kills=%d restarts=%d steals=%d requeues=%d retries=%d hedges=%d)",
+		len(jobs), time.Since(start).Round(time.Millisecond),
+		row.Stats.Kills, row.Stats.Restarts, row.Stats.Steals, row.Stats.Requeues, row.Stats.Retries, row.Stats.Hedges), true
+}
