@@ -14,6 +14,7 @@
 #   make soak-short  bounded heavy-traffic soak gate (crash+recover audits, sharded checker)
 #   make soak        full soak gate (same checks, bigger op budgets; writes BENCH_soak.json)
 #   make fleet-gate  sharded-fleet chaos gate (fleet == batch bytes at shards 1/4/8 with kills)
+#   make pmodel-gate persistency-contract differential gate (x86 vs cxl verdict matrix)
 #   make stress      cancellation / timeout / partial-report stress tests
 #   make ci          everything above, in order
 
@@ -21,7 +22,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate soak-short soak fleet-gate stress ci clean
+.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate soak-short soak fleet-gate pmodel-gate stress ci clean
 
 build:
 	$(GO) build ./...
@@ -94,12 +95,21 @@ fleet-gate: build
 	$(GO) run ./cmd/deepmc-bench -fleet
 	$(GO) test -race -count=1 ./internal/fleet
 
+# The pmodel gate: the persistency-contract matrix must hold — bugs
+# under x86 that a CXL persistence domain heals stay healed, CXL-only
+# findings (wasted in-domain flushes, missing global barriers) never
+# leak into x86 runs, an empty-domain cxl contract renders byte-identical
+# reports and crash enumerations to x86, and cxl analysis stays
+# deterministic at any worker count.
+pmodel-gate: build
+	$(GO) run ./cmd/deepmc-bench -pmodel-gate
+
 # A short robustness run: the cancellation, deadline, partial-report and
 # panic-isolation tests across every hardened package.
 stress:
 	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
 
-ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate soak-short fleet-gate stress
+ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate soak-short fleet-gate pmodel-gate stress
 
 clean:
 	$(GO) clean ./...

@@ -19,6 +19,8 @@
 //	deepmc-bench -fuzz                  # schedule-fuzzer gate (witness replay + planted-bug re-discovery)
 //	deepmc-bench -soak                  # heavy-traffic soak gate (overhead + crash/recover audits, BENCH_soak.json)
 //	deepmc-bench -soak-short            # bounded soak gate for CI
+//	deepmc-bench -pmodel                # x86 vs CXL contract pricing (BENCH_pmodel.json)
+//	deepmc-bench -pmodel-gate           # persistency-contract differential gate
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
 package main
 
@@ -52,6 +54,8 @@ func main() {
 	soakShort := flag.Bool("soak-short", false, "bounded soak gate for CI (same checks, smaller op budgets)")
 	fuzzGate := flag.Bool("fuzz", false, "run the schedule-fuzzer gate (witness corpus replays byte-identically, planted bugs re-found, fixed targets clean)")
 	fleetGate := flag.Bool("fleet", false, "run the sharded-fleet chaos gate (fleet == batch byte-identity at shards 1/4/8, with mid-run kills and restarts; writes BENCH_fleet.json)")
+	pmodelBench := flag.Bool("pmodel", false, "price x86 vs CXL persistency contracts on the same commit workload (writes BENCH_pmodel.json)")
+	pmodelGate := flag.Bool("pmodel-gate", false, "run the persistency-contract differential gate (per-contract verdict matrix, empty-domain cxl==x86 equivalence, crash-sim cell)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
 	flag.Parse()
 
@@ -128,6 +132,16 @@ func main() {
 		if !ok {
 			os.Exit(cli.ExitViolations)
 		}
+	}
+	if *pmodelGate {
+		s, ok := tables.PModelGate()
+		emit(s)
+		if !ok {
+			os.Exit(cli.ExitViolations)
+		}
+	}
+	if *all || *pmodelBench {
+		emit(tables.PModelBench(*jobs))
 	}
 	if *soakGate || *soakShort {
 		s, ok := tables.SoakGate(*soakShort)

@@ -2,16 +2,16 @@
 //
 // Usage:
 //
-//	deepmc check  [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D] [-passes IDS] [-disable-pass ID]... [-cache-dir DIR] [-json] prog.pir...
-//	deepmc run    [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] [-disable-pass ID]... prog.pir
+//	deepmc check  [-model strict|epoch|strand] [-pmodel x86|cxl] [-all] [-field=false] [-jobs N] [-timeout D] [-passes IDS] [-disable-pass ID]... [-cache-dir DIR] [-json] prog.pir...
+//	deepmc run    [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] [-pmodel x86|cxl] [-disable-pass ID]... prog.pir
 //	deepmc corpus [-name PMDK|PMFS|NVM-Direct|Mnemosyne] [-jobs N] [-timeout D] [-passes IDS] [-disable-pass ID]... [-cache-dir DIR]
 //	deepmc passes
 //	deepmc traces [-model ...] -fn NAME prog.pir
 //	deepmc fix    [-model strict] [-o fixed.pir] prog.pir
 //	deepmc fmt    prog.pir
-//	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [prog.pir]
-//	deepmc fuzz   [-seed N] [-budget N] [-corpus-dir DIR] [-target NAME] [-timeout D]
-//	deepmc soak   [-app memcache|redis|nstore] [-clients N] [-partitions N] [-keys N] [-ops N] [-phases N] [-mix NAME] [-faults CLASSES] [-fault-rate R] [-seed N] [-tracked] [-stripes N] [-buggy]
+//	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [-pmodel x86|cxl] [prog.pir]
+//	deepmc fuzz   [-seed N] [-budget N] [-corpus-dir DIR] [-target NAME] [-timeout D] [-pmodel x86|cxl]
+//	deepmc soak   [-app memcache|redis|nstore] [-clients N] [-partitions N] [-keys N] [-ops N] [-phases N] [-mix NAME] [-faults CLASSES] [-fault-rate R] [-seed N] [-tracked] [-stripes N] [-buggy] [-pmodel x86|cxl]
 //	deepmc fleet  [-shards N] [-model ...] [-all] [-jobs N] [-cache-dir DIR] [-cache-cap N] [-retries N] [-hedge D] [-kill N] [-seed N] [-timeout D] [prog.pir...]
 //
 // Exit codes: 0 = clean, 1 = violations found (or a differential gate
@@ -47,6 +47,7 @@ import (
 	"deepmc/internal/fuzzsched"
 	"deepmc/internal/ir"
 	"deepmc/internal/passes"
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/serve"
 	"deepmc/internal/soak"
 	"deepmc/internal/workload"
@@ -100,16 +101,21 @@ func usage() {
 	fmt.Fprint(os.Stderr, `deepmc - persistency-model aware bug checking for NVM programs
 
 commands:
-  check   [-model strict|epoch|strand] [-all] [-field=false] [-jobs N] [-timeout D]
+  check   [-model strict|epoch|strand] [-pmodel x86|cxl] [-all] [-field=false]
+          [-jobs N] [-timeout D]
           [-passes IDS] [-disable-pass ID]... [-cache-dir DIR] [-json] prog.pir...
-          run the static checker (Tables 4 and 5 rules); -jobs fans the
-          worker-pool checker out (0 = GOMAXPROCS) with byte-identical
-          output; -timeout bounds each module's analysis (partial
-          reports annotate what was skipped); -passes/-disable-pass
-          select the rule passes by stable ID (see "deepmc passes");
-          -cache-dir memoizes per-function results on disk, so re-runs
-          over unchanged code skip straight to report assembly;
-          -json emits the machine-readable report
+          run the static checker (Tables 4 and 5 rules); -pmodel selects
+          the hardware persistency contract (x86 clwb/sfence, or cxl
+          with global persist barriers and a whole-heap persistence
+          domain — the applicable pass set re-derives per contract, and
+          -passes requests naming an inapplicable pass are errors);
+          -jobs fans the worker-pool checker out (0 = GOMAXPROCS) with
+          byte-identical output; -timeout bounds each module's analysis
+          (partial reports annotate what was skipped);
+          -passes/-disable-pass select the rule passes by stable ID
+          (see "deepmc passes"); -cache-dir memoizes per-function
+          results on disk, so re-runs over unchanged code skip straight
+          to report assembly; -json emits the machine-readable report
   run     [-entry main] [-arg N]... [-timeout D] [-faults CLASSES] [-disable-pass ID]... prog.pir
           execute under the instrumented runtime (dynamic analysis);
           -faults injects legal persistency faults (torn, dropped,
@@ -214,6 +220,7 @@ func loadModule(path string) (*ir.Module, error) {
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	model := fs.String("model", "strict", "persistency model the program implements")
+	pmodel := fs.String("pmodel", "x86", "hardware persistency contract: x86 (clwb/sfence) or cxl (global barriers + whole-heap persistence domain)")
 	all := fs.Bool("all", false, "check every function standalone, not just roots")
 	field := fs.Bool("field", true, "field-sensitive points-to analysis")
 	jobs := fs.Int("jobs", 0, "checker worker count (0 = GOMAXPROCS)")
@@ -228,7 +235,7 @@ func cmdCheck(args []string) error {
 		return fmt.Errorf("check: no input files")
 	}
 	cfg := core.Config{
-		Model: *model, AllFunctions: *all, FieldInsensitive: !*field,
+		Model: *model, PModel: *pmodel, AllFunctions: *all, FieldInsensitive: !*field,
 		Workers: *jobs, ModuleTimeout: *timeout,
 		Passes: splitIDs(*passIDs), DisablePasses: disable,
 	}
@@ -292,6 +299,7 @@ func cmdRun(args []string) error {
 	faults := fs.String("faults", "", "fault classes to inject (torn,dropped,reordered,delayed or \"all\")")
 	faultSeed := fs.Int64("fault-seed", 1, "fault-injection schedule seed")
 	faultRate := fs.Float64("fault-rate", 1, "per-opportunity injection probability (0,1]")
+	pmodel := fs.String("pmodel", "x86", "hardware persistency contract: x86 or cxl")
 	passIDs := fs.String("passes", "", "comma-separated pass IDs to enable (default: all)")
 	var disable stringList
 	fs.Var(&disable, "disable-pass", "pass ID to disable (repeatable)")
@@ -311,7 +319,7 @@ func cmdRun(args []string) error {
 	}
 	ctx, cancel := runContext(*timeout)
 	defer cancel()
-	cfg := core.Config{Passes: splitIDs(*passIDs), DisablePasses: disable}
+	cfg := core.Config{Passes: splitIDs(*passIDs), DisablePasses: disable, PModel: *pmodel}
 	rep, sched, err := core.RunDynamicCfg(ctx, m, cfg, *entry, fc, runArgs...)
 	if err != nil {
 		return err
@@ -337,10 +345,11 @@ func cmdCorpus(args []string) error {
 	timeout := fs.Duration("timeout", 0, "whole-corpus deadline (0 = none)")
 	passIDs := fs.String("passes", "", "comma-separated pass IDs to enable (default: all)")
 	cacheDir := fs.String("cache-dir", "", "content-hashed analysis cache directory")
+	pmodel := fs.String("pmodel", "x86", "hardware persistency contract: x86 or cxl")
 	var disable stringList
 	fs.Var(&disable, "disable-pass", "pass ID to disable (repeatable)")
 	fs.Parse(args)
-	cfg := core.Config{Workers: *jobs, Passes: splitIDs(*passIDs), DisablePasses: disable}
+	cfg := core.Config{Workers: *jobs, Passes: splitIDs(*passIDs), DisablePasses: disable, PModel: *pmodel}
 	if err := setupCache(&cfg, *cacheDir); err != nil {
 		return err
 	}
@@ -464,12 +473,17 @@ func cmdCrashsim(args []string) error {
 	faults := fs.String("faults", "", "fault classes to inject (torn,dropped,reordered,delayed or \"all\")")
 	faultSeed := fs.Int64("fault-seed", 1, "fault-injection schedule seed")
 	faultRate := fs.Float64("fault-rate", 1, "per-opportunity injection probability (0,1]")
+	pmodel := fs.String("pmodel", "x86", "hardware persistency contract: x86 or cxl (adds the device-failure image to every enumeration)")
 	fs.Parse(args)
 	fc, err := parseFaults(*faults, *faultSeed, *faultRate)
 	if err != nil {
 		return err
 	}
-	o := crashsim.Options{Stride: *stride, Workers: *jobs, Prune: *prune, Faults: fc}
+	ct, err := pmcontract.ParseContract(*pmodel)
+	if err != nil {
+		return err
+	}
+	o := crashsim.Options{Stride: *stride, Workers: *jobs, Prune: *prune, Faults: fc, Contract: ct}
 	ctx, cancel := runContext(*timeout)
 	defer cancel()
 
@@ -551,6 +565,7 @@ func cmdFuzz(args []string) error {
 	corpusDir := fs.String("corpus-dir", "", "persist coverage-increasing genomes here and seed from them")
 	target := fs.String("target", "", "built-in target name or a .pir file (empty = all built-ins)")
 	timeout := fs.Duration("timeout", 0, "fuzzing deadline (0 = none)")
+	pmodel := fs.String("pmodel", "x86", "hardware persistency contract: x86 or cxl (witnesses record and replay under it)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("fuzz: unexpected arguments %q (use -target)", fs.Args())
@@ -576,7 +591,7 @@ func cmdFuzz(args []string) error {
 	found := false
 	for _, t := range targets {
 		res, err := fuzzsched.Fuzz(ctx, t, fuzzsched.Options{
-			Seed: *seed, Budget: *budget, CorpusDir: *corpusDir,
+			Seed: *seed, Budget: *budget, CorpusDir: *corpusDir, PModel: *pmodel,
 		})
 		if err != nil {
 			return err
@@ -797,15 +812,21 @@ func cmdSoak(args []string) error {
 	tracked := fs.Bool("tracked", false, "attach the sharded dynamic checker to every partition")
 	stripes := fs.Int("stripes", 0, "checker shadow-directory stripes (0 = default, 1 = global-mutex baseline)")
 	buggy := fs.Bool("buggy", false, "plant the app's crash-consistency bug (memcache, nstore)")
+	pmodel := fs.String("pmodel", "x86", "hardware persistency contract: x86 or cxl (a whole-heap persistence domain heals the planted flush/fence bugs)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("soak: unexpected arguments %q", fs.Args())
+	}
+	ct, err := pmcontract.ParseContract(*pmodel)
+	if err != nil {
+		return err
 	}
 	cfg := soak.Config{
 		App: *app, Clients: *clients, Partitions: *partitions,
 		Keys: *keys, OpsPerClient: *opsPerClient, Phases: *phases,
 		FaultRate: *faultRate, Seed: *seed,
 		Tracked: *tracked, Stripes: *stripes, Buggy: *buggy,
+		PModel: *pmodel,
 	}
 	if *mixName != "" {
 		mix, err := lookupMix(*mixName)
@@ -825,8 +846,15 @@ func cmdSoak(args []string) error {
 	}
 	fmt.Print(res.String())
 	// Witnesses on a supposedly-fixed app are violations; a buggy run
-	// is expected to witness, and silence there is the failure.
-	if (res.TotalWitnesses > 0) != cfg.Buggy {
+	// is expected to witness, and silence there is the failure — except
+	// under a persistence domain, where store-time durability heals the
+	// planted flush/fence bugs and a clean buggy audit is the correct
+	// outcome.
+	expectWitness := cfg.Buggy && !ct.HasDomain()
+	if cfg.Buggy && ct.HasDomain() {
+		fmt.Printf("planted bug healed by the %s persistence domain: clean audit expected\n", ct.Name())
+	}
+	if (res.TotalWitnesses > 0) != expectWitness {
 		os.Exit(cli.ExitViolations)
 	}
 	return nil

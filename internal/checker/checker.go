@@ -14,6 +14,7 @@ import (
 
 	"deepmc/internal/dsa"
 	"deepmc/internal/ir"
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/report"
 	"deepmc/internal/trace"
 )
@@ -76,6 +77,17 @@ type Options struct {
 	// machine is shared across rules, so disabling a pass removes
 	// exactly its diagnostics without perturbing any other rule.
 	Disabled map[report.Rule]bool
+	// Contract is the hardware persistency contract the rules derive
+	// from.  The zero value is x86 (clwb/sfence), preserving every
+	// pre-contract caller.  Under CXL with a persistence domain the
+	// static scanner has no address layout, so a non-empty domain is
+	// read as covering the whole persistent heap: writes are durable at
+	// store time (suppressing unflushed-write), flushes become
+	// flush-in-persist-domain perf findings, and the durability
+	// obligation re-keys to the global persist barrier
+	// (missing-global-barrier).  An empty-domain CXL contract scans
+	// exactly like x86.
+	Contract pmcontract.Contract
 }
 
 // DefaultOptions mirrors the paper's configuration.
@@ -137,10 +149,11 @@ func (c *Checker) targetFunctions() []*ir.Function {
 // rep.
 func (c *Checker) CheckTrace(t *trace.Trace, rep *report.Report) {
 	s := &scanner{
-		checker: c,
-		rep:     rep,
-		trace:   t,
-		model:   c.Opts.Model,
+		checker:    c,
+		rep:        rep,
+		trace:      t,
+		model:      c.Opts.Model,
+		autoDomain: c.Opts.Contract.HasDomain(),
 	}
 	s.run()
 }
@@ -153,6 +166,7 @@ type wrec struct {
 	idx      int
 	e        trace.Entry
 	covered  bool // a flush covered it, or its object was undo-logged
+	domain   bool // durable at store time (CXL persistence domain)
 	epochSeq int  // id of the enclosing epoch, -1 outside epochs
 	txDepth  int  // transaction nesting depth at the write
 }
@@ -191,6 +205,12 @@ type scanner struct {
 	// strand bookkeeping (static WAW check)
 	strandWrites map[int64][]trace.Entry
 	curStrand    int64
+	// CXL-contract bookkeeping.  autoDomain: stores are durable at
+	// store time (whole-heap persistence domain).  unbarriered tracks
+	// domain writes not yet committed by a global persist barrier —
+	// a device failure discards them (DMC-X02).
+	autoDomain  bool
+	unbarriered []trace.Entry
 	// Incremental per-object write/flush summaries keep every per-entry
 	// check O(1)-ish, so long interprocedurally-merged traces stay
 	// linear to scan.
@@ -290,10 +310,17 @@ func (s *scanner) onWrite(i int, e trace.Entry) {
 	s.pending = append(s.pending, wrec{
 		idx:      i,
 		e:        e,
-		covered:  s.loggedCovers(e.Cell),
+		covered:  s.autoDomain || s.loggedCovers(e.Cell),
+		domain:   s.autoDomain,
 		epochSeq: s.currentEpoch(),
 		txDepth:  len(s.txStack),
 	})
+	if s.autoDomain {
+		// Durable at store time, but buffered device-side until the next
+		// global persist barrier commits it: a device failure before then
+		// discards it (DMC-X02, checked at barrier/commit/path end).
+		s.unbarriered = append(s.unbarriered, e)
+	}
 	for _, f := range s.txStack {
 		f.writes++
 		f.writtenObjs[e.Cell.Obj] = true
@@ -317,6 +344,15 @@ func (s *scanner) currentEpoch() int {
 }
 
 func (s *scanner) onFlush(i int, e trace.Entry) {
+	if s.autoDomain {
+		// Inside a device persistence domain the store was durable the
+		// moment it executed: the clwb writes back nothing and the flush
+		// semantics the remaining bookkeeping models do not exist here.
+		s.warn(report.RuleFlushInPersistDomain, e,
+			"flush of %s targets the device persistence domain: the store was already durable at store time",
+			cellDesc(e.Cell))
+		return
+	}
 	// Cover pending writes.
 	anyCovered := false
 	hadOverlapWrite := false
@@ -454,6 +490,11 @@ func (s *scanner) onFence(e trace.Entry) {
 		// fence sees exactly which epochs it makes durable.
 		epochs := make(map[int]bool)
 		for _, w := range s.pending {
+			if w.domain {
+				// Domain writes were durable at store time; the barrier
+				// commits them but does not batch their persistence.
+				continue
+			}
 			if w.epochSeq >= 0 && (w.covered || s.loggedCovers(w.e.Cell)) {
 				epochs[w.epochSeq] = true
 			}
@@ -481,6 +522,8 @@ func (s *scanner) onFence(e trace.Entry) {
 	s.fenceSinceFlush = true
 	s.unfencedFlushes = nil
 	s.fenceSinceEpochEnd = true
+	// The global persist barrier commits every buffered domain write.
+	s.unbarriered = nil
 	if f := s.tx(); f != nil {
 		f.fenceLast = true
 	}
@@ -492,6 +535,10 @@ func (s *scanner) onFence(e trace.Entry) {
 func (s *scanner) distinctPendingCells() int {
 	var cells []dsa.Cell
 	for _, w := range s.pending {
+		if w.domain {
+			// Durable at store time: the barrier does not persist it.
+			continue
+		}
 		if !w.covered && !s.loggedCovers(w.e.Cell) {
 			continue
 		}
@@ -561,7 +608,10 @@ func (s *scanner) onTxEnd(e trace.Entry) {
 	}
 	// At commit of the outermost transaction, judge the writes made
 	// inside it: unlogged, unflushed writes are not durable (Figure 2).
+	// Commit includes a persist barrier, so buffered domain writes are
+	// committed too (same reading as fenceSinceFlush below).
 	if len(s.txStack) == 0 {
+		s.unbarriered = nil
 		kept := s.pending[:0]
 		for _, w := range s.pending {
 			if w.txDepth > 0 {
@@ -704,6 +754,14 @@ func (s *scanner) atTraceEnd() {
 		fl := s.unfencedFlushes[len(s.unfencedFlushes)-1]
 		s.warn(report.RuleMissingBarrier, fl,
 			"flush of %s is never followed by a persist barrier on this path", cellDesc(fl.Cell))
+	}
+	// CXL: domain writes never committed by a global persist barrier are
+	// rolled back by a device failure — the contract's re-keying of the
+	// missing-barrier obligation (DMC-X02).
+	for _, e := range s.unbarriered {
+		s.warn(report.RuleMissingGlobalBarrier, e,
+			"persistence-domain write to %s is never committed by a global persist barrier on this path (a device failure discards it)",
+			cellDesc(e.Cell))
 	}
 	// Static strand rule: concurrent strands with overlapping writes
 	// carry WAW dependences (Table 4's strand rule).

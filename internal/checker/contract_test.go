@@ -1,0 +1,159 @@
+package checker
+
+import (
+	"testing"
+
+	"deepmc/internal/ir"
+	"deepmc/internal/pmcontract"
+	"deepmc/internal/report"
+)
+
+// checkSrcContract runs the checker under an explicit hardware contract.
+func checkSrcContract(t *testing.T, src string, model Model, c pmcontract.Contract) *report.Report {
+	t.Helper()
+	m := ir.MustParse(src)
+	if err := ir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	opts := DefaultOptions(model)
+	opts.Contract = c
+	return New(m, opts).CheckModule()
+}
+
+// storeFenceSrc is a bug under x86 (the store reaches the barrier with
+// no covering flush) but correct under a CXL persistence domain (the
+// store was durable at store time; the barrier commits it).
+const storeFenceSrc = `
+module m
+
+type rec struct {
+	v: int
+}
+
+func f() {
+	%p = palloc rec
+	store %p.v, 1 @10
+	fence         @11
+	ret
+}
+`
+
+// storeFlushFenceSrc is fully correct under x86; under a CXL domain the
+// flush is an unnecessary write-back (DMC-X01) — the CXL-only finding
+// invisible to the x86 rules.
+const storeFlushFenceSrc = `
+module m
+
+type rec struct {
+	v: int
+}
+
+func f() {
+	%p = palloc rec
+	store %p.v, 1 @10
+	flush %p.v    @11
+	fence         @12
+	ret
+}
+`
+
+// storeOnlySrc never persists the store at all: unflushed-write under
+// x86; under a CXL domain the store is durable but uncommitted — the
+// obligation re-keys to the global barrier (DMC-X02).
+const storeOnlySrc = `
+module m
+
+type rec struct {
+	v: int
+}
+
+func f() {
+	%p = palloc rec
+	store %p.v, 1 @10
+	ret
+}
+`
+
+func TestContractStoreFence(t *testing.T) {
+	x86 := checkSrcContract(t, storeFenceSrc, Strict, pmcontract.X86Contract())
+	if !hasWarning(x86, report.RuleUnflushedWrite, 10) {
+		t.Errorf("x86: unflushed write at 10 not found:\n%s", x86)
+	}
+	cxl := checkSrcContract(t, storeFenceSrc, Strict, pmcontract.CXLContract(pmcontract.WholeDomain()))
+	if len(cxl.Warnings) != 0 {
+		t.Errorf("cxl domain: store+fence should be clean:\n%s", cxl)
+	}
+}
+
+func TestContractStoreFlushFence(t *testing.T) {
+	x86 := checkSrcContract(t, storeFlushFenceSrc, Strict, pmcontract.X86Contract())
+	if len(x86.Warnings) != 0 {
+		t.Errorf("x86: store+flush+fence should be clean:\n%s", x86)
+	}
+	cxl := checkSrcContract(t, storeFlushFenceSrc, Strict, pmcontract.CXLContract(pmcontract.WholeDomain()))
+	if !hasWarning(cxl, report.RuleFlushInPersistDomain, 11) {
+		t.Errorf("cxl domain: flush at 11 should be DMC-X01:\n%s", cxl)
+	}
+	if countRule(cxl, report.RuleFlushInPersistDomain) != len(cxl.Warnings) {
+		t.Errorf("cxl domain: unexpected extra findings:\n%s", cxl)
+	}
+	if cxl.Warnings[0].Class != report.Performance {
+		t.Errorf("DMC-X01 must be a performance finding: %+v", cxl.Warnings[0])
+	}
+}
+
+func TestContractStoreOnly(t *testing.T) {
+	x86 := checkSrcContract(t, storeOnlySrc, Strict, pmcontract.X86Contract())
+	if !hasWarning(x86, report.RuleUnflushedWrite, 10) {
+		t.Errorf("x86: unflushed write at 10 not found:\n%s", x86)
+	}
+	cxl := checkSrcContract(t, storeOnlySrc, Strict, pmcontract.CXLContract(pmcontract.WholeDomain()))
+	if !hasWarning(cxl, report.RuleMissingGlobalBarrier, 10) {
+		t.Errorf("cxl domain: missing-global-barrier at 10 not found:\n%s", cxl)
+	}
+	if hasWarning(cxl, report.RuleUnflushedWrite, 0) {
+		t.Errorf("cxl domain: unflushed-write must be suppressed (store is durable):\n%s", cxl)
+	}
+}
+
+// TestContractEmptyDomainMatchesX86: an empty-domain CXL contract scans
+// byte-identically to x86 across the models — the contract-equivalence
+// property at the static layer.
+func TestContractEmptyDomainMatchesX86(t *testing.T) {
+	srcs := []string{storeFenceSrc, storeFlushFenceSrc, storeOnlySrc, nvmLockSrc}
+	for _, src := range srcs {
+		for _, model := range []Model{Strict, Epoch, Strand} {
+			x86 := checkSrcContract(t, src, model, pmcontract.X86Contract())
+			cxl := checkSrcContract(t, src, model, pmcontract.CXLContract(pmcontract.Domain{}))
+			if x86.String() != cxl.String() {
+				t.Errorf("model %s: empty-domain CXL diverges from x86:\n--- x86:\n%s--- cxl:\n%s",
+					model, x86, cxl)
+			}
+		}
+	}
+}
+
+// TestContractTxCommitCommitsDomainWrites: a transaction commit includes
+// a persist barrier, so domain writes inside it are not DMC-X02.
+func TestContractTxCommitCommitsDomainWrites(t *testing.T) {
+	src := `
+module m
+
+type rec struct {
+	v: int
+}
+
+func f() {
+	%p = palloc rec
+	txbegin       @9
+	txadd %p      @10
+	store %p.v, 1 @11
+	txend         @12
+	ret
+}
+`
+	cxl := checkSrcContract(t, src, Epoch, pmcontract.CXLContract(pmcontract.WholeDomain()))
+	if hasWarning(cxl, report.RuleMissingGlobalBarrier, 0) {
+		t.Errorf("cxl domain: tx-committed write flagged as unbarriered:\n%s", cxl)
+	}
+}

@@ -55,6 +55,7 @@ func fingerprintFacts(opts checker.Options, enabled map[string]bool) (traceFacts
 	}
 	verdictFacts = []string{
 		"model=" + opts.Model.String(),
+		"contract=" + opts.Contract.Key(),
 		"passes=" + passes.Version(enabled),
 	}
 	return traceFacts, verdictFacts

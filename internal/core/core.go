@@ -19,6 +19,7 @@ import (
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
 	"deepmc/internal/passes"
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/report"
 	"deepmc/internal/trace"
 )
@@ -28,6 +29,14 @@ type Config struct {
 	// Model is the declared persistency model: "strict", "epoch" or
 	// "strand" (the paper's single required flag).
 	Model string
+	// PModel is the hardware persistency contract: "x86" (or empty, the
+	// default — clwb/sfence staging) or "cxl" (global persist barriers
+	// with a device-side persistence domain covering the persistent
+	// heap).  Orthogonal to Model: the persistency model says what order
+	// the program promised, the contract says what the hardware durably
+	// does.  The contract reshapes the applicable pass set (see
+	// passes.ResolveEnabledFor) and every report is tagged with it.
+	PModel string
 	// AllFunctions checks every function standalone instead of root
 	// traces only.
 	AllFunctions bool
@@ -96,9 +105,18 @@ func (c Config) workers() int {
 	return c.Workers
 }
 
+// contract parses the configured hardware persistency contract.
+func (c Config) contract() (pmcontract.Contract, error) {
+	return pmcontract.ParseContract(c.PModel)
+}
+
 // checkerOptions lowers the configuration.
 func (c Config) checkerOptions() (checker.Options, error) {
 	model, err := checker.ParseModel(orDefault(c.Model, "strict"))
+	if err != nil {
+		return checker.Options{}, err
+	}
+	ct, err := c.contract()
 	if err != nil {
 		return checker.Options{}, err
 	}
@@ -107,6 +125,7 @@ func (c Config) checkerOptions() (checker.Options, error) {
 		return checker.Options{}, err
 	}
 	opts := checker.DefaultOptions(model)
+	opts.Contract = ct
 	opts.AllFunctions = c.AllFunctions
 	opts.DSA.FieldSensitive = !c.FieldInsensitive
 	opts.DSA.PersistentAllocFns = c.PersistentAllocFns
@@ -125,9 +144,15 @@ func (c Config) checkerOptions() (checker.Options, error) {
 }
 
 // enabledPasses resolves the configured pass selection against the
-// registry (unknown IDs are errors, not silent no-ops).
+// registry (unknown IDs are errors, not silent no-ops) and the
+// configured contract (explicitly selecting a pass inapplicable under
+// -pmodel is an error too, never a silent no-op).
 func (c Config) enabledPasses() (map[string]bool, error) {
-	return passes.ResolveEnabled(c.Passes, c.DisablePasses)
+	ct, err := c.contract()
+	if err != nil {
+		return nil, err
+	}
+	return passes.ResolveEnabledFor(c.Passes, c.DisablePasses, ct.EffectiveID())
 }
 
 func orDefault(s, d string) string {
@@ -160,10 +185,14 @@ func AnalyzeCtx(ctx context.Context, m *ir.Module, cfg Config) (*report.Report, 
 	if err != nil {
 		return nil, err
 	}
+	var rep *report.Report
 	if cache == nil {
-		return checker.New(m, opts).CheckModuleParallelCtx(ctx, cfg.workers()), nil
+		rep = checker.New(m, opts).CheckModuleParallelCtx(ctx, cfg.workers())
+	} else {
+		rep = analyzeCached(ctx, m, cfg, opts, cache)
 	}
-	return analyzeCached(ctx, m, cfg, opts, cache), nil
+	rep.Contract = opts.Contract.Name()
+	return rep, nil
 }
 
 // Job pairs one module with its configuration for batch analysis.
@@ -309,7 +338,11 @@ func RunDynamicCfg(ctx context.Context, m *ir.Module, cfg Config, entry string, 
 	if err != nil {
 		return nil, nil, err
 	}
-	return runDynamic(ctx, m, entry, faults, passes.DisabledDynamicCodes(enabled), args...)
+	ct, err := cfg.contract()
+	if err != nil {
+		return nil, nil, err
+	}
+	return runDynamicContract(ctx, m, entry, faults, passes.DisabledDynamicCodes(enabled), ct, args...)
 }
 
 // RunDynamicFaulted is RunDynamicCtx with deterministic fault injection
@@ -325,7 +358,15 @@ func RunDynamicFaulted(ctx context.Context, m *ir.Module, entry string, faults *
 
 // runDynamic is the shared dynamic-run engine beneath the RunDynamic*
 // wrappers.  disabled maps dynamic diagnostic codes to suppress.
-func runDynamic(ctx context.Context, m *ir.Module, entry string, faults *faultinj.Config, disabled map[string]bool, args ...int64) (rep *report.Report, sched *faultinj.Schedule, err error) {
+func runDynamic(ctx context.Context, m *ir.Module, entry string, faults *faultinj.Config, disabled map[string]bool, args ...int64) (*report.Report, *faultinj.Schedule, error) {
+	return runDynamicContract(ctx, m, entry, faults, disabled, pmcontract.Contract{}, args...)
+}
+
+// runDynamicContract is runDynamic under an explicit hardware contract:
+// the instrumented runtime models it (in-domain stores record
+// pre-flushed), the fault wrapper discovers it through the runtime's
+// ContractHolder, and the report is tagged with its name.
+func runDynamicContract(ctx context.Context, m *ir.Module, entry string, faults *faultinj.Config, disabled map[string]bool, ct pmcontract.Contract, args ...int64) (rep *report.Report, sched *faultinj.Schedule, err error) {
 	if verr := ir.Verify(m); verr != nil {
 		return nil, nil, verr
 	}
@@ -336,6 +377,7 @@ func runDynamic(ctx context.Context, m *ir.Module, entry string, faults *faultin
 	}()
 	rt := dynamic.NewRuntime(true)
 	rt.Checker.Disabled = disabled
+	rt.Contract = ct
 	var hooks interp.Hooks = rt
 	if faults != nil {
 		sched = faultinj.New(*faults)
@@ -346,6 +388,7 @@ func runDynamic(ctx context.Context, m *ir.Module, entry string, faults *faultin
 	if _, rerr := ip.Run(entry, args...); rerr != nil {
 		if ip.Canceled() {
 			rep := rt.Checker.Report()
+			rep.Contract = ct.Name()
 			rep.AddSkipStage(entry, report.StageDynamic,
 				fmt.Sprintf("dynamic run canceled after %d steps: %v", ip.Steps()-1, ctx.Err()))
 			rep.Sort()
@@ -353,7 +396,9 @@ func runDynamic(ctx context.Context, m *ir.Module, entry string, faults *faultin
 		}
 		return nil, sched, fmt.Errorf("core: dynamic run of %s: %w", entry, rerr)
 	}
-	return rt.Checker.Report(), sched, nil
+	rep = rt.Checker.Report()
+	rep.Contract = ct.Name()
+	return rep, sched, nil
 }
 
 // Check runs both analyses: static over the whole module, dynamic over

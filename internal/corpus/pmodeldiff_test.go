@@ -1,0 +1,52 @@
+package corpus
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPModelDifferential: every contract-differential case resolves to
+// its expected verdict matrix cell.
+func TestPModelDifferential(t *testing.T) {
+	rs, err := PModelDifferential(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !PModelDiffOK(rs) {
+		for _, r := range rs {
+			t.Logf("%s", r)
+		}
+		t.Fatalf("pmodel differential failed")
+	}
+	if len(rs) != len(PModelCases()) {
+		t.Errorf("cases dropped: %d of %d", len(rs), len(PModelCases()))
+	}
+}
+
+// TestCrashPModelDifferential: the crash simulator agrees with the
+// static matrix — the unflushed window exists under x86 only.
+func TestCrashPModelDifferential(t *testing.T) {
+	r, err := CrashPModelDifferential(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("crash pmodel cell failed: %s", r)
+	}
+}
+
+// TestPModelEquivalenceCorpus: satellite 3's property — empty-domain
+// CXL reports are byte-identical to x86 over the whole Table 1 corpus
+// at 1 and 8 workers.
+func TestPModelEquivalenceCorpus(t *testing.T) {
+	checked, diverged, err := PModelEquivalence(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diverged) > 0 {
+		t.Fatalf("contract equivalence diverged: %v", diverged)
+	}
+	if checked == 0 {
+		t.Fatal("equivalence check vacuous")
+	}
+}

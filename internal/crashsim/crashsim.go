@@ -9,6 +9,17 @@
 // model-violation bugs are real: the buggy btree split loses its item
 // update at some crash point; the fixed version never violates the
 // invariant.
+//
+// The crash-discard rule is contract-parameterized (Options.Contract).
+// Under the default x86 clwb/sfence contract a crash discards dirty and
+// staged words; any subset of them may also have persisted
+// (checkOutcomes).  Under a CXL contract with a persistence domain
+// (read, like the static checker, as covering the whole persistent
+// heap) stores are durable at store time, so a host/power crash loses
+// nothing — but the contract adds a second failure domain: a DEVICE
+// failure rolls domain words written since the last global persist
+// barrier back to their barrier-committed values.  Each crash point is
+// therefore checked against both failure domains' images.
 package crashsim
 
 import (
@@ -19,6 +30,7 @@ import (
 
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
+	"deepmc/internal/pmcontract"
 )
 
 // Word is one 8-byte persistent location: object id + byte offset.
@@ -88,18 +100,40 @@ type nvmState struct {
 	txDepth int
 	undo    []undoRec
 	logged  map[Word]bool
+
+	// contract selects the crash-discard rule; the zero value is x86.
+	// With a CXL persistence domain (whole-heap at this layer),
+	// in-domain writes go straight to durable and are tracked in
+	// domainPending until a barrier commits them; devCommitted holds the
+	// barrier-committed value a device failure rolls back to.
+	contract      pmcontract.Contract
+	domainPending map[Word]bool
+	devCommitted  map[Word]int64
 }
 
-func newNVMState() *nvmState {
+func newNVMState(c pmcontract.Contract) *nvmState {
 	return &nvmState{
-		current: make(map[Word]int64),
-		durable: make(map[Word]int64),
-		dirty:   make(map[Word]bool),
-		staged:  make(map[Word]bool),
-		objects: make(map[int]*interp.Object),
-		logged:  make(map[Word]bool),
+		current:       make(map[Word]int64),
+		durable:       make(map[Word]int64),
+		dirty:         make(map[Word]bool),
+		staged:        make(map[Word]bool),
+		objects:       make(map[int]*interp.Object),
+		logged:        make(map[Word]bool),
+		contract:      c,
+		domainPending: make(map[Word]bool),
+		devCommitted:  make(map[Word]int64),
 	}
 }
+
+// inDomain reports whether persistent words live in a device
+// persistence domain.  The interpreter has no pool address space, so
+// (matching the static checker) any non-empty domain covers the whole
+// persistent heap.
+func (s *nvmState) inDomain() bool { return s.contract.HasDomain() }
+
+// PersistencyContract implements interp.ContractHolder so fault
+// decorators (faultinj.Wrap) keep injections legal under the contract.
+func (s *nvmState) PersistencyContract() pmcontract.Contract { return s.contract }
 
 // OnTxBegin opens a transaction level.
 func (s *nvmState) OnTxBegin(_, _ string, _ int) { s.txDepth++ }
@@ -138,21 +172,42 @@ func (s *nvmState) OnTxEnd(_, _ string, _ int) {
 	}
 	s.logged = make(map[Word]bool)
 	s.undo = nil
+	// A transaction commit includes a persist barrier: it also commits
+	// buffered domain writes against device failure.
+	s.commitDomain()
 }
 
-// OnWrite mirrors a persistent store into the volatile view.
+// commitDomain retires the device-side buffer: every pending domain
+// word's durable value becomes its barrier-committed value.
+func (s *nvmState) commitDomain() {
+	for w := range s.domainPending {
+		s.devCommitted[w] = s.durable[w]
+	}
+	s.domainPending = make(map[Word]bool)
+}
+
+// OnWrite mirrors a persistent store into the volatile view.  In a
+// persistence domain the store is durable at store time — no dirty
+// window — but stays device-buffered (domainPending) until a barrier
+// commits it against device failure.
 func (s *nvmState) OnWrite(obj *interp.Object, off, size int, _, _ string, _ int) {
 	if !obj.Persistent {
 		return
 	}
 	s.objects[obj.ID] = obj
+	inDom := s.inDomain()
 	for g := 0; g < size; g += 8 {
 		w := Word{Obj: obj.ID, Off: off + g}
 		slot := (off + g) / 8
 		if slot < len(obj.Slots) {
 			s.current[w] = obj.Slots[slot].I
 		}
-		s.dirty[w] = true
+		if inDom {
+			s.durable[w] = s.current[w]
+			s.domainPending[w] = true
+		} else {
+			s.dirty[w] = true
+		}
 	}
 }
 
@@ -178,9 +233,10 @@ func (s *nvmState) OnEvict(obj *interp.Object, off, size int, _, _ string, _ int
 	}
 }
 
-// OnFlush stages dirty words for write-back.
+// OnFlush stages dirty words for write-back.  In a persistence domain
+// there is nothing to stage — the store was durable at store time.
 func (s *nvmState) OnFlush(obj *interp.Object, off, size int, _, _ string, _ int) {
-	if !obj.Persistent {
+	if !obj.Persistent || s.inDomain() {
 		return
 	}
 	for g := 0; g < size; g += 8 {
@@ -191,13 +247,15 @@ func (s *nvmState) OnFlush(obj *interp.Object, off, size int, _, _ string, _ int
 	}
 }
 
-// OnFence makes staged words durable.
+// OnFence makes staged words durable and, as a global persist barrier,
+// commits buffered domain writes against device failure.
 func (s *nvmState) OnFence(_, _ string, _ int) {
 	for w := range s.staged {
 		s.durable[w] = s.current[w]
 		delete(s.dirty, w)
 	}
 	s.staged = make(map[Word]bool)
+	s.commitDomain()
 }
 
 // image snapshots the durable state, applying post-crash recovery: an
@@ -217,6 +275,23 @@ func (s *nvmState) image() *Image {
 		objs[id] = o
 	}
 	return &Image{durable: d, objects: objs}
+}
+
+// deviceImage snapshots the durable state after a DEVICE failure: every
+// domain word written since the last global persist barrier rolls back
+// to its barrier-committed value (or vanishes if it was never
+// committed).  Host-side recovery (the open-tx undo rollback image()
+// applies) runs the same either way.
+func (s *nvmState) deviceImage() *Image {
+	im := s.image()
+	for w := range s.domainPending {
+		if cv, ok := s.devCommitted[w]; ok {
+			im.durable[w] = cv
+		} else {
+			delete(im.durable, w)
+		}
+	}
+	return im
 }
 
 // Violation describes an invariant failure at one crash point.
@@ -366,8 +441,17 @@ func (s *nvmState) inFlight() []Word {
 }
 
 // checkOutcomes applies the invariant to every persist outcome of the
-// in-flight words (exhaustive for small sets, sampled otherwise).
+// in-flight words (exhaustive for small sets, sampled otherwise), and —
+// when the contract has a device persistence domain — to the
+// device-failure image at this point as well (uncommitted domain words
+// rolled back).
 func (s *nvmState) checkOutcomes(inv Invariant, seed int64) error {
+	if s.inDomain() {
+		if err := inv(s.deviceImage()); err != nil {
+			return fmt.Errorf("device-failure image (%d domain words uncommitted by any barrier): %w",
+				len(s.domainPending), err)
+		}
+	}
 	flight := s.inFlight()
 	base := s.image()
 	apply := func(mask uint64) error {

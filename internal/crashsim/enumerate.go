@@ -7,6 +7,7 @@ import (
 	"deepmc/internal/faultinj"
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
+	"deepmc/internal/pmcontract"
 )
 
 // Options configures EnumerateOpts.
@@ -55,6 +56,15 @@ type Options struct {
 	// Points outside the window count into Result.Pruned.  Ignored by
 	// unpruned enumeration.
 	MinStep, MaxStep int
+	// Contract selects the hardware persistency contract whose
+	// crash-discard rule the simulation applies; the zero value is x86
+	// clwb/sfence.  A CXL contract with a persistence domain makes
+	// stores durable at store time (host crashes lose nothing) and adds
+	// device-failure images — uncommitted domain words rolled back to
+	// their last barrier-committed values — to every crash point's
+	// outcome set.  An empty-domain CXL contract enumerates exactly like
+	// x86.
+	Contract pmcontract.Contract
 }
 
 // Injector decorates an execution's hook stack with a replayable
@@ -95,7 +105,7 @@ func EnumerateCtx(ctx context.Context, m *ir.Module, entry string, inv Invariant
 
 	res := &Result{}
 	if o.Prune || o.Injector != nil {
-		p := newPlanner()
+		p := newPlanner(o.Contract)
 		var hooks interp.Hooks = p
 		var sched *faultinj.Schedule
 		switch {
@@ -190,7 +200,7 @@ func EnumerateCtx(ctx context.Context, m *ir.Module, entry string, inv Invariant
 		sel = append(sel, k)
 	}
 	res.CrashesRun = len(sel)
-	viols, skipped, notes, err := checkPoints(ctx, m, entry, inv, o.Faults, sel, resolveWorkers(o.Workers))
+	viols, skipped, notes, err := checkPoints(ctx, m, entry, inv, o, sel, resolveWorkers(o.Workers))
 	if err != nil {
 		return nil, err
 	}

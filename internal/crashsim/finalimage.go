@@ -23,7 +23,7 @@ func FinalImage(ctx context.Context, m *ir.Module, entry string, o Options) (*Im
 	if err := ir.Verify(m); err != nil {
 		return nil, err
 	}
-	s := newNVMState()
+	s := newNVMState(o.Contract)
 	var hooks interp.Hooks = s
 	switch {
 	case o.Injector != nil:

@@ -91,7 +91,7 @@ func mergeStatus(slots []pointStatus) (viols []Violation, skipped int, notes []s
 // RNG (checkOutcomes) and, when faults are configured, its own fresh
 // injection schedule, so workers share no random state and every
 // re-execution replays identical faults.
-func checkPoints(ctx context.Context, m *ir.Module, entry string, inv Invariant, faults *faultinj.Config, points []int, workers int) ([]Violation, int, []string, error) {
+func checkPoints(ctx context.Context, m *ir.Module, entry string, inv Invariant, o Options, points []int, workers int) ([]Violation, int, []string, error) {
 	if len(points) == 0 {
 		return nil, 0, nil, nil
 	}
@@ -106,7 +106,7 @@ func checkPoints(ctx context.Context, m *ir.Module, entry string, inv Invariant,
 			slots[i].skipped = true
 			return
 		}
-		slots[i].viol, slots[i].skipped, slots[i].err = checkOne(ctx, m, entry, inv, faults, points[i])
+		slots[i].viol, slots[i].skipped, slots[i].err = checkOne(ctx, m, entry, inv, o, points[i])
 	})
 	for i, s := range slots {
 		if s.err != nil {
@@ -154,11 +154,11 @@ func checkSnapshots(ctx context.Context, inv Invariant, points []planPoint, work
 // step-budget stop is the simulated crash; a context cancellation
 // reports the point as skipped; a nil run error means the program
 // completed (the final crash point); any other error is a real failure.
-func checkOne(ctx context.Context, m *ir.Module, entry string, inv Invariant, faults *faultinj.Config, k int) (*Violation, bool, error) {
-	st := newNVMState()
+func checkOne(ctx context.Context, m *ir.Module, entry string, inv Invariant, o Options, k int) (*Violation, bool, error) {
+	st := newNVMState(o.Contract)
 	var hooks interp.Hooks = st
-	if faults != nil {
-		hooks = faultinj.Wrap(st, faultinj.New(*faults))
+	if o.Faults != nil {
+		hooks = faultinj.Wrap(st, faultinj.New(*o.Faults))
 	}
 	ip := interp.New(m, hooks)
 	ip.MaxSteps = k

@@ -7,6 +7,7 @@ import (
 
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
+	"deepmc/internal/pmcontract"
 )
 
 // planPoint is one surviving crash candidate from the planning run: the
@@ -53,8 +54,8 @@ type planner struct {
 // step-1 snapshot equal to what a MaxSteps = 1 run observes.  If step 1
 // is itself persist-relevant its OnStep records a second step-1 point
 // with the true post-step state.
-func newPlanner() *planner {
-	p := &planner{nvmState: newNVMState()}
+func newPlanner(c pmcontract.Contract) *planner {
+	p := &planner{nvmState: newNVMState(c)}
 	p.points = append(p.points, planPoint{step: 1, key: p.stateKey(), snap: p.nvmState.snapshot()})
 	return p
 }
@@ -153,14 +154,23 @@ func (p *planner) OnStep(step int, _ ir.Op) {
 // ID/Type/Persistent metadata.
 func (s *nvmState) snapshot() *nvmState {
 	c := &nvmState{
-		current: make(map[Word]int64, len(s.current)),
-		durable: make(map[Word]int64, len(s.durable)),
-		dirty:   make(map[Word]bool, len(s.dirty)),
-		staged:  make(map[Word]bool, len(s.staged)),
-		objects: make(map[int]*interp.Object, len(s.objects)),
-		txDepth: s.txDepth,
-		undo:    append([]undoRec(nil), s.undo...),
-		logged:  make(map[Word]bool, len(s.logged)),
+		current:       make(map[Word]int64, len(s.current)),
+		durable:       make(map[Word]int64, len(s.durable)),
+		dirty:         make(map[Word]bool, len(s.dirty)),
+		staged:        make(map[Word]bool, len(s.staged)),
+		objects:       make(map[int]*interp.Object, len(s.objects)),
+		txDepth:       s.txDepth,
+		undo:          append([]undoRec(nil), s.undo...),
+		logged:        make(map[Word]bool, len(s.logged)),
+		contract:      s.contract,
+		domainPending: make(map[Word]bool, len(s.domainPending)),
+		devCommitted:  make(map[Word]int64, len(s.devCommitted)),
+	}
+	for w := range s.domainPending {
+		c.domainPending[w] = true
+	}
+	for w, v := range s.devCommitted {
+		c.devCommitted[w] = v
 	}
 	for w, v := range s.current {
 		c.current[w] = v
@@ -186,9 +196,11 @@ func (s *nvmState) snapshot() *nvmState {
 // stateKey canonically encodes everything checkOutcomes consumes:
 // durable words with values, in-flight words with their would-persist
 // values, the open transaction's undo pre-images (recovery rolls these
-// back whatever the cache did), and the set of touched objects.  Two
-// crash points with equal keys produce identical invariant verdicts, so
-// the second is safely deduped.
+// back whatever the cache did), the device-failure rollback state
+// (pending domain words with the committed value they roll back to),
+// and the set of touched objects.  Two crash points with equal keys
+// produce identical invariant verdicts, so the second is safely
+// deduped.
 func (s *nvmState) stateKey() string {
 	var b strings.Builder
 	words := make([]Word, 0, len(s.durable))
@@ -214,6 +226,21 @@ func (s *nvmState) stateKey() string {
 		})
 		for _, r := range u {
 			fmt.Fprintf(&b, "u%d.%d=%d;", r.w.Obj, r.w.Off, r.val)
+		}
+	}
+	b.WriteByte('|')
+	if len(s.domainPending) > 0 {
+		pend := make([]Word, 0, len(s.domainPending))
+		for w := range s.domainPending {
+			pend = append(pend, w)
+		}
+		sortWords(pend)
+		for _, w := range pend {
+			if cv, ok := s.devCommitted[w]; ok {
+				fmt.Fprintf(&b, "p%d.%d>%d;", w.Obj, w.Off, cv)
+			} else {
+				fmt.Fprintf(&b, "p%d.%d>!;", w.Obj, w.Off)
+			}
 		}
 	}
 	b.WriteByte('|')

@@ -6,6 +6,7 @@ import (
 
 	"deepmc/internal/interp"
 	"deepmc/internal/ir"
+	"deepmc/internal/pmcontract"
 )
 
 // Review scratch: main's FIRST instruction is a call; the callee does
@@ -57,7 +58,7 @@ func main() {
 		t.Errorf("VERDICT DIVERGES: full clean=%v pruned clean=%v", full.Clean(), pruned.Clean())
 	}
 	// Also check step ordering of recorded points in pruned mode.
-	p := &planner{nvmState: newNVMState()}
+	p := &planner{nvmState: newNVMState(pmcontract.Contract{})}
 	ip := interp.New(m, p)
 	if _, err := ip.Run("main"); err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"deepmc/internal/interp"
+	"deepmc/internal/pmcontract"
 )
 
 // Runtime adapts interpreter events to the runtime checker — it plays the
@@ -22,6 +23,13 @@ type Runtime struct {
 	// so delay mutations that move events across region boundaries
 	// still register.
 	Cov *Coverage
+	// Contract is the hardware persistency contract the execution
+	// models; the zero value is x86 clwb/sfence.  Under a CXL contract
+	// with a persistence domain (read as the whole persistent heap —
+	// the runtime has no pool address space) every persistent store is
+	// durable at store time, so writes are recorded pre-flushed and the
+	// unflushed-RAW escalation (DMC-D03) cannot arise.
+	Contract pmcontract.Contract
 
 	curStrand   int64
 	strandDepth int
@@ -54,6 +62,11 @@ func NewRuntime(onlyAnnotated bool) *Runtime {
 }
 
 var _ interp.Hooks = (*Runtime)(nil)
+var _ interp.ContractHolder = (*Runtime)(nil)
+
+// PersistencyContract exposes the modeled hardware contract so
+// decorators (faultinj.Wrap) can keep injected behavior legal under it.
+func (r *Runtime) PersistencyContract() pmcontract.Contract { return r.Contract }
 
 // addrOf maps an (object, byte offset) pair to a shadow address for the
 // happens-before checker.  Each object gets a contiguous region sized to
@@ -100,8 +113,16 @@ func (r *Runtime) OnWrite(obj *interp.Object, off, size int, fn, file string, li
 	if !r.tracked() {
 		return
 	}
+	autoPersist := obj.Persistent && r.Contract.HasDomain()
 	for g := 0; g < size; g += 8 {
-		r.Checker.Write(r.curStrand, r.addrOf(obj, off+g), obj.Persistent, fn, file, line)
+		a := r.addrOf(obj, off+g)
+		r.Checker.Write(r.curStrand, a, obj.Persistent, fn, file, line)
+		if autoPersist {
+			// In-domain stores are durable at store time: record the
+			// granule flushed immediately so a racing read is ordinary
+			// RAW (DMC-D02), never unflushed RAW (DMC-D03).
+			r.Checker.Flush(r.curStrand, a, obj.Persistent, fn, file, line)
+		}
 	}
 }
 

@@ -30,11 +30,23 @@ const granule = 8
 // An inner without the extension simply skips that class (recorded
 // injections still require the extension, so InjectionsOf stays
 // truthful).
+//
+// When inner also implements interp.ContractHolder, the wrapper obeys
+// the advertised hardware contract: inside a CXL persistence domain
+// stores are durable whole at store time and a clwb stages nothing, so
+// every fault class is ineligible there — torn writes and dropped
+// flushes cannot exist, and fences have no staged set for a reordered
+// or delayed drain to act on.  The interpreter has no pool address
+// space, so (matching the static checker) any non-empty domain is read
+// as covering the whole persistent heap.
 func Wrap(inner interp.Hooks, sched *Schedule) interp.Hooks {
 	h := &hooks{inner: inner, sched: sched}
 	h.obs, _ = inner.(interp.StepObserver)
 	h.evict, _ = inner.(interp.Evictor)
 	h.pf, _ = inner.(interp.PartialFencer)
+	if ch, ok := inner.(interp.ContractHolder); ok {
+		h.inDomain = ch.PersistencyContract().HasDomain()
+	}
 	return h
 }
 
@@ -54,6 +66,10 @@ type hooks struct {
 	evict interp.Evictor
 	pf    interp.PartialFencer
 
+	// inDomain: inner's contract puts the persistent heap in a device
+	// persistence domain, making every fault class ineligible (see Wrap).
+	inDomain bool
+
 	// dropped clwbs awaiting the hardware retry at the next fence
 	pending []flushEv
 }
@@ -64,7 +80,7 @@ func site(fn, file string, line int) string {
 
 func (h *hooks) OnWrite(obj *interp.Object, off, size int, fn, file string, line int) {
 	h.inner.OnWrite(obj, off, size, fn, file, line)
-	if h.evict == nil || obj == nil || !obj.Persistent || size < 2*granule {
+	if h.inDomain || h.evict == nil || obj == nil || !obj.Persistent || size < 2*granule {
 		return
 	}
 	if !h.sched.Fire(TornWrite) {
@@ -79,7 +95,7 @@ func (h *hooks) OnWrite(obj *interp.Object, off, size int, fn, file string, line
 }
 
 func (h *hooks) OnFlush(obj *interp.Object, off, size int, fn, file string, line int) {
-	if obj != nil && obj.Persistent && h.sched.Fire(DroppedFlush) {
+	if !h.inDomain && obj != nil && obj.Persistent && h.sched.Fire(DroppedFlush) {
 		h.pending = append(h.pending, flushEv{obj, off, size, fn, file, line})
 		h.sched.Record(DroppedFlush, site(fn, file, line),
 			fmt.Sprintf("clwb obj#%d+%d size=%d dropped, retried at next fence", obj.ID, off, size))
@@ -95,7 +111,7 @@ func (h *hooks) OnFence(fn, file string, line int) {
 		h.inner.OnFlush(e.obj, e.off, e.size, e.fn, e.file, e.line)
 	}
 	h.pending = h.pending[:0]
-	if h.pf != nil {
+	if h.pf != nil && !h.inDomain {
 		if h.sched.Fire(ReorderedPersist) {
 			h.pf.OnPartialFence(h.pickScrambled(fn, file, line), fn, file, line)
 		} else if h.sched.Fire(DelayedDrain) {

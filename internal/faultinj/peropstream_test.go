@@ -1,0 +1,104 @@
+package faultinj
+
+import "testing"
+
+// TestPerOpStreamCrossClassIndependence: in keyed mode, the decision
+// for the k-th eligible event of one class must not move when events
+// of OTHER classes are interleaved differently — the property the
+// shared stream lacks and concurrent soak clients need.
+func TestPerOpStreamCrossClassIndependence(t *testing.T) {
+	cfg := Config{Classes: AllClasses(), Rate: 0.5, Seed: 7, PerOpStream: true}
+
+	// Run A: torn events only.
+	a := New(cfg)
+	var decA []bool
+	for i := 0; i < 64; i++ {
+		decA = append(decA, a.Fire(TornWrite))
+	}
+
+	// Run B: same torn events with dropped/delayed events interleaved.
+	b := New(cfg)
+	var decB []bool
+	for i := 0; i < 64; i++ {
+		b.Fire(DroppedFlush)
+		decB = append(decB, b.Fire(TornWrite))
+		b.Fire(DelayedDrain)
+	}
+	for i := range decA {
+		if decA[i] != decB[i] {
+			t.Fatalf("torn decision %d moved when other classes interleaved: %v vs %v", i, decA[i], decB[i])
+		}
+	}
+
+	// The shared stream, by contrast, must diverge on the same pair of
+	// event sequences (otherwise the keyed mode would be pointless).
+	shared := cfg
+	shared.PerOpStream = false
+	c, d := New(shared), New(shared)
+	var decC, decD []bool
+	for i := 0; i < 64; i++ {
+		decC = append(decC, c.Fire(TornWrite))
+		d.Fire(DroppedFlush)
+		decD = append(decD, d.Fire(TornWrite))
+		d.Fire(DelayedDrain)
+	}
+	same := true
+	for i := range decC {
+		if decC[i] != decD[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("shared stream unexpectedly interleaving-independent; keyed mode untestable")
+	}
+}
+
+// TestPerOpStreamReplays: two keyed schedules driven by the same event
+// sequence produce byte-identical logs, including follow-up draws.
+func TestPerOpStreamReplays(t *testing.T) {
+	cfg := Config{Classes: AllClasses(), Rate: 0.7, Seed: 99, PerOpStream: true}
+	run := func() string {
+		s := New(cfg)
+		for i := 0; i < 32; i++ {
+			if s.Fire(TornWrite) {
+				s.Record(TornWrite, "site", detailOf(s.Subset(6)))
+			}
+			if s.Fire(ReorderedPersist) {
+				s.Record(ReorderedPersist, "site", detailOf(s.Perm(4)))
+			}
+		}
+		return s.Log()
+	}
+	l1, l2 := run(), run()
+	if l1 != l2 {
+		t.Fatalf("keyed schedule does not replay:\n%s\nvs\n%s", l1, l2)
+	}
+	if l1 == "" {
+		t.Fatalf("replay vacuous: nothing fired")
+	}
+}
+
+// TestPerOpStreamRateZeroOne: rate 1 fires every eligible event, and
+// the per-class ordinal advances on non-firing draws too (so a rate
+// bump cannot shift later decisions).
+func TestPerOpStreamRateOne(t *testing.T) {
+	s := New(Config{Classes: []Class{TornWrite}, Rate: 1, Seed: 3, PerOpStream: true})
+	for i := 0; i < 16; i++ {
+		if !s.Fire(TornWrite) {
+			t.Fatalf("rate-1 keyed stream did not fire at event %d", i)
+		}
+	}
+	// Disabled classes consume nothing and never fire.
+	if s.Fire(DroppedFlush) {
+		t.Fatalf("disabled class fired")
+	}
+}
+
+func detailOf(v []int) string {
+	b := make([]byte, 0, len(v))
+	for _, x := range v {
+		b = append(b, byte('0'+x))
+	}
+	return string(b)
+}

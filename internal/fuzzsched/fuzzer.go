@@ -10,6 +10,7 @@ import (
 	"deepmc/internal/crashsim"
 	"deepmc/internal/dynamic"
 	"deepmc/internal/interp"
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/report"
 )
 
@@ -29,6 +30,12 @@ type Options struct {
 	// file per genome, content-hashed names) and seeds the run from any
 	// genomes already there.
 	CorpusDir string
+	// PModel selects the hardware persistency contract ("" or "x86",
+	// or "cxl" for a whole-heap persistence domain).  Execution, crash
+	// validation, and witnesses all run under it; a CXL domain closes
+	// the unflushed-write window, so schedules that only bite x86
+	// programs stop producing findings there.
+	PModel string
 }
 
 // DefaultBudget executes enough schedules to re-find every planted
@@ -92,6 +99,10 @@ func Fuzz(ctx context.Context, t Target, o Options) (*Result, error) {
 	if budget <= 0 {
 		budget = DefaultBudget
 	}
+	pm, err := pmcontract.ParseContract(o.PModel)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzsched: %w", err)
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	res := &Result{Target: t.Name}
 
@@ -122,7 +133,7 @@ func Fuzz(ctx context.Context, t Target, o Options) (*Result, error) {
 		}
 		res.Execs++
 
-		cov, warns, err := execute(ctx, t, g, o.MaxSteps)
+		cov, warns, err := execute(ctx, t, g, o.MaxSteps, pm)
 		if err != nil {
 			// A schedule that makes the program fault (not a budget stop)
 			// is discarded; faults here are interpreter-level errors, not
@@ -148,7 +159,7 @@ func Fuzz(ctx context.Context, t Target, o Options) (*Result, error) {
 			}
 			seenWarn[key] = true
 			res.Candidates++
-			wit, err := Validate(ctx, t, g, w, o.MaxSteps)
+			wit, err := Validate(ctx, t, g, w, o.MaxSteps, pm)
 			if err != nil {
 				return nil, err
 			}
@@ -169,7 +180,7 @@ func Fuzz(ctx context.Context, t Target, o Options) (*Result, error) {
 	// final corpus' most adversarial schedules against the fault-free
 	// image.  (Invariant targets get strictly stronger evidence above.)
 	if t.Invariant == nil {
-		if err := imageDiffFindings(ctx, t, corpus, o.MaxSteps, res); err != nil {
+		if err := imageDiffFindings(ctx, t, corpus, o.MaxSteps, pm, res); err != nil {
 			return nil, err
 		}
 	}
@@ -181,8 +192,9 @@ func Fuzz(ctx context.Context, t Target, o Options) (*Result, error) {
 
 // execute runs one schedule with the dynamic runtime attached and
 // returns its coverage and the dynamic warnings it triggered.
-func execute(ctx context.Context, t Target, g *Genome, maxSteps int) (*dynamic.Coverage, []report.Warning, error) {
+func execute(ctx context.Context, t Target, g *Genome, maxSteps int, pm pmcontract.Contract) (*dynamic.Coverage, []report.Warning, error) {
 	rt := dynamic.NewRuntime(false)
+	rt.Contract = pm
 	rt.Cov = dynamic.NewCoverage()
 	hooks := NewInjector(g).Wrap(rt)
 	ip := interp.New(t.Module, hooks)
@@ -200,15 +212,15 @@ func execute(ctx context.Context, t Target, g *Genome, maxSteps int) (*dynamic.C
 // target against the fault-free final image.  One finding per distinct
 // diff: a genome under which the end-of-run durable state differs from
 // the baseline proves the program's durability depends on the schedule.
-func imageDiffFindings(ctx context.Context, t Target, corpus []*Genome, maxSteps int, res *Result) error {
-	base, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{MaxSteps: maxSteps})
+func imageDiffFindings(ctx context.Context, t Target, corpus []*Genome, maxSteps int, pm pmcontract.Contract, res *Result) error {
+	base, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{MaxSteps: maxSteps, Contract: pm})
 	if err != nil {
 		return fmt.Errorf("fuzzsched: baseline image: %w", err)
 	}
 	seen := make(map[string]bool)
 	for _, g := range corpus {
 		inj := NewInjector(g)
-		img, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{Injector: inj, MaxSteps: maxSteps})
+		img, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{Injector: inj, MaxSteps: maxSteps, Contract: pm})
 		if err != nil {
 			continue
 		}
@@ -225,6 +237,7 @@ func imageDiffFindings(ctx context.Context, t Target, corpus []*Genome, maxSteps
 			Witness: &Witness{
 				Target:   t.Name,
 				Kind:     WitnessImageDiff,
+				PModel:   pmName(pm),
 				Genome:   g.Clone(),
 				Detail:   diff,
 				FaultLog: inj.Log(),
@@ -241,12 +254,12 @@ func imageDiffFindings(ctx context.Context, t Target, corpus []*Genome, maxSteps
 // crash step (MinStep = MaxStep = first violating step) and records
 // that targeted run's violation and injection log in the witness, so a
 // replay can assert byte-identity.
-func Validate(ctx context.Context, t Target, g *Genome, w report.Warning, maxSteps int) (*Witness, error) {
+func Validate(ctx context.Context, t Target, g *Genome, w report.Warning, maxSteps int, pm pmcontract.Contract) (*Witness, error) {
 	if t.Invariant == nil {
 		return nil, nil // image-diff targets validate in imageDiffFindings
 	}
 	full, err := crashsim.EnumerateCtx(ctx, t.Module, t.Entry, t.Invariant, crashsim.Options{
-		Injector: NewInjector(g), Workers: 1, MaxSteps: maxSteps,
+		Injector: NewInjector(g), Workers: 1, MaxSteps: maxSteps, Contract: pm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzzsched: validate %s: %w", t.Name, err)
@@ -257,7 +270,7 @@ func Validate(ctx context.Context, t Target, g *Genome, w report.Warning, maxSte
 	step := full.Violations[0].Step
 	inj := NewInjector(g)
 	targeted, err := crashsim.EnumerateCtx(ctx, t.Module, t.Entry, t.Invariant, crashsim.Options{
-		Injector: inj, Workers: 1, MaxSteps: maxSteps, MinStep: step, MaxStep: step,
+		Injector: inj, Workers: 1, MaxSteps: maxSteps, MinStep: step, MaxStep: step, Contract: pm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzzsched: targeted validate %s step %d: %w", t.Name, step, err)
@@ -272,10 +285,20 @@ func Validate(ctx context.Context, t Target, g *Genome, w report.Warning, maxSte
 		Kind:     WitnessInvariant,
 		Code:     w.EffectiveCode(),
 		Step:     step,
+		PModel:   pmName(pm),
 		Genome:   g.Clone(),
 		Detail:   renderViolations(targeted),
 		FaultLog: inj.Log(),
 	}, nil
+}
+
+// pmName renders a contract for a witness header: empty for x86, so
+// pre-contract witnesses stay byte-identical and remain decodable.
+func pmName(pm pmcontract.Contract) string {
+	if pm.ID == pmcontract.X86 {
+		return ""
+	}
+	return pm.Name()
 }
 
 // renderViolations renders a result's violations deterministically for

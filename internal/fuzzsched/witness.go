@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"deepmc/internal/crashsim"
+	"deepmc/internal/pmcontract"
 )
 
 // Witness kinds.
@@ -31,6 +32,10 @@ type Witness struct {
 	Kind   string // WitnessInvariant | WitnessImageDiff
 	Code   string // implicating dynamic code (invariant kind only)
 	Step   int    // implicated crash step (invariant kind only)
+	// PModel is the persistency contract the validation ran under
+	// ("" = x86, keeping pre-contract witnesses byte-identical).
+	// Replay re-enumerates under the same contract.
+	PModel string
 	Genome *Genome
 	// Detail is the violation rendering (invariant) or image diff
 	// (image-diff).
@@ -53,6 +58,9 @@ func (w *Witness) Encode() []byte {
 	}
 	if w.Kind == WitnessInvariant {
 		fmt.Fprintf(&b, "step: %d\n", w.Step)
+	}
+	if w.PModel != "" {
+		fmt.Fprintf(&b, "pmodel: %s\n", w.PModel)
 	}
 	fmt.Fprintf(&b, "genome: %s\n", w.Genome.Hex())
 	writeBody(&b, "faultlog", w.FaultLog)
@@ -100,6 +108,8 @@ func DecodeWitness(data []byte) (*Witness, error) {
 			w.Kind = v
 		case "code":
 			w.Code = v
+		case "pmodel":
+			w.PModel = v
 		case "step":
 			n, err := strconv.Atoi(v)
 			if err != nil {
@@ -138,6 +148,10 @@ func (w *Witness) Replay(ctx context.Context, t Target, maxSteps int) error {
 	if t.Name != w.Target {
 		return fmt.Errorf("fuzzsched: witness is for target %q, got %q", w.Target, t.Name)
 	}
+	pm, err := pmcontract.ParseContract(w.PModel)
+	if err != nil {
+		return fmt.Errorf("fuzzsched: replay %s: %w", t.Name, err)
+	}
 	switch w.Kind {
 	case WitnessInvariant:
 		if t.Invariant == nil {
@@ -145,7 +159,7 @@ func (w *Witness) Replay(ctx context.Context, t Target, maxSteps int) error {
 		}
 		inj := NewInjector(w.Genome)
 		res, err := crashsim.EnumerateCtx(ctx, t.Module, t.Entry, t.Invariant, crashsim.Options{
-			Injector: inj, Workers: 1, MaxSteps: maxSteps, MinStep: w.Step, MaxStep: w.Step,
+			Injector: inj, Workers: 1, MaxSteps: maxSteps, MinStep: w.Step, MaxStep: w.Step, Contract: pm,
 		})
 		if err != nil {
 			return fmt.Errorf("fuzzsched: replay %s: %w", t.Name, err)
@@ -161,12 +175,12 @@ func (w *Witness) Replay(ctx context.Context, t Target, maxSteps int) error {
 		}
 		return nil
 	case WitnessImageDiff:
-		base, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{MaxSteps: maxSteps})
+		base, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{MaxSteps: maxSteps, Contract: pm})
 		if err != nil {
 			return fmt.Errorf("fuzzsched: replay %s baseline: %w", t.Name, err)
 		}
 		inj := NewInjector(w.Genome)
-		img, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{Injector: inj, MaxSteps: maxSteps})
+		img, err := crashsim.FinalImage(ctx, t.Module, t.Entry, crashsim.Options{Injector: inj, MaxSteps: maxSteps, Contract: pm})
 		if err != nil {
 			return fmt.Errorf("fuzzsched: replay %s: %w", t.Name, err)
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"deepmc/internal/ir"
+	"deepmc/internal/pmcontract"
 )
 
 // Object is one allocated object.
@@ -128,6 +129,18 @@ type StepObserver interface {
 // executes.
 type ChoicePointer interface {
 	OnChoicePoint(seq int, op ir.Op, fn, file string, line int)
+}
+
+// ContractHolder is an optional Hooks extension: a hook set that models
+// a specific hardware persistency contract exposes it here, and
+// decorators that inject hardware behavior (package faultinj) discover
+// it to stay inside what that contract permits.  The zero contract is
+// x86 clwb/sfence; a CXL contract with a persistence domain makes
+// in-domain stores durable at store time, so torn writes and dropped
+// flushes are contractually impossible there.  Hook sets without the
+// extension get x86 semantics, the pre-contract behavior.
+type ContractHolder interface {
+	PersistencyContract() pmcontract.Contract
 }
 
 // NopHooks is an embeddable no-op Hooks implementation.

@@ -2,7 +2,9 @@
 // volatile cache hierarchy — the substrate the paper's evaluation machine
 // provides in hardware (§2.1).
 //
-// The model captures exactly the semantics the persistency bugs depend on:
+// The model captures exactly the semantics the persistency bugs depend
+// on, parameterized by a hardware persistency contract (package
+// pmcontract).  Under the default x86 contract:
 //
 //   - Stores land in volatile cachelines; they are NOT durable.
 //   - Flush (clwb) stages a cacheline for write-back.
@@ -12,6 +14,15 @@
 //   - Optional seeded random eviction spontaneously persists dirty lines,
 //     reproducing the "unpredictable cache evictions" that make unflushed
 //     writes intermittent in real hardware.
+//
+// Under the CXL contract (Config.Contract) the pool adds a device-side
+// persistence domain: stores inside it are durable at store time (no
+// flush needed — in-domain flushes are accounted no-ops), the fence is a
+// global persist barrier that additionally commits the domain's
+// device-side buffer, and a device failure (CrashDevice) rolls the
+// domain back to its last barrier-committed image while host/power
+// crashes (Crash) preserve it.  A CXL pool with an empty domain is
+// byte-identical to an x86 pool in crash images and fault logs.
 //
 // The pool also keeps the accounting the performance experiments need:
 // flush/fence counts, write-back traffic, and a simulated time model
@@ -27,6 +38,7 @@ import (
 	"sync"
 
 	"deepmc/internal/faultinj"
+	"deepmc/internal/pmcontract"
 )
 
 // CachelineSize is the write-back granularity in bytes.
@@ -48,10 +60,27 @@ type Config struct {
 	// torn writes persist part of a multi-granule store early, dropped
 	// flushes are retried at the next fence, reordered persists drain
 	// staged lines in a scrambled (logged) order, and delayed drains add
-	// fence latency.  All classes stay within clwb/sfence semantics.
-	// Replay determinism holds for single-threaded clients (the decision
-	// stream is a pure function of the operation order).
+	// fence latency.  All classes stay within the pool's contract; under
+	// a CXL persistence domain, torn writes and dropped flushes cannot
+	// fire on in-domain ranges (stores there are durable whole at store
+	// time and have no clwb to drop).
+	//
+	// Replay determinism: with the default shared decision stream it
+	// holds for single-threaded clients only (the stream is a pure
+	// function of the pool's operation order, which concurrent clients
+	// perturb).  Set Faults.PerOpStream for keyed per-class streams —
+	// the decision for the k-th eligible event of each class depends
+	// only on (Seed, class, k) — so concurrent clients replay
+	// deterministically as long as each client's own event sequence is
+	// stable; see the faultinj.Config.PerOpStream doc for the residual
+	// same-class interleaving caveat.
 	Faults *faultinj.Config
+	// Contract is the hardware persistency contract the pool simulates.
+	// The zero value is x86 (clwb/sfence), preserving every
+	// pre-contract caller.  pmcontract.CXLContract adds the global
+	// persist barrier and the device persistence domain described in
+	// the package doc.
+	Contract pmcontract.Contract
 }
 
 // DefaultConfig returns a 16 MiB pool with the default latency model and
@@ -78,6 +107,10 @@ type Stats struct {
 	Injections    uint64 // faults injected (Config.Faults)
 	SimulatedNs   int64
 	AllocatedByte uint64
+	// CXL persistence-domain accounting (zero under x86).
+	DomainStores  uint64 // stores durable at store time (in-domain)
+	DomainFlushes uint64 // accounted no-op flushes of in-domain ranges
+	DomainCommits uint64 // buffered domain lines committed by barriers
 }
 
 // Pool is one simulated NVM device.
@@ -97,6 +130,14 @@ type Pool struct {
 
 	sched   *faultinj.Schedule
 	dropped map[int]bool // line index -> clwb dropped, retried at next fence
+
+	// CXL persistence-domain state (nil/empty under x86 or an empty
+	// domain).  devCommitted is the image a device failure exposes:
+	// durable minus domain writes buffered device-side since the last
+	// global persist barrier.  domainPending marks lines with such
+	// buffered writes.
+	devCommitted  []byte
+	domainPending map[int]bool
 }
 
 // NewPool creates a pool.
@@ -115,7 +156,11 @@ func NewPool(cfg Config) *Pool {
 		cfg.FlushNs = d.FlushNs
 	}
 	if cfg.FenceNs == 0 {
-		cfg.FenceNs = d.FenceNs
+		if cfg.Contract.ID == pmcontract.CXL {
+			cfg.FenceNs = cxlFenceNs
+		} else {
+			cfg.FenceNs = d.FenceNs
+		}
 	}
 	p := &Pool{
 		cfg:     cfg,
@@ -126,11 +171,38 @@ func NewPool(cfg Config) *Pool {
 		dropped: make(map[int]bool),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.Contract.HasDomain() {
+		p.devCommitted = make([]byte, cfg.Size)
+		p.domainPending = make(map[int]bool)
+	}
 	if cfg.Faults != nil {
 		p.sched = faultinj.New(*cfg.Faults)
 	}
 	return p
 }
+
+// cxlFenceNs is the default global-persist-barrier latency: the barrier
+// round-trips to the CXL device to commit its buffered domain writes,
+// so it costs more than a local sfence drain (the asymmetry the
+// -pmodel bench measures).
+const cxlFenceNs = 60
+
+// CXLPool is a Pool running the CXL-era contract.  It is the same
+// simulator parameterized differently, not a fork: every Pool method
+// applies, plus CrashDevice (the failure domain x86 does not have).
+type CXLPool = Pool
+
+// NewCXLPool creates a pool under the CXL contract with the given
+// device persistence domain.  An empty domain yields a pool whose crash
+// images and fault logs are byte-identical to an x86 pool driven by the
+// same operation sequence (only barrier latency differs).
+func NewCXLPool(cfg Config, domain pmcontract.Domain) *CXLPool {
+	cfg.Contract = pmcontract.CXLContract(domain)
+	return NewPool(cfg)
+}
+
+// Contract returns the pool's hardware persistency contract.
+func (p *Pool) Contract() pmcontract.Contract { return p.cfg.Contract }
 
 // FaultLog returns the byte-replayable injection log (empty without
 // Config.Faults).  Two pools driven by the same single-threaded
@@ -182,6 +254,11 @@ func (p *Pool) check(addr, size int) error {
 }
 
 // Store writes bytes into the volatile view and marks the lines dirty.
+// Inside a CXL persistence domain the store is durable at store time
+// instead: it lands in the durable image immediately (buffered
+// device-side until the next global persist barrier commits it against
+// device failure) and never passes through the dirty/staged machinery —
+// so torn writes and evictions cannot touch it.
 func (p *Pool) Store(addr int, data []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -189,6 +266,17 @@ func (p *Pool) Store(addr int, data []byte) error {
 		return err
 	}
 	copy(p.current[addr:], data)
+	if p.cfg.Contract.AutoPersists(addr, len(data)) {
+		copy(p.durable[addr:addr+len(data)], data)
+		for l := addr / CachelineSize; l <= (addr+len(data)-1)/CachelineSize; l++ {
+			p.domainPending[l] = true
+		}
+		p.stats.Stores++
+		p.stats.DomainStores++
+		p.stats.BytesWritten += uint64(len(data))
+		p.stats.SimulatedNs += p.cfg.StoreNs
+		return nil
+	}
 	for l := addr / CachelineSize; l <= (addr+len(data)-1)/CachelineSize; l++ {
 		p.dirty[l] = true
 	}
@@ -217,6 +305,7 @@ func (p *Pool) tearWrite(addr, size int) {
 			end = p.cfg.Size
 		}
 		copy(p.durable[start:end], p.current[start:end])
+		p.mirrorCommitted(start, end)
 		p.stats.BytesWritten += uint64(end - start)
 	}
 	p.stats.Injections++
@@ -264,6 +353,15 @@ func (p *Pool) Flush(addr, size int) error {
 	}
 	if size == 0 {
 		size = 1
+	}
+	if p.cfg.Contract.AutoPersists(addr, size) {
+		// In-domain data was durable at store time: the clwb writes back
+		// nothing (and there is no clwb for a dropped-flush fault to
+		// drop).  Accounted as a cheap no-op — the waste DMC-X01 flags.
+		p.stats.Flushes++
+		p.stats.DomainFlushes++
+		p.stats.SimulatedNs += p.cfg.LoadNs
+		return nil
 	}
 	p.stats.Flushes++
 	if p.sched != nil && p.sched.Fire(faultinj.DroppedFlush) {
@@ -333,15 +431,37 @@ func (p *Pool) Fence() {
 		p.writeBack(l)
 	}
 	p.staged = make(map[int]bool)
+	// Under CXL the fence is a global persist barrier: it additionally
+	// commits the device-side domain buffer, after which a device
+	// failure can no longer discard those writes.
+	if len(p.domainPending) > 0 {
+		committed := make([]int, 0, len(p.domainPending))
+		for l := range p.domainPending {
+			committed = append(committed, l)
+		}
+		sort.Ints(committed)
+		p.domainPending = make(map[int]bool)
+		for _, l := range committed {
+			start := l * CachelineSize
+			end := start + CachelineSize
+			if end > p.cfg.Size {
+				end = p.cfg.Size
+			}
+			p.mirrorCommitted(start, end)
+		}
+		p.stats.DomainCommits += uint64(len(committed))
+	}
 	p.stats.Fences++
 	p.stats.SimulatedNs += p.cfg.FenceNs
 	if p.sched != nil && len(lines) > 0 && p.sched.Fire(faultinj.DelayedDrain) {
-		// The drain lags: charge extra fence latency.
-		lag := int64(1+p.sched.Intn(4)) * p.cfg.FenceNs
-		p.stats.SimulatedNs += lag
+		// The drain lags: charge extra fence latency.  The log records
+		// the lag in fence-latency multiples, not ns, so schedules stay
+		// byte-comparable across contracts with different barrier costs.
+		mult := int64(1 + p.sched.Intn(4))
+		p.stats.SimulatedNs += mult * p.cfg.FenceNs
 		p.stats.Injections++
 		p.sched.Record(faultinj.DelayedDrain, "pool fence",
-			fmt.Sprintf("drain of %d lines lagged %dns", len(lines), lag))
+			fmt.Sprintf("drain of %d lines lagged %dx fence latency", len(lines), mult))
 	}
 }
 
@@ -353,8 +473,41 @@ func (p *Pool) writeBack(line int) {
 		end = p.cfg.Size
 	}
 	copy(p.durable[start:end], p.current[start:end])
+	p.mirrorCommitted(start, end)
 	delete(p.dirty, line)
 	p.stats.BytesWritten += uint64(end - start)
+}
+
+// mirrorCommitted copies durable[start:end) into the device-committed
+// image, skipping bytes of domain writes still buffered device-side
+// (they commit at the next global persist barrier, not here).  No-op
+// under x86 or an empty domain.  Caller holds mu.
+func (p *Pool) mirrorCommitted(start, end int) {
+	if p.devCommitted == nil {
+		return
+	}
+	for l := start / CachelineSize; l <= (end-1)/CachelineSize; l++ {
+		ls := l * CachelineSize
+		le := ls + CachelineSize
+		if ls < start {
+			ls = start
+		}
+		if le > end {
+			le = end
+		}
+		if p.domainPending[l] {
+			// The line holds uncommitted domain bytes (it straddles the
+			// domain boundary, or a barrier has not run yet): mirror only
+			// the out-of-domain bytes.
+			for b := ls; b < le; b++ {
+				if !p.cfg.Contract.Domain.Contains(b, 1) {
+					p.devCommitted[b] = p.durable[b]
+				}
+			}
+		} else {
+			copy(p.devCommitted[ls:le], p.durable[ls:le])
+		}
+	}
 }
 
 // maybeEvict spontaneously persists a random dirty line.  Caller holds mu.
@@ -380,9 +533,34 @@ func (p *Pool) maybeEvict() {
 
 // Crash discards all volatile state: dirty lines vanish; staged-but-not-
 // fenced lines vanish too (the strictest reading of clwb without sfence).
+// Under CXL this is the host/power failure domain: the persistence
+// domain survives (its energy reserve drains buffered writes), so the
+// durable image — which in-domain stores entered at store time — is
+// exposed unchanged.  Device-side buffer state is device state and also
+// survives a host crash: writes still uncommitted by a global barrier
+// remain exposed to a later CrashDevice.
 func (p *Pool) Crash() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	copy(p.current, p.durable)
+	p.dirty = make(map[int]bool)
+	p.staged = make(map[int]bool)
+	p.dropped = make(map[int]bool)
+}
+
+// CrashDevice simulates the CXL-only failure domain: the device fails,
+// losing domain writes buffered since the last global persist barrier —
+// the domain rolls back to its barrier-committed image.  Host volatile
+// state is discarded too (recovery restarts the program).  Under x86 or
+// an empty domain there is no device buffer, so CrashDevice degenerates
+// to Crash.
+func (p *Pool) CrashDevice() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.devCommitted != nil {
+		copy(p.durable, p.devCommitted)
+		p.domainPending = make(map[int]bool)
+	}
 	copy(p.current, p.durable)
 	p.dirty = make(map[int]bool)
 	p.staged = make(map[int]bool)
@@ -411,7 +589,8 @@ func (p *Pool) DurableLoad64(addr int) (uint64, error) {
 	return binary.LittleEndian.Uint64(b), nil
 }
 
-// PersistAll flushes and fences every dirty line (pool shutdown helper).
+// PersistAll flushes and fences every dirty line and commits the domain
+// buffer (pool shutdown helper).
 func (p *Pool) PersistAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -420,4 +599,10 @@ func (p *Pool) PersistAll() {
 	}
 	p.staged = make(map[int]bool)
 	p.dropped = make(map[int]bool)
+	if len(p.domainPending) > 0 {
+		p.domainPending = make(map[int]bool)
+		if p.devCommitted != nil {
+			copy(p.devCommitted, p.durable)
+		}
+	}
 }

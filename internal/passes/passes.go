@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strings"
 
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/report"
 )
 
@@ -75,6 +76,50 @@ func (s ModelSet) String() string {
 	return strings.Join(parts, ",")
 }
 
+// ContractSet is a bitmask of the hardware persistency contracts a
+// pass applies to.  Orthogonal to ModelSet: models (strict/epoch/
+// strand) describe the program's ordering discipline, contracts
+// describe what the hardware promises about durability.
+type ContractSet uint8
+
+const (
+	CX86 ContractSet = 1 << iota
+	CCXL
+	// CBoth marks contract-independent passes.  The zero value reads as
+	// CBoth too (see normalize), so pre-contract Pass literals keep
+	// applying everywhere.
+	CBoth = CX86 | CCXL
+)
+
+// normalize maps the zero value to CBoth.
+func (s ContractSet) normalize() ContractSet {
+	if s == 0 {
+		return CBoth
+	}
+	return s
+}
+
+// HasContract reports whether the set covers the contract.
+func (s ContractSet) HasContract(id pmcontract.ID) bool {
+	s = s.normalize()
+	if id == pmcontract.CXL {
+		return s&CCXL != 0
+	}
+	return s&CX86 != 0
+}
+
+// String renders the set for the `deepmc passes` CONTRACTS column.
+func (s ContractSet) String() string {
+	switch s.normalize() {
+	case CX86:
+		return "x86"
+	case CCXL:
+		return "cxl"
+	default:
+		return "both"
+	}
+}
+
 // Severity grades a pass's findings.
 type Severity uint8
 
@@ -106,6 +151,11 @@ type Pass struct {
 	Kind Kind
 	// Models is the persistency-model applicability set.
 	Models ModelSet
+	// Contracts is the hardware-contract applicability set (zero value
+	// = both).  DMC-S03 (missing-persist-barrier) is x86-only: under
+	// CXL its durability obligation re-keys to the global persist
+	// barrier, checked by DMC-X02.  The DMC-Xxx passes are CXL-only.
+	Contracts ContractSet
 	// Severity grades the findings.
 	Severity Severity
 	// Doc is a one-line description for `deepmc passes`.
@@ -115,7 +165,9 @@ type Pass struct {
 // schemaVersion versions the registry semantics themselves; bump it when
 // the meaning of an existing pass changes (message wording, detection
 // scope), so content-hashed caches of older binaries cannot be replayed.
-const schemaVersion = "passes-v1"
+// passes-v2: passes carry a hardware-contract applicability set, DMC-S03
+// is scoped to x86, and the CXL-only DMC-Xxx passes exist.
+const schemaVersion = "passes-v2"
 
 // All returns every registered pass, ordered by ID.
 func All() []Pass {
@@ -180,6 +232,36 @@ func ResolveEnabled(only, disable []string) (map[string]bool, error) {
 	return enabled, nil
 }
 
+// ResolveEnabledFor is ResolveEnabled restricted to one hardware
+// contract.  Passes inapplicable to the contract are dropped from the
+// default-all set silently (they simply do not exist there), but an
+// explicit -passes or -disable-pass mention of one is an error — a
+// selection that cannot take effect must not silently no-op.
+func ResolveEnabledFor(only, disable []string, contract pmcontract.ID) (map[string]bool, error) {
+	for _, sel := range [][]string{only, disable} {
+		for _, id := range sel {
+			p, ok := ByID(id)
+			if !ok {
+				return nil, fmt.Errorf("passes: unknown pass %q (see `deepmc passes`)", id)
+			}
+			if !p.Contracts.HasContract(contract) {
+				return nil, fmt.Errorf("passes: pass %s (%s) is inapplicable under -pmodel %s (contracts: %s)",
+					id, p.Rule, contract, p.Contracts)
+			}
+		}
+	}
+	enabled, err := ResolveEnabled(only, disable)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range registry {
+		if !p.Contracts.HasContract(contract) {
+			delete(enabled, p.ID)
+		}
+	}
+	return enabled, nil
+}
+
 // Version fingerprints the registry plus an enabled set: a hex digest
 // over the schema version, every registered pass's identity, and the
 // sorted enabled IDs.  Cache keys include it, so toggling a pass — or
@@ -189,7 +271,7 @@ func Version(enabled map[string]bool) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\n", schemaVersion)
 	for _, p := range All() {
-		fmt.Fprintf(h, "%s|%s|%s|%s|%s\n", p.ID, p.Rule, p.Kind, p.Models, p.Severity)
+		fmt.Fprintf(h, "%s|%s|%s|%s|%s|%s\n", p.ID, p.Rule, p.Kind, p.Models, p.Contracts, p.Severity)
 	}
 	on := make([]string, 0, len(enabled))
 	for id, ok := range enabled {
@@ -242,11 +324,11 @@ func DisabledDynamicCodes(enabled map[string]bool) map[string]bool {
 // List renders the registry as the `deepmc passes` table.
 func List() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-9s %-8s %-20s %-6s %-30s %s\n",
-		"ID", "KIND", "MODELS", "SEV", "RULE", "DESCRIPTION")
+	fmt.Fprintf(&b, "%-9s %-8s %-20s %-9s %-6s %-30s %s\n",
+		"ID", "KIND", "MODELS", "CONTRACTS", "SEV", "RULE", "DESCRIPTION")
 	for _, p := range All() {
-		fmt.Fprintf(&b, "%-9s %-8s %-20s %-6s %-30s %s\n",
-			p.ID, p.Kind, p.Models, p.Severity, p.Rule, p.Doc)
+		fmt.Fprintf(&b, "%-9s %-8s %-20s %-9s %-6s %-30s %s\n",
+			p.ID, p.Kind, p.Models, p.Contracts, p.Severity, p.Rule, p.Doc)
 	}
 	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/report"
 )
 
@@ -51,12 +52,12 @@ func TestIDsUniqueAndStable(t *testing.T) {
 			t.Errorf("duplicate pass ID %s", p.ID)
 		}
 		seen[p.ID] = true
-		if !strings.HasPrefix(p.ID, "DMC-S") && !strings.HasPrefix(p.ID, "DMC-D") {
-			t.Errorf("pass ID %s outside the DMC-Sxx/DMC-Dxx namespace", p.ID)
+		if !strings.HasPrefix(p.ID, "DMC-S") && !strings.HasPrefix(p.ID, "DMC-D") && !strings.HasPrefix(p.ID, "DMC-X") {
+			t.Errorf("pass ID %s outside the DMC-Sxx/DMC-Dxx/DMC-Xxx namespace", p.ID)
 		}
 	}
-	if len(seen) != 14 {
-		t.Errorf("registry has %d passes, want 14 (11 static + 3 dynamic)", len(seen))
+	if len(seen) != 16 {
+		t.Errorf("registry has %d passes, want 16 (13 static + 3 dynamic)", len(seen))
 	}
 }
 
@@ -131,9 +132,70 @@ func TestListMentionsEveryPass(t *testing.T) {
 			t.Errorf("listing misses %s", p.ID)
 		}
 	}
-	for _, col := range []string{"ID", "KIND", "MODELS", "SEV", "RULE"} {
+	for _, col := range []string{"ID", "KIND", "MODELS", "CONTRACTS", "SEV", "RULE"} {
 		if !strings.Contains(s, col) {
 			t.Errorf("listing misses header column %s", col)
 		}
+	}
+}
+
+// TestContractApplicability pins the contract column: DMC-S03 is
+// x86-only, the DMC-Xxx passes are CXL-only, everything else applies
+// under both contracts.
+func TestContractApplicability(t *testing.T) {
+	for _, p := range All() {
+		var want ContractSet
+		switch p.ID {
+		case report.CodeMissingBarrier:
+			want = CX86
+		case report.CodeFlushInDomain, report.CodeMissingGlobalBarrier:
+			want = CCXL
+		default:
+			want = CBoth
+		}
+		if p.Contracts.normalize() != want {
+			t.Errorf("%s contracts = %s, want %s", p.ID, p.Contracts, want)
+		}
+	}
+}
+
+func TestResolveEnabledFor(t *testing.T) {
+	x86, err := ResolveEnabledFor(nil, nil, pmcontract.X86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x86[report.CodeFlushInDomain] || x86[report.CodeMissingGlobalBarrier] {
+		t.Errorf("x86 default set contains CXL-only passes: %v", x86)
+	}
+	if !x86[report.CodeMissingBarrier] {
+		t.Errorf("x86 default set dropped DMC-S03")
+	}
+
+	cxl, err := ResolveEnabledFor(nil, nil, pmcontract.CXL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cxl[report.CodeMissingBarrier] {
+		t.Errorf("cxl default set contains x86-only DMC-S03")
+	}
+	if !cxl[report.CodeFlushInDomain] || !cxl[report.CodeMissingGlobalBarrier] {
+		t.Errorf("cxl default set dropped the DMC-Xxx passes: %v", cxl)
+	}
+
+	// Explicitly selecting an inapplicable pass must error, not no-op.
+	if _, err := ResolveEnabledFor([]string{report.CodeMissingBarrier}, nil, pmcontract.CXL); err == nil {
+		t.Error("selecting DMC-S03 under cxl silently no-oped")
+	}
+	if _, err := ResolveEnabledFor(nil, []string{report.CodeFlushInDomain}, pmcontract.X86); err == nil {
+		t.Error("disabling DMC-X01 under x86 silently no-oped")
+	}
+	// Applicable explicit selections still work.
+	only, err := ResolveEnabledFor([]string{report.CodeUnflushedWrite}, nil, pmcontract.CXL)
+	if err != nil || len(only) != 1 {
+		t.Errorf("applicable selection failed: %v, %v", only, err)
+	}
+	// The contract changes the default enabled set, so Version must too.
+	if Version(x86) == Version(cxl) {
+		t.Error("x86 and cxl default sets hash identically")
 	}
 }

@@ -19,7 +19,7 @@ var registry = []Pass{
 	},
 	{
 		ID: report.CodeMissingBarrier, Rule: report.RuleMissingBarrier,
-		Kind: Static, Models: MStrict, Severity: SevError,
+		Kind: Static, Models: MStrict, Contracts: CX86, Severity: SevError,
 		Doc: "flush with no persist barrier before the next transaction or path end",
 	},
 	{
@@ -61,6 +61,16 @@ var registry = []Pass{
 		ID: report.CodeMultiplePersist, Rule: report.RuleMultiplePersist,
 		Kind: Static, Models: MAll, Severity: SevPerf,
 		Doc: "object persisted multiple times within one transaction",
+	},
+	{
+		ID: report.CodeFlushInDomain, Rule: report.RuleFlushInPersistDomain,
+		Kind: Static, Models: MAll, Contracts: CCXL, Severity: SevPerf,
+		Doc: "flush of device-persistence-domain data (durable at store time; the clwb buys nothing)",
+	},
+	{
+		ID: report.CodeMissingGlobalBarrier, Rule: report.RuleMissingGlobalBarrier,
+		Kind: Static, Models: MAll, Contracts: CCXL, Severity: SevError,
+		Doc: "persistence-domain write never committed by a global persist barrier (lost on device failure)",
 	},
 	{
 		ID: report.CodeDynWAW, Rule: report.RuleStrandDependence,

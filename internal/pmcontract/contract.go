@@ -1,0 +1,252 @@
+// Package pmcontract makes the hardware persistency contract a
+// first-class value instead of an assumption baked into every layer.
+//
+// DeepMC's Table 4/5 rules were derived from one contract — x86
+// clwb/sfence over volatile cachelines — but "Rethinking PM Crash
+// Consistency in the CXL Era" shows the contract changes when PM hangs
+// off CXL: persist barriers become global, devices can export a
+// persistence domain in which stores are durable at store time (an
+// eADR-style energy reserve drains them on power loss), and host and
+// device fail independently.  A Contract captures exactly the knobs the
+// rest of the stack keys on:
+//
+//   - durability granularity and flush semantics (does a store need a
+//     flush before it can become durable?),
+//   - fence semantics (per-thread staged-line drain vs global persist
+//     barrier),
+//   - the crash-discard rule (what a crash image keeps), and
+//   - the failure domains a simulator must enumerate.
+//
+// The zero Contract value is the x86 contract, so existing
+// configuration structs gain contract awareness without breaking any
+// caller.
+//
+// The package is dependency-free by design: nvm, interp, dynamic,
+// crashsim, faultinj, passes and the checker all import it, so it must
+// sit below every one of them.
+package pmcontract
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ID names a hardware persistency contract.
+type ID uint8
+
+const (
+	// X86 is the classic contract: stores land in volatile cachelines,
+	// Flush (clwb) stages a line, Fence (sfence) drains staged lines to
+	// the medium, and a crash discards everything dirty or staged.  The
+	// zero value — so untouched configs keep their old behavior.
+	X86 ID = iota
+	// CXL is the CXL-era contract: fences are global persist barriers,
+	// and an optional device-side persistence domain makes stores in it
+	// durable at store time with no flush.  Host and device fail
+	// independently (FailDevice below).
+	CXL
+)
+
+// Parse maps a -pmodel flag value to an ID.
+func Parse(s string) (ID, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "x86":
+		return X86, nil
+	case "cxl":
+		return CXL, nil
+	}
+	return X86, fmt.Errorf("pmcontract: unknown persistency model %q (want x86|cxl)", s)
+}
+
+func (id ID) String() string {
+	switch id {
+	case X86:
+		return "x86"
+	case CXL:
+		return "cxl"
+	}
+	return fmt.Sprintf("pmodel(%d)", uint8(id))
+}
+
+// Domain is a device-side persistence domain: the address range whose
+// stores are durable at store time under the CXL contract.  The zero
+// Domain is empty.  Whole marks the entire persistent heap as
+// in-domain regardless of Start/Len (the common CXL deployment, and
+// what the static checker assumes when it has no address layout).
+type Domain struct {
+	Whole bool
+	// Start/Len bound a partial domain in pool-offset bytes.  Ignored
+	// when Whole is set.
+	Start, Len int
+}
+
+// WholeDomain covers the entire persistent heap.
+func WholeDomain() Domain { return Domain{Whole: true} }
+
+// RangeDomain covers [start, start+length).
+func RangeDomain(start, length int) Domain { return Domain{Start: start, Len: length} }
+
+// Empty reports whether the domain covers nothing.
+func (d Domain) Empty() bool { return !d.Whole && d.Len <= 0 }
+
+// Contains reports whether [addr, addr+size) lies entirely inside the
+// domain.  Partial overlap is out-of-domain: a store straddling the
+// boundary gets no auto-persist guarantee for any of its bytes, which
+// is the conservative reading for a checker.
+func (d Domain) Contains(addr, size int) bool {
+	if d.Whole {
+		return true
+	}
+	if d.Len <= 0 || size < 0 {
+		return false
+	}
+	return addr >= d.Start && addr+size <= d.Start+d.Len
+}
+
+func (d Domain) String() string {
+	switch {
+	case d.Whole:
+		return "whole"
+	case d.Len <= 0:
+		return "empty"
+	default:
+		return fmt.Sprintf("[%d,%d)", d.Start, d.Start+d.Len)
+	}
+}
+
+// Failure is one failure domain a crash simulator must enumerate.
+type Failure uint8
+
+const (
+	// FailGlobal is full power loss.  Under x86 it discards dirty and
+	// staged lines; under CXL the persistence domain survives (the
+	// energy reserve drains it) while everything outside follows the
+	// x86 rule.
+	FailGlobal Failure = iota
+	// FailHost is a host-only crash (kernel panic, CPU reset) — the
+	// device keeps power.  Same discard rule as FailGlobal in this
+	// model: the domain survives, host caches do not.  Enumerated
+	// separately because the two diverge in richer device models.
+	FailHost
+	// FailDevice is a device-only failure under CXL: domain stores
+	// buffered device-side since the last global persist barrier are
+	// lost, rolling the domain back to its last barrier-committed
+	// image.  Does not exist under x86 (the "device" is the DIMM the
+	// durable image lives on).
+	FailDevice
+)
+
+func (f Failure) String() string {
+	switch f {
+	case FailGlobal:
+		return "global"
+	case FailHost:
+		return "host"
+	case FailDevice:
+		return "device"
+	}
+	return fmt.Sprintf("failure(%d)", uint8(f))
+}
+
+// Contract is one hardware persistency contract: an ID plus its
+// configuration.  The zero value is the x86 contract.
+type Contract struct {
+	ID ID
+	// Domain is the device-side persistence domain (CXL only; ignored
+	// under x86).
+	Domain Domain
+}
+
+// X86Contract returns the classic clwb/sfence contract.
+func X86Contract() Contract { return Contract{ID: X86} }
+
+// CXLContract returns the CXL-era contract with the given persistence
+// domain.  An empty domain yields a contract that is observationally
+// identical to x86 for crash images and diagnostics (the equivalence
+// the property tests pin down); only the barrier's scope and cost
+// differ.
+func CXLContract(d Domain) Contract { return Contract{ID: CXL, Domain: d} }
+
+// ParseContract maps a -pmodel flag value to a ready contract: "x86"
+// is X86Contract, "cxl" is CXLContract over the whole heap (the
+// deployment the CXL papers assume when no layout is given).
+func ParseContract(s string) (Contract, error) {
+	id, err := Parse(s)
+	if err != nil {
+		return Contract{}, err
+	}
+	if id == CXL {
+		return CXLContract(WholeDomain()), nil
+	}
+	return X86Contract(), nil
+}
+
+// Name returns the contract's -pmodel name.
+func (c Contract) Name() string { return c.ID.String() }
+
+// HasDomain reports whether the contract exposes a non-empty
+// persistence domain.
+func (c Contract) HasDomain() bool { return c.ID == CXL && !c.Domain.Empty() }
+
+// EffectiveID returns the ID whose RULE SET applies to this contract: a
+// CXL contract without a persistence domain is observationally
+// identical to x86 — stores need flushes, flushes need barriers — so
+// the x86-derived passes (and none of the domain-keyed ones) are the
+// applicable set.  Pass-applicability decisions must key on this, not
+// on the raw ID, or the empty-domain equivalence property breaks.
+func (c Contract) EffectiveID() ID {
+	if c.ID == CXL && c.Domain.Empty() {
+		return X86
+	}
+	return c.ID
+}
+
+// AutoPersists reports whether a store to [addr, addr+size) is durable
+// at store time with no flush, per the contract.
+func (c Contract) AutoPersists(addr, size int) bool {
+	return c.ID == CXL && c.Domain.Contains(addr, size)
+}
+
+// BarrierName renders the contract's fence primitive for diagnostics.
+func (c Contract) BarrierName() string {
+	if c.ID == CXL {
+		return "global persist barrier"
+	}
+	return "persist barrier (sfence)"
+}
+
+// FaultEligible reports whether a fault class (by its faultinj name:
+// "torn", "dropped", "reordered", "delayed") can legally fire on
+// [addr, addr+size) under the contract.  Inside a persistence domain,
+// stores are durable whole at store time, so torn writes cannot exist,
+// and there are no flushes to drop.  Reordered/delayed drains concern
+// the staged set outside the domain and stay eligible everywhere.
+func (c Contract) FaultEligible(class string, addr, size int) bool {
+	if !c.AutoPersists(addr, size) {
+		return true
+	}
+	switch class {
+	case "torn", "dropped":
+		return false
+	}
+	return true
+}
+
+// Failures lists the failure domains a simulator must enumerate under
+// this contract.  x86 has one observable crash image; CXL with a
+// domain adds the device-failure image (host/global share an image in
+// this model but FailHost is listed so enumerators surface the
+// distinction explicitly).
+func (c Contract) Failures() []Failure {
+	if c.HasDomain() {
+		return []Failure{FailGlobal, FailHost, FailDevice}
+	}
+	return []Failure{FailGlobal}
+}
+
+// Key returns a stable fingerprint string for cache keys and schedule
+// attribution.  Two contracts with equal Keys produce identical crash
+// images and diagnostics for the same program.
+func (c Contract) Key() string {
+	return fmt.Sprintf("pm=%s;dom=%s", c.ID, c.Domain)
+}

@@ -1,0 +1,132 @@
+package pmcontract
+
+import "testing"
+
+func TestZeroValueIsX86(t *testing.T) {
+	var c Contract
+	if c.ID != X86 || c.Name() != "x86" {
+		t.Fatalf("zero Contract = %+v, want x86", c)
+	}
+	if c.HasDomain() || c.AutoPersists(0, 8) {
+		t.Fatalf("zero Contract must not expose a persistence domain")
+	}
+	if got := c.Failures(); len(got) != 1 || got[0] != FailGlobal {
+		t.Fatalf("x86 failures = %v, want [global]", got)
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ID
+		err  bool
+	}{
+		{"x86", X86, false},
+		{"", X86, false},
+		{"CXL", CXL, false},
+		{" cxl ", CXL, false},
+		{"arm", X86, true},
+	} {
+		got, err := Parse(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("Parse(%q) err = %v, want err=%v", tc.in, err, tc.err)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("Parse(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseContract("bogus"); err == nil {
+		t.Fatalf("ParseContract(bogus) should error")
+	}
+	c, err := ParseContract("cxl")
+	if err != nil || !c.HasDomain() || !c.Domain.Whole {
+		t.Fatalf("ParseContract(cxl) = %+v, %v; want whole-domain CXL", c, err)
+	}
+}
+
+func TestDomainContains(t *testing.T) {
+	d := RangeDomain(64, 128) // [64, 192)
+	for _, tc := range []struct {
+		addr, size int
+		want       bool
+	}{
+		{64, 8, true},
+		{184, 8, true},
+		{64, 128, true},
+		{60, 8, false},  // straddles the start boundary
+		{188, 8, false}, // straddles the end boundary
+		{0, 8, false},
+		{192, 8, false},
+	} {
+		if got := d.Contains(tc.addr, tc.size); got != tc.want {
+			t.Errorf("Contains(%d,%d) = %v, want %v", tc.addr, tc.size, got, tc.want)
+		}
+	}
+	if !WholeDomain().Contains(1<<30, 4096) {
+		t.Fatalf("whole domain must contain everything")
+	}
+	if (Domain{}).Contains(0, 0) {
+		t.Fatalf("empty domain must contain nothing")
+	}
+	if !(Domain{}).Empty() || WholeDomain().Empty() || d.Empty() {
+		t.Fatalf("Empty() misclassifies domains")
+	}
+}
+
+func TestCXLSemantics(t *testing.T) {
+	c := CXLContract(RangeDomain(0, 256))
+	if !c.AutoPersists(0, 256) || c.AutoPersists(256, 8) {
+		t.Fatalf("AutoPersists ignores the domain bounds")
+	}
+	if got := c.Failures(); len(got) != 3 {
+		t.Fatalf("CXL-with-domain failures = %v, want global+host+device", got)
+	}
+	if c.BarrierName() != "global persist barrier" {
+		t.Fatalf("BarrierName = %q", c.BarrierName())
+	}
+
+	empty := CXLContract(Domain{})
+	if empty.HasDomain() || empty.AutoPersists(0, 8) {
+		t.Fatalf("empty-domain CXL must not auto-persist")
+	}
+	if got := empty.Failures(); len(got) != 1 || got[0] != FailGlobal {
+		t.Fatalf("empty-domain CXL failures = %v, want [global]", got)
+	}
+}
+
+func TestFaultEligible(t *testing.T) {
+	c := CXLContract(WholeDomain())
+	if c.FaultEligible("torn", 0, 16) || c.FaultEligible("dropped", 64, 8) {
+		t.Fatalf("torn/dropped must be ineligible inside a persistence domain")
+	}
+	if !c.FaultEligible("reordered", 0, 16) || !c.FaultEligible("delayed", 0, 16) {
+		t.Fatalf("reordered/delayed stay eligible under CXL")
+	}
+	x86 := X86Contract()
+	for _, cl := range []string{"torn", "dropped", "reordered", "delayed"} {
+		if !x86.FaultEligible(cl, 0, 16) {
+			t.Fatalf("all classes eligible under x86, %q was not", cl)
+		}
+	}
+	part := CXLContract(RangeDomain(0, 64))
+	if part.FaultEligible("torn", 0, 64) {
+		t.Fatalf("in-domain torn write must be ineligible")
+	}
+	if !part.FaultEligible("torn", 64, 16) {
+		t.Fatalf("out-of-domain torn write must stay eligible")
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	a := X86Contract()
+	b := CXLContract(WholeDomain())
+	c := CXLContract(Domain{})
+	d := CXLContract(RangeDomain(64, 128))
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true, d.Key(): true}
+	if len(keys) != 4 {
+		t.Fatalf("contract keys collide: %v", keys)
+	}
+	if a.Key() != X86Contract().Key() {
+		t.Fatalf("Key must be deterministic")
+	}
+}

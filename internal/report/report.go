@@ -66,12 +66,27 @@ const (
 	RuleRedundantFlush   Rule = "redundant-flush"
 	RuleDurableTxNoWrite Rule = "durable-tx-no-writes"
 	RuleMultiplePersist  Rule = "multiple-persist-same-object"
+
+	// CXL-contract rules (pmcontract.CXL with a persistence domain).
+	// These only exist under the CXL hardware contract; the x86 scanner
+	// never emits them.
+
+	// CXL perf: a flush of data inside a device persistence domain —
+	// the store was durable at store time, the clwb buys nothing.
+	RuleFlushInPersistDomain Rule = "flush-in-persist-domain"
+	// CXL violation: a persistence-domain write never committed by a
+	// global persist barrier before path/transaction end.  The domain
+	// survives host and power failure, but a device failure discards
+	// writes buffered since the last barrier — the CXL re-keying of
+	// RuleMissingBarrier's durability obligation.
+	RuleMissingGlobalBarrier Rule = "missing-global-barrier"
 )
 
 // ClassOf returns the bug family a rule belongs to.
 func ClassOf(r Rule) Class {
 	switch r {
-	case RuleFlushUnmodified, RuleRedundantFlush, RuleDurableTxNoWrite, RuleMultiplePersist:
+	case RuleFlushUnmodified, RuleRedundantFlush, RuleDurableTxNoWrite, RuleMultiplePersist,
+		RuleFlushInPersistDomain:
 		return Performance
 	}
 	return Violation
@@ -93,6 +108,10 @@ const (
 	CodeRedundantFlush       = "DMC-S09"
 	CodeDurableTxNoWrite     = "DMC-S10"
 	CodeMultiplePersist      = "DMC-S11"
+	// CXL-contract passes (DMC-Xxx): rules that only exist under the
+	// CXL hardware contract.  Same append-only discipline as DMC-Sxx.
+	CodeFlushInDomain        = "DMC-X01"
+	CodeMissingGlobalBarrier = "DMC-X02"
 	// Dynamic detectors (happens-before races between strands).
 	CodeDynWAW = "DMC-D01"
 	CodeDynRAW = "DMC-D02"
@@ -117,6 +136,8 @@ var staticCodes = map[Rule]string{
 	RuleRedundantFlush:              CodeRedundantFlush,
 	RuleDurableTxNoWrite:            CodeDurableTxNoWrite,
 	RuleMultiplePersist:             CodeMultiplePersist,
+	RuleFlushInPersistDomain:        CodeFlushInDomain,
+	RuleMissingGlobalBarrier:        CodeMissingGlobalBarrier,
 }
 
 // CodeFor returns the stable diagnostic code for a rule.  The dynamic
@@ -210,7 +231,11 @@ type Report struct {
 	Warnings []Warning
 	// Skipped annotates graceful degradation: units whose findings are
 	// missing or incomplete.  Empty for a complete run.
-	Skipped  []Skip
+	Skipped []Skip
+	// Contract names the hardware persistency contract the findings were
+	// derived under ("x86", "cxl").  Empty means x86 (pre-contract
+	// reports and callers that never set it).
+	Contract string
 	seen     map[string]bool
 	seenSkip map[string]bool
 }
@@ -262,13 +287,18 @@ func (r *Report) Add(w Warning) bool {
 }
 
 // Merge folds another report in, deduplicating warnings and skip
-// annotations.
+// annotations.  The contract tag propagates from o when r has none
+// (partial merges keep the first contract seen; analyses never mix
+// contracts within one report).
 func (r *Report) Merge(o *Report) {
 	for _, w := range o.Warnings {
 		r.Add(w)
 	}
 	for _, s := range o.Skipped {
 		r.AddSkipStage(s.Subject, s.Stage, s.Reason)
+	}
+	if r.Contract == "" {
+		r.Contract = o.Contract
 	}
 }
 
@@ -365,11 +395,17 @@ type jsonSkip struct {
 // other machine consumer key their compatibility checks on it, and
 // ParseJSON rejects documents from a future schema instead of silently
 // dropping fields it does not know.
-const SchemaVersion = 1
+//
+// v2 added the optional "contract" tag (the hardware persistency
+// contract the findings were derived under).  v1 documents — which
+// carry no tag and were always x86 — still parse: ParseJSON rejects
+// only versions newer than this binary's.
+const SchemaVersion = 2
 
 // jsonReport is the machine-readable rendering of a whole report.
 type jsonReport struct {
 	SchemaVersion int           `json:"schema_version"`
+	Contract      string        `json:"contract,omitempty"`
 	Warnings      []jsonWarning `json:"warnings"`
 	Violations    int           `json:"violations"`
 	Performance   int           `json:"performance"`
@@ -381,7 +417,7 @@ type jsonReport struct {
 // order; warnings carry their machine-readable codes.
 func (r *Report) JSON() ([]byte, error) {
 	r.Sort()
-	out := jsonReport{SchemaVersion: SchemaVersion, Warnings: []jsonWarning{}, Partial: r.Partial()}
+	out := jsonReport{SchemaVersion: SchemaVersion, Contract: r.Contract, Warnings: []jsonWarning{}, Partial: r.Partial()}
 	for _, w := range r.Warnings {
 		kind := "static"
 		if w.Dynamic {
@@ -415,6 +451,7 @@ func ParseJSON(b []byte) (*Report, error) {
 			in.SchemaVersion, SchemaVersion)
 	}
 	r := New()
+	r.Contract = in.Contract
 	for _, w := range in.Warnings {
 		r.Add(Warning{
 			Rule: Rule(w.Rule), Message: w.Message, Func: w.Func,

@@ -41,7 +41,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(b), `"schema_version": 1`) {
+	if !strings.Contains(string(b), `"schema_version": 2`) {
 		t.Errorf("JSON lacks schema_version stamp:\n%s", b)
 	}
 	got, err := ParseJSON(b)
@@ -107,6 +107,74 @@ func TestJSONRoundTripComplete(t *testing.T) {
 	b2, _ := got.JSON()
 	if !bytes.Equal(b, b2) {
 		t.Errorf("round trip not byte-identical")
+	}
+}
+
+// TestJSONContractTag: a contract-tagged report keeps its tag across
+// the round trip, and an untagged report omits the key entirely (so v2
+// output for x86 analyses differs from v1 only in the version stamp).
+func TestJSONContractTag(t *testing.T) {
+	r := buildPartial()
+	r.Contract = "cxl"
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"contract": "cxl"`) {
+		t.Errorf("JSON lacks contract tag:\n%s", b)
+	}
+	got, err := ParseJSON(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Contract != "cxl" {
+		t.Errorf("contract tag lost: %q", got.Contract)
+	}
+	b2, _ := got.JSON()
+	if !bytes.Equal(b, b2) {
+		t.Errorf("tagged round trip not byte-identical")
+	}
+
+	r2 := New()
+	r2.Add(Warning{Rule: RuleUnflushedWrite, Message: "m", File: "a.c", Line: 1})
+	b3, _ := r2.JSON()
+	if strings.Contains(string(b3), `"contract"`) {
+		t.Errorf("untagged report must omit the contract key:\n%s", b3)
+	}
+}
+
+// TestParseJSONAcceptsV1: untagged schema_version-1 documents (written
+// by pre-contract builds) still parse and read as x86.
+func TestParseJSONAcceptsV1(t *testing.T) {
+	b := []byte(`{"schema_version":1,"warnings":[{"code":"DMC-S01","rule":"unflushed-write",
+		"class":"Model Violation","kind":"static","file":"kv.c","line":42,"message":"m"}],
+		"violations":1,"performance":0,"partial":false}`)
+	r, err := ParseJSON(b)
+	if err != nil {
+		t.Fatalf("ParseJSON rejected a v1 document: %v", err)
+	}
+	if r.Contract != "" {
+		t.Errorf("v1 document grew a contract tag: %q", r.Contract)
+	}
+	if len(r.Warnings) != 1 || r.Warnings[0].EffectiveCode() != "DMC-S01" {
+		t.Errorf("v1 warnings mangled: %+v", r.Warnings)
+	}
+}
+
+// TestCXLRuleCodes: the CXL-only rules carry their own stable codes and
+// bug classes.
+func TestCXLRuleCodes(t *testing.T) {
+	if CodeFor(RuleFlushInPersistDomain, false) != CodeFlushInDomain {
+		t.Errorf("DMC-X01 mapping broken")
+	}
+	if CodeFor(RuleMissingGlobalBarrier, false) != CodeMissingGlobalBarrier {
+		t.Errorf("DMC-X02 mapping broken")
+	}
+	if ClassOf(RuleFlushInPersistDomain) != Performance {
+		t.Errorf("flush-in-persist-domain must be a performance finding")
+	}
+	if ClassOf(RuleMissingGlobalBarrier) != Violation {
+		t.Errorf("missing-global-barrier must be a model violation")
 	}
 }
 

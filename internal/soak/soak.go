@@ -27,6 +27,7 @@ import (
 	"deepmc/internal/crashsim"
 	"deepmc/internal/dynamic"
 	"deepmc/internal/faultinj"
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/pmem"
 	"deepmc/internal/workload"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// Buggy enables the app's planted crash-consistency bug
 	// (memcache: BuggyNoCommitFence, nstore: BuggyNoApplyPersist).
 	Buggy bool
+	// PModel selects the hardware persistency contract every partition
+	// pool simulates ("" or "x86"; "cxl" adds a whole-heap persistence
+	// domain).  Under a domain, stores are durable at store time, so
+	// the planted flush/fence bugs are healed by the hardware and a
+	// Buggy run legitimately audits clean.
+	PModel string
 }
 
 func (c *Config) defaults() error {
@@ -94,7 +101,17 @@ func (c *Config) defaults() error {
 	if c.Buggy && c.App == "redis" {
 		return fmt.Errorf("soak: no planted bug is wired for app redis (use memcache or nstore)")
 	}
+	if _, err := pmcontract.ParseContract(c.PModel); err != nil {
+		return fmt.Errorf("soak: %w", err)
+	}
 	return nil
+}
+
+// contract resolves the validated PModel field (defaults() rejected
+// anything unparsable, so the error is unreachable here).
+func (c Config) contract() pmcontract.Contract {
+	ct, _ := pmcontract.ParseContract(c.PModel)
+	return ct
 }
 
 // maxKey bounds the key space after every possible insert: the preload
@@ -125,6 +142,7 @@ type Result struct {
 	Tracked        bool          `json:"tracked"`
 	Buggy          bool          `json:"buggy"`
 	Faults         string        `json:"faults"`
+	PModel         string        `json:"pmodel,omitempty"`
 	Ops            int           `json:"ops"`
 	TrafficElapsed time.Duration `json:"traffic_elapsed_ns"`
 	Phases         []PhaseAudit  `json:"phases"`
@@ -149,6 +167,9 @@ func (r *Result) String() string {
 		mode = "tracked"
 	}
 	fmt.Fprintf(&b, "soak %s: %d clients x %d partitions, mix %s, %s", r.App, r.Clients, r.Partitions, r.Mix, mode)
+	if r.PModel != "" && r.PModel != "x86" {
+		fmt.Fprintf(&b, ", pmodel %s", r.PModel)
+	}
 	if r.Buggy {
 		b.WriteString(", planted bug")
 	}
@@ -273,7 +294,7 @@ func run(cfg Config, tracker pmem.Tracker) (*Result, error) {
 	res := &Result{
 		App: cfg.App, Clients: cfg.Clients, Partitions: cfg.Partitions,
 		Mix: cfg.Mix.Name, Tracked: cfg.Tracked, Buggy: cfg.Buggy,
-		Faults: classNames(cfg.Faults),
+		Faults: classNames(cfg.Faults), PModel: cfg.contract().Name(),
 	}
 	maxKey := cfg.maxKey()
 

@@ -195,3 +195,28 @@ func TestResultString(t *testing.T) {
 		}
 	}
 }
+
+// A CXL whole-heap persistence domain makes stores durable at store
+// time, so the planted flush/fence bugs are healed by the hardware:
+// the same buggy configs that witness under x86 must audit clean under
+// -pmodel cxl, with or without fault injection on top.
+func TestPlantedBugHealedByPersistenceDomain(t *testing.T) {
+	for _, app := range []string{"memcache", "nstore"} {
+		cfg := shortCfg(app)
+		cfg.Buggy = true
+		cfg.PModel = "cxl"
+		cfg.Faults = faultinj.AllClasses()
+		cfg.FaultRate = 0.2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s buggy under cxl: %v", app, err)
+		}
+		if res.TotalWitnesses != 0 {
+			t.Errorf("%s: %d witnesses under a whole-heap persistence domain (stores are durable at store time)",
+				app, res.TotalWitnesses)
+		}
+		if res.PModel != "cxl" {
+			t.Errorf("%s: result pmodel = %q, want cxl", app, res.PModel)
+		}
+	}
+}

@@ -83,7 +83,7 @@ func openMemcache(cfg Config, part int, tr pmem.Tracker) (target, error) {
 	s, err := memcache.Open(memcache.Config{
 		Buckets: 1 << 12,
 		Region: mnemosyne.Config{
-			NVM:                nvm.Config{Size: size, Faults: cfg.faultCfg(part)},
+			NVM:                nvm.Config{Size: size, Faults: cfg.faultCfg(part), Contract: cfg.contract()},
 			Tracker:            tr,
 			BuggyNoCommitFence: cfg.Buggy,
 		},
@@ -128,7 +128,7 @@ func openRedis(cfg Config, part int, tr pmem.Tracker) (target, error) {
 	db, err := redis.Open(redis.Config{
 		Buckets: 1 << 12,
 		Pool: pmdk.Config{
-			NVM:     nvm.Config{Size: size, Faults: cfg.faultCfg(part)},
+			NVM:     nvm.Config{Size: size, Faults: cfg.faultCfg(part), Contract: cfg.contract()},
 			Tracker: tr,
 		},
 	})
@@ -177,7 +177,7 @@ func openNStore(cfg Config, part int, tr pmem.Tracker) (target, error) {
 		size = 8 << 20
 	}
 	e, err := nstore.Open(nstore.Config{
-		NVM:                 nvm.Config{Size: size, Faults: cfg.faultCfg(part)},
+		NVM:                 nvm.Config{Size: size, Faults: cfg.faultCfg(part), Contract: cfg.contract()},
 		Tracker:             tr,
 		Capacity:            capacity,
 		BuggyNoApplyPersist: cfg.Buggy,
