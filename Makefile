@@ -14,6 +14,7 @@
 #   make soak-short  bounded heavy-traffic soak gate (crash+recover audits, sharded checker)
 #   make soak        full soak gate (same checks, bigger op budgets; writes BENCH_soak.json)
 #   make fleet-gate  sharded-fleet chaos gate (fleet == batch bytes at shards 1/4/8 with kills)
+#   make net-fleet-gate  multi-process HTTP fleet gate (shard processes, network faults, kills)
 #   make pmodel-gate persistency-contract differential gate (x86 vs cxl verdict matrix)
 #   make stress      cancellation / timeout / partial-report stress tests
 #   make ci          everything above, in order
@@ -22,7 +23,7 @@ GO ?= go
 FUZZTIME ?= 30s
 FAULTSEED ?= 42
 
-.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate soak-short soak fleet-gate pmodel-gate stress ci clean
+.PHONY: build test race vet fuzz-short bench cache-gate serve-gate crashsim faults fuzz-gate soak-short soak fleet-gate net-fleet-gate pmodel-gate stress ci clean
 
 build:
 	$(GO) build ./...
@@ -95,6 +96,21 @@ fleet-gate: build
 	$(GO) run ./cmd/deepmc-bench -fleet
 	$(GO) test -race -count=1 ./internal/fleet
 
+# The net-fleet gate: the same fleet==batch contract with the fleet
+# taken over the wire — real `deepmc serve -shard` processes, an HTTP
+# verdict tier, and a seeded fault injector (latency, slow bytes,
+# mid-body resets, blackholes) on every dial.  Byte identity must hold
+# at shards 1/4/8 through SIGKILLed shard processes restarted at the
+# same address, truncated and corrupted responses are never trusted,
+# the same seed replays the same fault schedule, and wire overhead is
+# recorded against in-process transports (BENCH_fleet_http.json).
+net-fleet-gate: build
+	mkdir -p bin
+	$(GO) build -o bin/deepmc ./cmd/deepmc
+	DEEPMC_BIN=$(CURDIR)/bin/deepmc $(GO) run ./cmd/deepmc-bench -net-fleet
+	DEEPMC_BIN=$(CURDIR)/bin/deepmc $(GO) run ./cmd/deepmc-bench -fleet-http
+	$(GO) test -race -count=1 ./internal/netfault ./internal/anacache ./internal/fleet ./internal/serve
+
 # The pmodel gate: the persistency-contract matrix must hold — bugs
 # under x86 that a CXL persistence domain heals stay healed, CXL-only
 # findings (wasted in-domain flushes, missing global barriers) never
@@ -109,7 +125,8 @@ pmodel-gate: build
 stress:
 	$(GO) test -run 'Cancel|Timeout|Deadline|Partial|Panic|Retry' ./internal/... ./cmd/...
 
-ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate soak-short fleet-gate pmodel-gate stress
+ci: build vet test race fuzz-short cache-gate serve-gate crashsim faults fuzz-gate soak-short fleet-gate net-fleet-gate pmodel-gate stress
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

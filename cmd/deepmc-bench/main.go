@@ -19,6 +19,8 @@
 //	deepmc-bench -fuzz                  # schedule-fuzzer gate (witness replay + planted-bug re-discovery)
 //	deepmc-bench -soak                  # heavy-traffic soak gate (overhead + crash/recover audits, BENCH_soak.json)
 //	deepmc-bench -soak-short            # bounded soak gate for CI
+//	deepmc-bench -net-fleet             # multi-process HTTP fleet gate (network chaos, BENCH_net_fleet.json)
+//	deepmc-bench -fleet-http            # wire overhead vs in-process shards (BENCH_fleet_http.json)
 //	deepmc-bench -pmodel                # x86 vs CXL contract pricing (BENCH_pmodel.json)
 //	deepmc-bench -pmodel-gate           # persistency-contract differential gate
 //	deepmc-bench -all -jobs 8           # fan the checker out for every table
@@ -54,6 +56,8 @@ func main() {
 	soakShort := flag.Bool("soak-short", false, "bounded soak gate for CI (same checks, smaller op budgets)")
 	fuzzGate := flag.Bool("fuzz", false, "run the schedule-fuzzer gate (witness corpus replays byte-identically, planted bugs re-found, fixed targets clean)")
 	fleetGate := flag.Bool("fleet", false, "run the sharded-fleet chaos gate (fleet == batch byte-identity at shards 1/4/8, with mid-run kills and restarts; writes BENCH_fleet.json)")
+	netFleetGate := flag.Bool("net-fleet", false, "run the multi-process HTTP fleet gate (real shard processes, seeded network fault injection, process kill/restart; writes BENCH_net_fleet.json)")
+	fleetHTTP := flag.Bool("fleet-http", false, "measure wire overhead: in-process vs HTTP shard transports at shards 1/4/8 (writes BENCH_fleet_http.json)")
 	pmodelBench := flag.Bool("pmodel", false, "price x86 vs CXL persistency contracts on the same commit workload (writes BENCH_pmodel.json)")
 	pmodelGate := flag.Bool("pmodel-gate", false, "run the persistency-contract differential gate (per-contract verdict matrix, empty-domain cxl==x86 equivalence, crash-sim cell)")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection schedule seed")
@@ -128,6 +132,20 @@ func main() {
 	}
 	if *fleetGate {
 		s, ok := tables.FleetGate()
+		emit(s)
+		if !ok {
+			os.Exit(cli.ExitViolations)
+		}
+	}
+	if *netFleetGate {
+		s, ok := tables.NetFleetGate()
+		emit(s)
+		if !ok {
+			os.Exit(cli.ExitViolations)
+		}
+	}
+	if *fleetHTTP {
+		s, ok := tables.FleetHTTPBench()
 		emit(s)
 		if !ok {
 			os.Exit(cli.ExitViolations)

@@ -12,7 +12,8 @@
 //	deepmc crashsim [-jobs N] [-stride N] [-prune] [-entry main] [-timeout D] [-faults CLASSES] [-pmodel x86|cxl] [prog.pir]
 //	deepmc fuzz   [-seed N] [-budget N] [-corpus-dir DIR] [-target NAME] [-timeout D] [-pmodel x86|cxl]
 //	deepmc soak   [-app memcache|redis|nstore] [-clients N] [-partitions N] [-keys N] [-ops N] [-phases N] [-mix NAME] [-faults CLASSES] [-fault-rate R] [-seed N] [-tracked] [-stripes N] [-buggy] [-pmodel x86|cxl]
-//	deepmc fleet  [-shards N] [-model ...] [-all] [-jobs N] [-cache-dir DIR] [-cache-cap N] [-retries N] [-hedge D] [-kill N] [-seed N] [-timeout D] [prog.pir...]
+//	deepmc fleet  [-shards N] [-model ...] [-all] [-jobs N] [-cache-dir DIR] [-cache-cap N] [-retries N] [-hedge D] [-kill N] [-seed N] [-timeout D] [-shard-urls URLS] [-request-timeout D] [-net-faults CLASSES] [-net-fault-rate R] [-net-seed N] [prog.pir...]
+//	deepmc tier   [-addr :7500] -dir DIR [-cap N] [-flush-every D]
 //
 // Exit codes: 0 = clean, 1 = violations found (or a differential gate
 // disagreed), 2 = the analysis itself failed, timed out, or produced
@@ -29,6 +30,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -46,6 +49,7 @@ import (
 	"deepmc/internal/fleet"
 	"deepmc/internal/fuzzsched"
 	"deepmc/internal/ir"
+	"deepmc/internal/netfault"
 	"deepmc/internal/passes"
 	"deepmc/internal/pmcontract"
 	"deepmc/internal/serve"
@@ -80,6 +84,8 @@ func main() {
 		err = cmdFuzz(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "tier":
+		err = cmdTier(os.Args[2:])
 	case "fleet":
 		err = cmdFleet(os.Args[2:])
 	case "soak":
@@ -158,22 +164,37 @@ commands:
   serve   [-addr :7437] [-jobs N] [-inflight N] [-queue N] [-timeout D]
           [-max-trace-entries N] [-drain D] [-cache-dir DIR]
           [-breaker-threshold N] [-breaker-cooldown D]
+          [-shard] [-tier URL]
           run the hardened analysis daemon: POST /analyze (PIR source or
           corpus target -> JSON report), GET /corpus/{name}, /healthz,
           /readyz, /stats; bounded admission queue sheds overload with
           429, per-request budgets degrade to partial reports, per-pass
           circuit breakers isolate crashing rules, and SIGINT/SIGTERM
-          drains in-flight requests before flushing the disk cache
+          drains in-flight requests before flushing the disk cache;
+          -shard prints SHARD_ADDR=<addr> once bound (fleet shard mode)
+          and -tier plugs the daemon's cache into a shared HTTP verdict
+          tier, flushed before drain exit
+  tier    [-addr :7500] -dir DIR [-cap N] [-flush-every D]
+          host the shared verdict tier as a standalone service:
+          GET/PUT /tier/{key} in the anacache disk format, bodies
+          checksum-verified in both directions (a corrupt entry is a
+          cache miss, never a verdict); prints TIER_ADDR=<addr> once
+          bound; SIGTERM flushes write-behind state to -dir
   fleet   [-shards N] [-model ...] [-all] [-jobs N] [-cache-dir DIR]
           [-cache-cap N] [-retries N] [-hedge D] [-kill N] [-seed N]
-          [-timeout D] [-passes IDS] [-disable-pass ID]... [prog.pir...]
+          [-timeout D] [-passes IDS] [-disable-pass ID]...
+          [-shard-urls URLS] [-request-timeout D] [-net-faults CLASSES]
+          [-net-fault-rate R] [-net-seed N] [prog.pir...]
           shard a batch analysis across N failure-independent workers
           (no files: the built-in corpus): consistent-hash placement,
           work-stealing, bounded retries with jittered backoff, hedged
           stragglers, circuit-breaker shard ejection with health-probe
           recovery, and a shared read-through/write-behind verdict
           tier; output is byte-identical to a single-node run at any
-          shard count, -kill chaos included
+          shard count, -kill chaos included; -shard-urls sends jobs
+          over HTTP to "deepmc serve -shard" daemons instead, with
+          -net-faults injecting a seeded, replayable schedule of
+          latency/slowbytes/reset/blackhole transport faults
 
 exit codes: 0 clean, 1 violations/gate failure, 2 analysis failed or
 timed out (partial report)
@@ -636,6 +657,8 @@ func cmdServe(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "disk tier for the shared analysis cache (flushed on drain)")
 	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive attributed pass failures before the breaker opens")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-state cooldown before a half-open probe")
+	shard := fs.Bool("shard", false, "fleet-shard mode: print SHARD_ADDR=<addr> on stdout once the listener is bound (use -addr :0 for an ephemeral port)")
+	tier := fs.String("tier", "", "shared verdict tier URL (read-through/write-behind; flushed on drain)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve: unexpected arguments %q", fs.Args())
@@ -649,6 +672,7 @@ func cmdServe(args []string) error {
 		MaxTraceEntries:  *maxEntries,
 		DrainTimeout:     *drain,
 		CacheDir:         *cacheDir,
+		TierURL:          *tier,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 	})
@@ -658,7 +682,20 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- s.ListenAndServe() }()
+	if *shard {
+		// Shard mode binds before announcing so the fleet controller can
+		// read the resolved address (ephemeral ports included) from the
+		// one stdout line, then dial immediately.
+		l, lerr := net.Listen("tcp", *addr)
+		if lerr != nil {
+			return lerr
+		}
+		fmt.Printf("SHARD_ADDR=%s\n", l.Addr().String())
+		os.Stdout.Sync()
+		go func() { errc <- s.Serve(l) }()
+	} else {
+		go func() { errc <- s.ListenAndServe() }()
+	}
 	fmt.Fprintf(os.Stderr, "deepmc serve: listening on %s\n", *addr)
 	select {
 	case err := <-errc:
@@ -676,6 +713,56 @@ func cmdServe(args []string) error {
 	return nil
 }
 
+// cmdTier hosts the shared verdict tier as a standalone HTTP service:
+// the third piece of a wire-mode fleet deployment (shards mount it via
+// `serve -shard -tier URL`).  GET/PUT /tier/{key} in the anacache disk
+// format, checksum-verified in both directions; SIGTERM flushes the
+// write-behind state to -dir before exit.
+func cmdTier(args []string) error {
+	fs := flag.NewFlagSet("tier", flag.ExitOnError)
+	addr := fs.String("addr", ":7500", "listen address")
+	dir := fs.String("dir", "", "disk directory backing the tier (required)")
+	cap_ := fs.Int("cap", 0, "max disk entries, LRU-evicted (0 = unbounded)")
+	flushEvery := fs.Duration("flush-every", 200*time.Millisecond, "write-behind flush cadence")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("tier: unexpected arguments %q", fs.Args())
+	}
+	if *dir == "" {
+		return fmt.Errorf("tier: -dir is required")
+	}
+	tier, err := fleet.NewVerdictTier(*dir, *cap_, *flushEvery)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TIER_ADDR=%s\n", l.Addr().String())
+	os.Stdout.Sync()
+	srv := &http.Server{Handler: anacache.BackingHandler(tier)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	fmt.Fprintf(os.Stderr, "deepmc tier: listening on %s (dir %s)\n", l.Addr().String(), *dir)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(sctx)
+	if err := tier.Close(); err != nil {
+		return fmt.Errorf("tier: flush: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "deepmc tier: flushed and stopped")
+	return nil
+}
+
 func cmdFleet(args []string) error {
 	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
 	shards := fs.Int("shards", 4, "failure-independent shard workers")
@@ -690,6 +777,11 @@ func cmdFleet(args []string) error {
 	seed := fs.Int64("seed", 1, "chaos and backoff-jitter seed")
 	timeout := fs.Duration("timeout", 0, "whole-run deadline (0 = none)")
 	passIDs := fs.String("passes", "", "comma-separated pass IDs to enable (default: all)")
+	shardURLs := fs.String("shard-urls", "", "comma-separated shard daemon base URLs; jobs travel over HTTP instead of in-process workers (overrides -shards)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline against HTTP shards")
+	netFaults := fs.String("net-faults", "", "inject transport faults against HTTP shards: all or comma-set of latency,slowbytes,reset,blackhole")
+	netRate := fs.Float64("net-fault-rate", 0.1, "per-dial probability of each enabled network fault class")
+	netSeed := fs.Int64("net-seed", 1, "network fault schedule seed (same seed = same per-dial schedule)")
 	var disable stringList
 	fs.Var(&disable, "disable-pass", "pass ID to disable (repeatable)")
 	fs.Parse(args)
@@ -710,15 +802,26 @@ func cmdFleet(args []string) error {
 			}
 			pcfg := base
 			pcfg.Model = p.Model.String()
-			jobs = append(jobs, fleet.Job{Name: p.Name, Module: m, Config: pcfg})
+			// Corpus jobs carry their corpus name on the wire; HTTP
+			// shards resolve the same registered program locally.
+			jobs = append(jobs, fleet.Job{Name: p.Name, Module: m, Corpus: p.Name, Config: pcfg})
 		}
 	} else {
 		for _, path := range fs.Args() {
-			m, err := loadModule(path)
+			src, err := os.ReadFile(path)
 			if err != nil {
 				return err
 			}
-			jobs = append(jobs, fleet.Job{Name: path, Module: m, Config: base})
+			m, err := ir.Parse(string(src))
+			if err != nil {
+				return err
+			}
+			if err := ir.Verify(m); err != nil {
+				return err
+			}
+			// Source is the file's exact bytes: HTTP shards parse the
+			// same text, so line numbers in warnings cannot drift.
+			jobs = append(jobs, fleet.Job{Name: path, Module: m, Source: string(src), Config: base})
 		}
 	}
 
@@ -726,14 +829,39 @@ func cmdFleet(args []string) error {
 	if maxRetries <= 0 {
 		maxRetries = -1 // fleet.Config: negative disables, zero selects the default
 	}
-	f, err := fleet.New(fleet.Config{
+	fcfg := fleet.Config{
 		Shards:     *shards,
 		CacheDir:   *cacheDir,
 		CacheCap:   *cacheCap,
 		MaxRetries: maxRetries,
 		HedgeAfter: *hedge,
 		Seed:       *seed,
-	})
+	}
+	if *shardURLs != "" {
+		urls := strings.Split(*shardURLs, ",")
+		fcfg.Shards = len(urls)
+		fcfg.CacheDir = "" // the remote shards own the verdict tier
+		var inj *netfault.Injector
+		if *netFaults != "" {
+			classes, perr := netfault.ParseClasses(*netFaults)
+			if perr != nil {
+				return fmt.Errorf("fleet: %w", perr)
+			}
+			inj = netfault.New(netfault.Config{Classes: classes, Rate: *netRate, Seed: *netSeed})
+		}
+		fcfg.NewTransport = func(shard int, _ *fleet.VerdictTier) (fleet.Transport, error) {
+			opts := fleet.HTTPOptions{RequestTimeout: *reqTimeout}
+			if inj != nil {
+				opts.Dial = inj.WrapDial(nil)
+				opts.DisableKeepAlives = true // every request redials, so every request draws a fault plan
+			}
+			return fleet.NewHTTPTransport(strings.TrimSpace(urls[shard]), opts), nil
+		}
+		if *kill > 0 {
+			return fmt.Errorf("fleet: -kill targets in-process shards; against -shard-urls kill the daemon processes instead")
+		}
+	}
+	f, err := fleet.New(fcfg)
 	if err != nil {
 		return err
 	}

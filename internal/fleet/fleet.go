@@ -30,6 +30,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -47,10 +48,19 @@ import (
 // Job is one unit of fleet work: a named module and its analysis
 // configuration.  Name is the placement key — stable names keep shard
 // caches hot across runs.
+//
+// Source/Corpus are the job's wire form for HTTP shards: the exact
+// PIR text (or built-in corpus name) the module came from.  The HTTP
+// transport refuses jobs without one — re-printing a live module
+// could shift line numbers and silently break fleet==batch
+// byte-identity, so the original bytes travel instead.  In-process
+// transports ignore both and analyze Module directly.
 type Job struct {
 	Name   string
 	Module *ir.Module
 	Config core.Config
+	Source string
+	Corpus string
 }
 
 // Config tunes the fleet.  Zero values select the documented defaults.
@@ -141,30 +151,45 @@ type Stats struct {
 	Hedges    atomic.Uint64
 	Kills     atomic.Uint64
 	Restarts  atomic.Uint64
+	// NetRequeues counts free requeues caused by connection-class wire
+	// failures (refused/reset/timeout/truncated) against HTTP shards.
+	NetRequeues atomic.Uint64
+	// Corrupt counts responses discarded for failing verification
+	// (checksum/framing/parse) — every one of these is a report that
+	// was received and NOT trusted.
+	Corrupt atomic.Uint64
+	// Throttled counts 429 shed responses honored via Retry-After.
+	Throttled atomic.Uint64
 }
 
 // StatsSnapshot is Stats at a point in time, JSON-ready.
 type StatsSnapshot struct {
-	Completed uint64 `json:"completed"`
-	Retries   uint64 `json:"retries"`
-	Requeues  uint64 `json:"requeues"`
-	Discarded uint64 `json:"discarded"`
-	Steals    uint64 `json:"steals"`
-	Hedges    uint64 `json:"hedges"`
-	Kills     uint64 `json:"kills"`
-	Restarts  uint64 `json:"restarts"`
+	Completed   uint64 `json:"completed"`
+	Retries     uint64 `json:"retries"`
+	Requeues    uint64 `json:"requeues"`
+	Discarded   uint64 `json:"discarded"`
+	Steals      uint64 `json:"steals"`
+	Hedges      uint64 `json:"hedges"`
+	Kills       uint64 `json:"kills"`
+	Restarts    uint64 `json:"restarts"`
+	NetRequeues uint64 `json:"net_requeues"`
+	Corrupt     uint64 `json:"corrupt"`
+	Throttled   uint64 `json:"throttled"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Completed: s.Completed.Load(),
-		Retries:   s.Retries.Load(),
-		Requeues:  s.Requeues.Load(),
-		Discarded: s.Discarded.Load(),
-		Steals:    s.Steals.Load(),
-		Hedges:    s.Hedges.Load(),
-		Kills:     s.Kills.Load(),
-		Restarts:  s.Restarts.Load(),
+		Completed:   s.Completed.Load(),
+		Retries:     s.Retries.Load(),
+		Requeues:    s.Requeues.Load(),
+		Discarded:   s.Discarded.Load(),
+		Steals:      s.Steals.Load(),
+		Hedges:      s.Hedges.Load(),
+		Kills:       s.Kills.Load(),
+		Restarts:    s.Restarts.Load(),
+		NetRequeues: s.NetRequeues.Load(),
+		Corrupt:     s.Corrupt.Load(),
+		Throttled:   s.Throttled.Load(),
 	}
 }
 
@@ -391,9 +416,48 @@ func (f *Fleet) worker(s *shard, gen int, r *run) {
 			f.breakers.OK(shardID(s.id))
 			r.complete(idx, rep)
 		default:
-			f.breakers.Fail(shardID(s.id))
-			r.fail(idx, err)
+			f.classifyFailure(s, r, idx, err)
 		}
+	}
+}
+
+// classifyFailure routes a non-nil Analyze error to the scheduler
+// decision its class demands (see classify.go for the taxonomy).
+// In-process transports produce plain errors, which keep the original
+// attributed-failure path.
+func (f *Fleet) classifyFailure(s *shard, r *run, idx int, err error) {
+	var ne *NetError
+	if !errors.As(err, &ne) {
+		f.breakers.Fail(shardID(s.id))
+		r.fail(idx, err)
+		return
+	}
+	switch ne.Class {
+	case ErrConn, ErrCorrupt:
+		// The shard (or the wire) failed, not the job: feed the breaker
+		// — consecutive failures eject the shard from placement and
+		// from pulling (see next()) — and requeue for free after a
+		// beat, exactly like an in-process shard death.
+		f.breakers.Fail(shardID(s.id))
+		if ne.Class == ErrCorrupt {
+			f.stats.Corrupt.Add(1)
+		}
+		f.stats.NetRequeues.Add(1)
+		f.stats.Discarded.Add(1)
+		r.failNet(idx, f.cfg.RetryBase)
+	case ErrTerminal:
+		// The shard judged the job itself bad; no other shard will
+		// disagree.  No breaker feed — the shard did its job.
+		r.failTerminal(idx, err)
+	case ErrThrottle:
+		// Load shedding is the admission queue working as designed:
+		// budgeted retry honoring the server's Retry-After, breaker
+		// untouched.
+		f.stats.Throttled.Add(1)
+		r.failAfter(idx, err, ne.RetryAfter)
+	default: // ErrServer
+		f.breakers.Fail(shardID(s.id))
+		r.failAfter(idx, err, ne.RetryAfter)
 	}
 }
 
@@ -472,12 +536,16 @@ func (f *Fleet) Close() error {
 	return f.tier.Close()
 }
 
-// prober is the fleet's health loop.  Each tick it (a) records a
-// failed health check against every dead shard — consecutive failures
-// trip the breaker and eject the shard from placement — and (b) takes
-// whatever half-open probes the breaker set grants, resolving each
-// against the shard's actual liveness.  A revived shard therefore
-// recovers through the genuine Open → HalfOpen → Closed path.
+// prober is the fleet's health loop.  Each tick it (a) health-checks
+// every shard — a coordinator-side kill flag or a failed transport
+// Probe (an HTTP shard's /readyz) both count as unhealthy, and
+// consecutive failures trip the breaker and eject the shard from
+// placement and pulling — and (b) takes whatever half-open probes the
+// breaker set grants, resolving each against the same health check.
+// A revived shard (restarted in-process, or a shard *process* brought
+// back at the same address) therefore recovers through the genuine
+// Open → HalfOpen → Closed path.  Each tick ends by waking the active
+// run so workers parked on a tripped breaker re-check.
 func (f *Fleet) prober() {
 	defer f.bg.Done()
 	tick := time.NewTicker(f.cfg.ProbeEvery)
@@ -489,29 +557,59 @@ func (f *Fleet) prober() {
 		case <-tick.C:
 		}
 		f.mu.Lock()
-		dead := make([]bool, len(f.shards))
-		for i, s := range f.shards {
+		shards := append([]*shard(nil), f.shards...)
+		dead := make([]bool, len(shards))
+		for i, s := range shards {
 			dead[i] = s.dead
 		}
+		cur := f.cur
 		f.mu.Unlock()
-		for i, d := range dead {
-			if d {
+		healthy := f.probeAll(shards, dead)
+		for i, h := range healthy {
+			if !h {
 				f.breakers.Fail(shardID(i))
 			}
 		}
 		_, probes := f.breakers.Acquire()
 		for _, id := range probes {
 			i, ok := parseShardID(id)
-			if !ok || i >= len(dead) {
+			if !ok || i >= len(healthy) {
 				continue
 			}
-			if dead[i] {
-				f.breakers.Fail(id)
-			} else {
+			if healthy[i] {
 				f.breakers.OK(id)
+			} else {
+				f.breakers.Fail(id)
 			}
 		}
+		if cur != nil {
+			cur.wake()
+		}
 	}
+}
+
+// probeAll health-checks every shard concurrently (a blackholed HTTP
+// probe must not stall the whole tick) with a bounded per-probe
+// deadline.  dead is the caller's under-lock snapshot: shard death is
+// racy against probing, and a kill landing mid-tick just means one
+// more failed probe next tick.
+func (f *Fleet) probeAll(shards []*shard, dead []bool) []bool {
+	healthy := make([]bool, len(shards))
+	var wg sync.WaitGroup
+	for i, s := range shards {
+		if dead[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(f.baseCtx, time.Second)
+			defer cancel()
+			healthy[i] = s.tr.Probe(pctx) == nil
+		}(i, s)
+	}
+	wg.Wait()
+	return healthy
 }
 
 // hedger watches the active run for stragglers and re-dispatches them

@@ -224,6 +224,8 @@ func (t *flakyTransport) Analyze(ctx context.Context, job Job) (*report.Report, 
 	return t.real.Analyze(ctx, job)
 }
 
+func (t *flakyTransport) Probe(ctx context.Context) error { return nil }
+
 func (t *flakyTransport) Close() error { return t.real.Close() }
 
 // TestFleetRetriesTransientFailures: jobs that fail twice then succeed
@@ -319,6 +321,8 @@ type transportFunc func(ctx context.Context, job Job) (*report.Report, error)
 func (f transportFunc) Analyze(ctx context.Context, job Job) (*report.Report, error) {
 	return f(ctx, job)
 }
+func (f transportFunc) Probe(ctx context.Context) error { return nil }
+
 func (f transportFunc) Close() error { return nil }
 
 // TestFleetHedgesStragglers: a shard that stalls on one job does not

@@ -87,6 +87,12 @@ func (r *run) place() {
 // next blocks until shard has a task to run (its own queue's front, or
 // a steal from the back of the longest other queue), the run finishes,
 // or the shard's context dies.  ok=false means the worker should exit.
+//
+// A shard whose breaker is tripped parks instead of pulling: against
+// an HTTP shard whose process died, pulling would spin every queued
+// job through a connection failure.  The prober wakes the run each
+// tick, so a recovered breaker (half-open probe success) resumes the
+// worker promptly.
 func (r *run) next(shard int, shardCtx context.Context) (int, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -94,28 +100,30 @@ func (r *run) next(shard int, shardCtx context.Context) (int, bool) {
 		if r.remaining == 0 || r.aborted || shardCtx.Err() != nil {
 			return 0, false
 		}
-		// Own queue first: preserves placement locality.
-		if q := r.queues[shard]; len(q) > 0 {
-			idx := q[0]
-			r.queues[shard] = q[1:]
-			r.startLocked(idx)
-			return idx, true
-		}
-		// Steal from the back of the longest queue (including dead
-		// shards' queues — stealing is what drains them).
-		victim, best := -1, 0
-		for s, q := range r.queues {
-			if s != shard && len(q) > best {
-				victim, best = s, len(q)
+		if !r.f.breakers.Tripped(shardID(shard)) {
+			// Own queue first: preserves placement locality.
+			if q := r.queues[shard]; len(q) > 0 {
+				idx := q[0]
+				r.queues[shard] = q[1:]
+				r.startLocked(idx)
+				return idx, true
 			}
-		}
-		if victim >= 0 {
-			q := r.queues[victim]
-			idx := q[len(q)-1]
-			r.queues[victim] = q[:len(q)-1]
-			r.f.stats.Steals.Add(1)
-			r.startLocked(idx)
-			return idx, true
+			// Steal from the back of the longest queue (including dead
+			// shards' queues — stealing is what drains them).
+			victim, best := -1, 0
+			for s, q := range r.queues {
+				if s != shard && len(q) > best {
+					victim, best = s, len(q)
+				}
+			}
+			if victim >= 0 {
+				q := r.queues[victim]
+				idx := q[len(q)-1]
+				r.queues[victim] = q[:len(q)-1]
+				r.f.stats.Steals.Add(1)
+				r.startLocked(idx)
+				return idx, true
+			}
 		}
 		r.cond.Wait()
 	}
@@ -177,7 +185,12 @@ func (r *run) ended() bool {
 // fail records an attributed failure: the shard was healthy but the
 // job errored.  Within budget the task is requeued after a jittered
 // exponential backoff; past it the error becomes the task's outcome.
-func (r *run) fail(idx int, err error) {
+func (r *run) fail(idx int, err error) { r.failAfter(idx, err, 0) }
+
+// failAfter is fail with an optional server-directed delay: a 429/503
+// Retry-After overrides the jittered backoff (after > 0), because the
+// server knows its own queue better than our jitter does.
+func (r *run) failAfter(idx int, err error, after time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	t := &r.tasks[idx]
@@ -197,12 +210,52 @@ func (r *run) fail(idx int, err error) {
 	}
 	t.retries++
 	r.f.stats.Retries.Add(1)
-	d := r.backoffLocked(t.retries)
+	d := after
+	if d <= 0 {
+		d = r.backoffLocked(t.retries)
+	}
 	if t.inflight > 0 || t.queued {
 		// A hedge copy is still live; let it carry the task.
 		return
 	}
 	time.AfterFunc(d, func() { r.requeue(idx) })
+}
+
+// failTerminal records an authoritative rejection (a 4xx): the job
+// itself is bad, no shard will judge it differently, so the error is
+// the outcome immediately — no retry budget spent, no breaker fed.
+func (r *run) failTerminal(idx int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &r.tasks[idx]
+	t.inflight--
+	if t.done {
+		return
+	}
+	t.done = true
+	r.errs[idx] = err
+	r.remaining--
+	if r.remaining == 0 {
+		r.finishLocked()
+	}
+	r.cond.Broadcast()
+}
+
+// failNet records an execution lost to a connection-class (or
+// corrupt-body) wire failure.  Like failDead the requeue is free —
+// the wire failed, not the job — but it waits a beat: an immediate
+// requeue against a just-died shard process would cycle through
+// another instant connection failure before the breaker trips.
+func (r *run) failNet(idx int, delay time.Duration) {
+	r.mu.Lock()
+	t := &r.tasks[idx]
+	t.inflight--
+	done, live := t.done, t.inflight > 0 || t.queued
+	r.mu.Unlock()
+	if done || live {
+		return
+	}
+	time.AfterFunc(delay, func() { r.requeue(idx) })
 }
 
 // failDead records an execution lost to shard death.  The shard

@@ -10,12 +10,15 @@ import (
 
 // Transport is the shard execution boundary.  The coordinator only
 // ever talks to shards through it, so the in-process goroutine shards
-// shipped here and a future HTTP transport (one serve daemon per
-// shard) are interchangeable: Analyze must honor ctx — a canceled
-// shard context is how the coordinator kills a shard out from under
-// its work — and Close releases whatever the transport holds.
+// and the HTTP transport (one `deepmc serve -shard` daemon per shard)
+// are interchangeable: Analyze must honor ctx — a canceled shard
+// context is how the coordinator kills a shard out from under its
+// work — Probe is the health check the breaker prober drives (an
+// in-process shard is healthy by construction; an HTTP shard answers
+// /readyz), and Close releases whatever the transport holds.
 type Transport interface {
 	Analyze(ctx context.Context, job Job) (*report.Report, error)
+	Probe(ctx context.Context) error
 	Close() error
 }
 
@@ -47,5 +50,9 @@ func (t *localTransport) Analyze(ctx context.Context, job Job) (*report.Report, 
 	cfg.CacheDir = "" // the shard cache already layers over the tier
 	return core.AnalyzeCtx(ctx, job.Module, cfg)
 }
+
+// Probe: an in-process shard that exists is healthy — liveness is the
+// coordinator's own kill flag, which the prober checks separately.
+func (t *localTransport) Probe(ctx context.Context) error { return nil }
 
 func (t *localTransport) Close() error { return nil }

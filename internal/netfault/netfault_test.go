@@ -1,0 +1,180 @@
+package netfault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestScheduleIsPureInSeed(t *testing.T) {
+	cfg := Config{Classes: Classes(), Rate: 0.3, Seed: 42}
+	a := New(cfg).ScheduleString(256)
+	b := New(cfg).ScheduleString(256)
+	if a != b {
+		t.Fatal("same seed rendered different schedules")
+	}
+	c := New(Config{Classes: Classes(), Rate: 0.3, Seed: 43}).ScheduleString(256)
+	if a == c {
+		t.Fatal("different seeds rendered identical schedules")
+	}
+}
+
+func TestEnablingOneClassDoesNotShiftAnother(t *testing.T) {
+	// The per-dial streams draw in canonical order for every class, so
+	// a latency-only injector and an all-classes injector agree on
+	// exactly which dials get latency, and on the drawn durations.
+	all := New(Config{Classes: Classes(), Rate: 0.5, Seed: 7})
+	only := New(Config{Classes: []Class{Latency}, Rate: 0.5, Seed: 7})
+	for i := uint64(0); i < 512; i++ {
+		pa, po := all.PlanFor(i), only.PlanFor(i)
+		if pa.Blackhole {
+			continue // blackhole suppresses latency in the all-class plan
+		}
+		if pa.Latency != po.Latency {
+			t.Fatalf("dial %d: latency %v (all) vs %v (only)", i, pa.Latency, po.Latency)
+		}
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	for _, s := range []string{"", "all"} {
+		cs, err := ParseClasses(s)
+		if err != nil || len(cs) != len(Classes()) {
+			t.Fatalf("ParseClasses(%q) = %v, %v", s, cs, err)
+		}
+	}
+	cs, err := ParseClasses("reset, blackhole")
+	if err != nil || len(cs) != 2 || cs[0] != Reset || cs[1] != Blackhole {
+		t.Fatalf("ParseClasses(reset,blackhole) = %v, %v", cs, err)
+	}
+	if _, err := ParseClasses("bogus"); err == nil {
+		t.Fatal("ParseClasses accepted an unknown class")
+	}
+}
+
+// serveBytes listens, accepts one connection, drains the greeting and
+// writes payload, then closes.
+func serveBytes(t *testing.T, payload []byte) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		io.ReadFull(c, buf)
+		c.Write(payload)
+	}()
+	return l.Addr().String()
+}
+
+func dialThrough(t *testing.T, in *Injector, addr string) net.Conn {
+	t.Helper()
+	d := &net.Dialer{}
+	dial := in.WrapDial(d.DialContext)
+	c, err := dial(context.Background(), "tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestResetSurfacesECONNRESETMidBody(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 8<<10)
+	addr := serveBytes(t, payload)
+	in := New(Config{Classes: []Class{Reset}, Rate: 1, Seed: 1})
+	c := dialThrough(t, in, addr)
+	c.Write([]byte("ping"))
+	n, err := io.Copy(io.Discard, c)
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("want ECONNRESET, got n=%d err=%v", n, err)
+	}
+	want := int64(in.PlanFor(0).ResetAfter)
+	if n != want {
+		t.Fatalf("delivered %d bytes before reset, plan said %d", n, want)
+	}
+	if in.Fired()[Reset] != 1 {
+		t.Fatalf("fired = %v, want reset=1", in.Fired())
+	}
+}
+
+func TestLatencyAndSlowBytesPreserveBytes(t *testing.T) {
+	payload := bytes.Repeat([]byte("deepmc-wire-"), 64) // > slowWindow
+	addr := serveBytes(t, payload)
+	in := New(Config{Classes: []Class{Latency, SlowBytes}, Rate: 1, Seed: 2})
+	c := dialThrough(t, in, addr)
+	c.Write([]byte("ping"))
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("slow path corrupted bytes: got %d want %d", len(got), len(payload))
+	}
+	fired := in.Fired()
+	if fired[Latency] != 1 || fired[SlowBytes] != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestBlackholeBlocksUntilDeadline(t *testing.T) {
+	in := New(Config{Classes: []Class{Blackhole}, Rate: 1, Seed: 3})
+	dial := in.WrapDial((&net.Dialer{}).DialContext)
+	// No listener needed: the blackhole never touches the network.
+	c, err := dial(context.Background(), "tcp", "127.0.0.1:1")
+	if err != nil {
+		t.Fatalf("blackhole dial should succeed: %v", err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("want timeout net.Error, got %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("blackhole returned before the deadline")
+	}
+	// Close unblocks a parked reader.
+	done := make(chan error, 1)
+	c.SetDeadline(time.Time{})
+	go func() { _, err := c.Read(make([]byte, 1)); done <- err }()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("want net.ErrClosed after close, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still parked after Close")
+	}
+}
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	payload := []byte("clean")
+	addr := serveBytes(t, payload)
+	in := New(Config{Classes: Classes(), Rate: 0, Seed: 4})
+	c := dialThrough(t, in, addr)
+	c.Write([]byte("ping"))
+	got, err := io.ReadAll(c)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean dial perturbed: %q %v", got, err)
+	}
+	if in.FiredTotal() != 0 || in.Dials() != 1 {
+		t.Fatalf("fired=%d dials=%d", in.FiredTotal(), in.Dials())
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"deepmc/internal/corpus"
 	"deepmc/internal/ir"
 	"deepmc/internal/passes"
+	"deepmc/internal/pmcontract"
 	"deepmc/internal/report"
 )
 
@@ -78,6 +79,13 @@ type Config struct {
 	// reads hit it immediately, writes accumulate in memory and flush
 	// on drain.  Empty keeps the cache memory-only.
 	CacheDir string
+	// TierURL attaches a remote shared verdict tier (a fleet
+	// coordinator's BackingHandler endpoint) under the local cache:
+	// read-through on local misses, write-behind on stores.  This is
+	// shard mode's memory hierarchy — local hot cache over the fleet's
+	// warm tier.  Shutdown flushes the write-behind queue so every
+	// acknowledged verdict reaches the tier before the process exits.
+	TierURL string
 	// BreakerThreshold is the consecutive attributed failures that trip
 	// a pass's circuit breaker (default 3).
 	BreakerThreshold int
@@ -158,6 +166,9 @@ type Request struct {
 	// TimeoutMs lowers the request deadline (clamped to the server
 	// cap).
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// PModel is the hardware persistency contract ("x86" or "cxl...";
+	// empty selects the default x86 contract).
+	PModel string `json:"pmodel,omitempty"`
 }
 
 // key fingerprints the analysis-relevant request fields for
@@ -167,7 +178,7 @@ type Request struct {
 func (r Request) key() string {
 	h := sha256.New()
 	for _, part := range []string{
-		r.Source, r.Corpus, r.Model,
+		r.Source, r.Corpus, r.Model, r.PModel,
 		fmt.Sprintf("all=%v", r.AllFunctions),
 		"passes=" + strings.Join(r.Passes, ","),
 		"disable=" + strings.Join(r.DisablePasses, ","),
@@ -193,6 +204,7 @@ type result struct {
 type Server struct {
 	cfg      Config
 	cache    *anacache.Cache
+	remote   *anacache.RemoteBacking // shard mode's tier client (nil otherwise)
 	http     *http.Server
 	lis      net.Listener
 	admit    chan struct{} // admission slots: QueueDepth + MaxInFlight
@@ -270,6 +282,10 @@ func NewServer(cfg Config) (*Server, error) {
 		breakers: NewBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		start:    time.Now(),
 	}
+	if cfg.TierURL != "" {
+		s.remote = anacache.NewRemoteBacking(cfg.TierURL, anacache.RemoteOptions{})
+		cache.SetBacking(s.remote)
+	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	if len(cfg.Chaos.FailPass) > 0 {
 		s.chaosFail = make(map[string]int, len(cfg.Chaos.FailPass))
@@ -345,6 +361,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	n, ferr := s.cache.Flush()
 	s.stats.cacheFlushed.Add(int64(n))
+	if s.remote != nil {
+		// Shard mode's drain contract: every verdict acknowledged to a
+		// client must reach the shared tier before the process exits,
+		// so a restarted shard (or any sibling) warms from it.  Bounded
+		// independently of ctx, which may already be expired on a
+		// forced drain.
+		fctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.remote.Flush(fctx); err != nil && ferr == nil {
+			ferr = err
+		}
+		cancel()
+		s.remote.Close()
+	}
 	if herr != nil {
 		return herr
 	}
@@ -360,6 +389,15 @@ func (s *Server) Close() error {
 
 // CacheStats exposes the shared cache's counters (gate assertions).
 func (s *Server) CacheStats() anacache.Stats { return s.cache.Stats() }
+
+// TierStats exposes the remote tier client's wire counters (zero when
+// no tier is attached).
+func (s *Server) TierStats() anacache.RemoteStats {
+	if s.remote == nil {
+		return anacache.RemoteStats{}
+	}
+	return s.remote.Stats()
+}
 
 // --- HTTP handlers ---
 
@@ -545,6 +583,7 @@ func (s *Server) execute(ctx context.Context, req Request) *result {
 
 	cfg := core.Config{
 		Model:           model,
+		PModel:          req.PModel,
 		AllFunctions:    req.AllFunctions,
 		Workers:         s.clampWorkers(req.Workers),
 		MaxTraceEntries: s.clampEntries(req.MaxTraceEntries),
@@ -668,6 +707,11 @@ func (s *Server) takeStall() time.Duration {
 func (s *Server) resolveModule(req Request) (*ir.Module, string, *result) {
 	if req.Model != "" {
 		if _, err := checker.ParseModel(req.Model); err != nil {
+			return nil, "", &result{status: http.StatusBadRequest, body: errBody(err.Error())}
+		}
+	}
+	if req.PModel != "" {
+		if _, err := pmcontract.ParseContract(req.PModel); err != nil {
 			return nil, "", &result{status: http.StatusBadRequest, body: errBody(err.Error())}
 		}
 	}
@@ -803,10 +847,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeResult writes an executed request's response with the exit-code
 // contract mirrored into headers: X-Deepmc-Exit carries the 0/1/2 code
 // the batch CLI would have exited with, X-Deepmc-Partial flags degraded
-// reports, X-Deepmc-Coalesced marks singleflight followers.
+// reports, X-Deepmc-Coalesced marks singleflight followers.  Every body
+// is length-framed and content-checksummed (X-Deepmc-Sum) so a network
+// client can prove it received exactly the bytes the daemon sent — a
+// truncated or corrupted report is detected, never trusted.
 func writeResult(w http.ResponseWriter, res *result, coalesced bool) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(res.body)))
+	h.Set(anacache.SumHeader, anacache.BodySum(res.body))
 	if res.retryAfter > 0 {
 		h.Set("Retry-After", strconv.Itoa(res.retryAfter))
 	}
